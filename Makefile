@@ -1,0 +1,31 @@
+# Convenience targets for the RA-linearizability reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures table mutants exhaustive examples all
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+figures:
+	$(PYTHON) -m repro figures
+
+table:
+	$(PYTHON) -m repro table
+
+mutants:
+	$(PYTHON) -m repro mutants
+
+exhaustive:
+	$(PYTHON) -m repro exhaustive
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done
+
+all: test bench

@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark both *times* its reproduction (pytest-benchmark) and
+*asserts* the paper's qualitative result, so `pytest benchmarks/
+--benchmark-only` doubles as the experiment runner.  Run with ``-s`` to see
+the regenerated tables.
+"""
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated table/figure block."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,61 @@
+"""Convergence cost — delivering/merging to quiescence (our measurements).
+
+Series regenerated: op-based ``deliver_all`` cost vs replica count and
+operation count; state-based full gossip rounds; both assert the SEC
+property the paper ties to RA-linearizability (Sec. 7: "observably
+equivalent to strong eventual consistency").
+"""
+
+import pytest
+
+from repro.core.convergence import check_convergence
+from repro.proofs.registry import entry_by_name
+from repro.runtime import random_op_execution, random_state_execution
+
+REPLICA_COUNTS = [2, 3, 5]
+
+
+@pytest.mark.parametrize("replicas", REPLICA_COUNTS)
+def test_opbased_convergence_cost(benchmark, replicas):
+    entry = entry_by_name("RGA")
+    names = tuple(f"r{i}" for i in range(1, replicas + 1))
+
+    def run():
+        return random_op_execution(
+            entry.make_crdt(), entry.make_workload(),
+            replicas=names, operations=15, seed=replicas,
+        )
+
+    system = benchmark(run)
+    ok, _ = check_convergence(system.replica_views())
+    assert ok
+
+
+@pytest.mark.parametrize("replicas", REPLICA_COUNTS)
+def test_statebased_convergence_cost(benchmark, replicas):
+    entry = entry_by_name("PN-Counter")
+    names = tuple(f"r{i}" for i in range(1, replicas + 1))
+
+    def run():
+        return random_state_execution(
+            entry.make_crdt(), entry.make_workload(),
+            replicas=names, operations=15, seed=replicas,
+        )
+
+    system = benchmark(run)
+    ok, _ = check_convergence(system.replica_views())
+    assert ok
+
+
+@pytest.mark.parametrize("operations", [10, 25, 50])
+def test_opbased_ops_scaling(benchmark, operations):
+    entry = entry_by_name("OR-Set")
+
+    def run():
+        return random_op_execution(
+            entry.make_crdt(), entry.make_workload(),
+            operations=operations, seed=operations,
+        )
+
+    system = benchmark(run)
+    assert system.pending_count() == 0

@@ -1,0 +1,43 @@
+"""Fig. 12 — the paper's main table.
+
+Regenerates: for each CRDT of Fig. 12 (plus the Appendix C/D extras), run
+the full proof-methodology harness (Commutativity / Prop1–Prop6, Refinement,
+convergence, end-to-end RA-linearization of every execution) and print the
+table with its Imp. (OB/SB) and Lin. (EO/TO) classification.
+
+Paper's result: all nine CRDTs are RA-linearizable, with the classes
+printed in Fig. 12.  Ours must verify every row.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.proofs import ALL_ENTRIES, format_table, verify_entry
+
+RESULTS = {}
+
+
+@pytest.mark.parametrize("entry", ALL_ENTRIES, ids=[e.name for e in ALL_ENTRIES])
+def test_fig12_row(benchmark, entry):
+    result = benchmark.pedantic(
+        verify_entry,
+        args=(entry,),
+        kwargs={"executions": 5, "operations": 10},
+        rounds=1,
+        iterations=1,
+    )
+    RESULTS[entry.name] = result
+    assert result.verified, result.failures
+
+
+def test_fig12_table_rendering(benchmark):
+    # Render whatever rows ran (full table under `pytest benchmarks/`).
+    results = [RESULTS[name] for name in sorted(RESULTS)]
+    assert results, "run the per-row benchmarks first"
+    text = benchmark(format_table, results)
+    emit(
+        "Fig. 12 — CRDTs proved RA-linearizable "
+        "(SB: state-based, OB: op-based; EO/TO: linearization class)",
+        text,
+    )
+    assert all(r.verified for r in results)

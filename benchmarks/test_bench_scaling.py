@@ -1,0 +1,97 @@
+"""Checker scaling and design ablations (our measurements; no paper analog —
+the paper reports no wall-clock numbers).
+
+Series regenerated:
+* execution-order / timestamp-order candidate-check cost vs history size;
+* brute-force Def. 3.5 search cost, with the specification-prefix pruning
+  ablated on/off (DESIGN.md ablation #2);
+* the visibility-closure induced-update-order search space vs the naive
+  all-label enumeration (DESIGN.md ablation #1), measured via the strong
+  checker which enumerates over all labels.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.core.ralin import (
+    check_ra_linearizable,
+    execution_order_check,
+    timestamp_order_check,
+)
+from repro.proofs.registry import entry_by_name
+from repro.runtime import random_op_execution
+
+SIZES = [5, 10, 20, 40]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_eo_check_scaling_orset(benchmark, size):
+    entry = entry_by_name("OR-Set")
+    system = random_op_execution(
+        entry.make_crdt(), entry.make_workload(), operations=size, seed=size
+    )
+    gamma = entry.make_gamma()
+    spec = entry.make_spec()
+
+    def check():
+        return execution_order_check(
+            system.history(), spec, system.generation_order, gamma
+        )
+
+    result = benchmark(check)
+    assert result.ok
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_to_check_scaling_rga(benchmark, size):
+    entry = entry_by_name("RGA")
+    system = random_op_execution(
+        entry.make_crdt(), entry.make_workload(), operations=size, seed=size
+    )
+    spec = entry.make_spec()
+
+    def check():
+        return timestamp_order_check(
+            system.history(), spec, system.generation_order
+        )
+
+    result = benchmark(check)
+    assert result.ok
+
+
+@pytest.mark.parametrize("pruning", [True, False], ids=["pruned", "unpruned"])
+def test_brute_force_pruning_ablation(benchmark, pruning):
+    entry = entry_by_name("RGA")
+    system = random_op_execution(
+        entry.make_crdt(), entry.make_workload(), operations=9, seed=17
+    )
+    spec = entry.make_spec()
+
+    def check():
+        return check_ra_linearizable(
+            system.history(), spec, prune_with_spec=pruning
+        )
+
+    result = benchmark(check)
+    assert result.ok
+    if not pruning:
+        emit(
+            "Ablation — spec-prefix pruning in the Def. 3.5 search (RGA, "
+            "9 ops)",
+            f"orders explored without pruning: {result.explored}",
+        )
+
+
+@pytest.mark.parametrize("size", [4, 6, 8])
+def test_brute_force_scaling_counter(benchmark, size):
+    entry = entry_by_name("Counter")
+    system = random_op_execution(
+        entry.make_crdt(), entry.make_workload(), operations=size, seed=size
+    )
+    spec = entry.make_spec()
+
+    def check():
+        return check_ra_linearizable(system.history(), spec)
+
+    result = benchmark(check)
+    assert result.ok

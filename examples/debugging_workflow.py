@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Debugging workflow: find a bug, persist the execution, inspect it.
+
+What you do when the harness reports a violation:
+
+1. run the harness against a (here deliberately broken) CRDT;
+2. re-find a failing execution and *record* its schedule to JSON
+   (`repro.runtime.recording`) so the bug is reproducible;
+3. replay it on the fixed implementation to confirm the fix;
+4. render the offending history with `repro.core.render`.
+
+The planted bug is the paper-famous one: a register that resolves
+concurrent writes by arrival order instead of timestamps.
+"""
+
+from repro.core.ralin import timestamp_order_check
+from repro.core.render import render_history, render_linearization
+from repro.crdts import OpLWWRegister
+from repro.proofs.mutants import LastDeliveryWinsRegister, verify_mutant
+from repro.runtime import (
+    OpBasedSystem,
+    dumps,
+    loads,
+    record_schedule,
+    replay_schedule,
+)
+from repro.specs import LWWRegisterSpec
+
+
+def failing_execution(crdt) -> OpBasedSystem:
+    """Two concurrent writes delivered in opposite orders."""
+    system = OpBasedSystem(crdt, replicas=("r1", "r2"))
+    system.invoke("r1", "write", ("a",))
+    system.invoke("r2", "write", ("b",))
+    system.deliver_all()
+    system.invoke("r1", "read")
+    system.invoke("r2", "read")
+    system.deliver_all()
+    return system
+
+
+def main() -> None:
+    # 1. The harness flags the mutant.
+    report = verify_mutant(LastDeliveryWinsRegister, "LWW-Register")
+    print("harness verdict on the buggy register:",
+          "caught" if not report.verified else "missed")
+    print("  first failure:", report.failures[0][:110], "...")
+
+    # 2. Reproduce deterministically and persist the schedule.
+    buggy = failing_execution(LastDeliveryWinsRegister())
+    reads = [l.ret for l in buggy.generation_order if l.method == "read"]
+    print(f"\nbuggy replicas read {reads} — they diverged" if reads[0] != reads[1]
+          else f"\nbuggy replicas read {reads}")
+    blob = dumps(record_schedule(buggy))
+    print(f"recorded schedule: {len(blob)} bytes of JSON")
+
+    print(render_history(
+        buggy.history(), buggy.generation_order, title="\noffending history"
+    ))
+
+    # 3. Replay the same schedule on the real LWW register.
+    fixed = replay_schedule(OpLWWRegister(), loads(blob))
+    reads = [l.ret for l in fixed.generation_order if l.method == "read"]
+    print(f"\nfixed implementation reads {reads} — converged")
+    assert reads[0] == reads[1]
+
+    # 4. And the fixed execution timestamp-order linearizes.
+    outcome = timestamp_order_check(
+        fixed.history(), LWWRegisterSpec(), fixed.generation_order
+    )
+    assert outcome.ok
+    print(render_linearization(outcome.linearization, title="witness"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — Replication-Aware Linearizability (PLDI 2019), reproduced.
+
+A library for specifying, implementing, simulating, and *checking* CRDTs
+against the RA-linearizability criterion of Enea, Mutluergil, Petri, and
+Wang:
+
+* :mod:`repro.core` — labels, histories, sequential specifications,
+  query-update rewritings, and the RA-linearizability checkers.
+* :mod:`repro.specs` — sequential specifications of every data type the
+  paper studies.
+* :mod:`repro.crdts` — op-based and state-based CRDT implementations.
+* :mod:`repro.runtime` — the paper's operational semantics, executable:
+  causal-delivery op-based systems, adversarial state-based systems,
+  compositions ⊗ / ⊗ts, schedulers.
+* :mod:`repro.proofs` — the proof-methodology harness (Commutativity,
+  Refinement, Prop1–Prop6) and the Fig. 12 verification table.
+* :mod:`repro.clients` — client-program verification (Sec. 3.3).
+"""
+
+from .core import (
+    BOTTOM,
+    ComposedSpec,
+    History,
+    Label,
+    RAResult,
+    Timestamp,
+    TimestampGenerator,
+    VersionVector,
+    check_ra_linearizable,
+    check_strong_linearizable,
+    check_update_order,
+    execution_order_check,
+    rewrite_history,
+    timestamp_order_check,
+)
+from .core.sentinels import BEGIN, END, ROOT
+from .runtime import Cluster, OpBasedSystem, StateBasedSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "BEGIN",
+    "BOTTOM",
+    "ComposedSpec",
+    "END",
+    "History",
+    "Label",
+    "OpBasedSystem",
+    "RAResult",
+    "ROOT",
+    "StateBasedSystem",
+    "Timestamp",
+    "TimestampGenerator",
+    "VersionVector",
+    "__version__",
+    "check_ra_linearizable",
+    "check_strong_linearizable",
+    "check_update_order",
+    "execution_order_check",
+    "rewrite_history",
+    "timestamp_order_check",
+]

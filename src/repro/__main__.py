@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table``      — regenerate the Fig. 12 verification table.
+* ``figures``    — replay every paper figure and print verdicts.
+* ``scenario X`` — render one figure's execution (fig2, fig5a, fig8, fig9,
+  fig10, fig10ts, fig14) as replica lanes + visibility.
+* ``mutants``    — run mutation testing and print what caught each mutant.
+* ``exhaustive`` — exhaustively verify all op-based CRDTs on the standard
+  small-scope programs.
+"""
+
+import argparse
+import sys
+
+from .core.ralin import (
+    check_ra_linearizable,
+    execution_order_check,
+    timestamp_order_check,
+)
+from .core.render import render_history, render_linearization
+from .core.strong import check_strong_linearizable
+from .proofs import (
+    ALL_ENTRIES,
+    exhaustive_verify,
+    format_table,
+    mutant_catalogue,
+    standard_programs,
+    verify_entry,
+    verify_mutant,
+)
+from .runtime.composition import check_composed_ra_linearizable
+from .scenarios import (
+    fig2_rga_conflict,
+    fig5a_orset,
+    fig8_rga,
+    fig9_two_orsets,
+    fig10_two_rgas,
+    fig14_addat,
+)
+from .specs import (
+    AddAt1Spec,
+    AddAt3Spec,
+    ORSetRewriting,
+    ORSetSpec,
+    RGASpec,
+    SetSpec,
+    plain_set_view,
+)
+
+SCENARIOS = {
+    "fig2": fig2_rga_conflict,
+    "fig5a": fig5a_orset,
+    "fig8": fig8_rga,
+    "fig9": fig9_two_orsets,
+    "fig10": lambda: fig10_two_rgas(shared_timestamps=False),
+    "fig10ts": lambda: fig10_two_rgas(shared_timestamps=True),
+    "fig14": fig14_addat,
+}
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    results = [
+        verify_entry(entry, executions=args.executions,
+                     operations=args.operations)
+        for entry in ALL_ENTRIES
+    ]
+    print(format_table(results, title="Fig. 12 — verification table"))
+    return 0 if all(r.verified for r in results) else 1
+
+
+def cmd_figures(_args: argparse.Namespace) -> int:
+    ok = True
+
+    fig5 = fig5a_orset()
+    strong = check_strong_linearizable(
+        fig5.history, SetSpec(), gamma=plain_set_view()
+    )
+    ra5 = check_ra_linearizable(
+        fig5.history, ORSetSpec(), gamma=ORSetRewriting()
+    )
+    print(f"fig5a : strong-linearizable={strong is not None} (expect False)"
+          f"  RA-linearizable={ra5.ok} (expect True)")
+    ok &= strong is None and ra5.ok
+
+    fig8 = fig8_rga()
+    eo = execution_order_check(
+        fig8.history, RGASpec(), fig8.system.generation_order
+    )
+    to = timestamp_order_check(
+        fig8.history, RGASpec(), fig8.system.generation_order
+    )
+    print(f"fig8  : execution-order={eo.ok} (expect False)"
+          f"  timestamp-order={to.ok} (expect True)")
+    ok &= (not eo.ok) and to.ok
+
+    fig9 = fig9_two_orsets()
+    r9 = check_composed_ra_linearizable(
+        fig9.history,
+        {"o1": ORSetSpec(), "o2": ORSetSpec()},
+        {"o1": ORSetRewriting(), "o2": ORSetRewriting()},
+    )
+    print(f"fig9  : composed RA-linearizable={r9.ok} (expect True)")
+    ok &= r9.ok
+
+    for shared, expect in ((False, False), (True, True)):
+        scenario = fig10_two_rgas(shared_timestamps=shared)
+        r10 = check_composed_ra_linearizable(
+            scenario.history, {"o1": RGASpec(), "o2": RGASpec()}
+        )
+        flavour = "⊗ts" if shared else "⊗  "
+        print(f"fig10 : under {flavour} RA-linearizable={r10.ok} "
+              f"(expect {expect})")
+        ok &= r10.ok is expect
+
+    fig14 = fig14_addat()
+    r1 = check_ra_linearizable(fig14.history, AddAt1Spec())
+    r3 = check_ra_linearizable(fig14.history, AddAt3Spec())
+    print(f"fig14 : addAt1={r1.ok} (expect False)  addAt3={r3.ok} "
+          f"(expect True)")
+    ok &= (not r1.ok) and r3.ok
+
+    return 0 if ok else 1
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    scenario = SCENARIOS[args.name]()
+    print(render_history(
+        scenario.history, scenario.system.generation_order, title=args.name
+    ))
+    return 0
+
+
+def cmd_mutants(_args: argparse.Namespace) -> int:
+    all_caught = True
+    for name, make_crdt, base in mutant_catalogue():
+        result = verify_mutant(make_crdt, base)
+        caught = [] if result.verified else [
+            check for check, flag in (
+                ("commutativity/props", result.commutativity_ok),
+                ("refinement/fold", result.refinement_ok),
+                ("convergence", result.convergence_ok),
+                ("RA-lin", result.ralin_ok),
+            ) if not flag
+        ]
+        verdict = "CAUGHT by " + ", ".join(caught) if caught else "MISSED"
+        print(f"{name:<35} {verdict}")
+        all_caught &= bool(caught)
+    return 0 if all_caught else 1
+
+
+def cmd_exhaustive(_args: argparse.Namespace) -> int:
+    ok = True
+    for entry in ALL_ENTRIES:
+        if entry.kind != "OB":
+            continue
+        result = exhaustive_verify(entry, standard_programs(entry))
+        print(f"{entry.name:<15} {result.configurations:>6} interleavings "
+              f"{'all RA-linearizable' if result.ok else 'FAILURES'}")
+        ok &= result.ok
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Replication-Aware Linearizability — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table = sub.add_parser("table", help="regenerate the Fig. 12 table")
+    table.add_argument("--executions", type=int, default=5)
+    table.add_argument("--operations", type=int, default=10)
+    table.set_defaults(fn=cmd_table)
+
+    figures = sub.add_parser("figures", help="replay all paper figures")
+    figures.set_defaults(fn=cmd_figures)
+
+    scenario = sub.add_parser("scenario", help="render one figure")
+    scenario.add_argument("name", choices=sorted(SCENARIOS))
+    scenario.set_defaults(fn=cmd_scenario)
+
+    mutants = sub.add_parser("mutants", help="run mutation testing")
+    mutants.set_defaults(fn=cmd_mutants)
+
+    exhaustive = sub.add_parser(
+        "exhaustive", help="exhaustive small-scope verification"
+    )
+    exhaustive.set_defaults(fn=cmd_exhaustive)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Client-side reasoning utilities (Sec. 3.3)."""
+
+from .reasoning import (
+    ClientCheckResult,
+    check_client_assertion,
+    enumerate_ra_linearizations,
+    possible_query_returns,
+)
+
+__all__ = [
+    "ClientCheckResult",
+    "check_client_assertion",
+    "enumerate_ra_linearizations",
+    "possible_query_returns",
+]

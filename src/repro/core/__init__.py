@@ -1,0 +1,90 @@
+"""Core formalism: labels, histories, specifications, RA-linearizability."""
+
+from .causal import check_causal_convergence
+from .encoding import decode, encode
+from .errors import (
+    CompositionError,
+    IllFormedHistory,
+    PreconditionViolation,
+    ReproError,
+    SchedulingError,
+    SpecViolation,
+)
+from .freeze import FrozenDict, freeze
+from .history import History
+from .render import render_history, render_linearization, transitive_reduction
+from .sessions import SessionReport, check_session_guarantees, sessions_of
+from .speccheck import SpecLintReport, lint_spec
+from .stats import HistoryStats, greedy_max_antichain, history_stats
+from .label import Label, fresh_uid
+from .linearization import history_timestamp, ts_sort_key
+from .ralin import (
+    RAResult,
+    check_ra_linearizable,
+    check_update_order,
+    execution_order_check,
+    timestamp_order_check,
+)
+from .rewriting import (
+    IdentityRewriting,
+    QueryUpdateRewriting,
+    RewritingMap,
+    rewrite_history,
+)
+from .spec import ComposedSpec, Role, SequentialSpec
+from .strong import check_strong_linearizable
+from .timestamp import (
+    BOTTOM,
+    Timestamp,
+    TimestampGenerator,
+    VersionVector,
+    max_timestamp,
+)
+
+__all__ = [
+    "SpecLintReport",
+    "lint_spec",
+    "HistoryStats",
+    "greedy_max_antichain",
+    "history_stats",
+    "SessionReport",
+    "transitive_reduction",
+    "sessions_of",
+    "render_linearization",
+    "render_history",
+    "encode",
+    "decode",
+    "check_session_guarantees",
+    "check_causal_convergence",
+    "BOTTOM",
+    "ComposedSpec",
+    "CompositionError",
+    "FrozenDict",
+    "History",
+    "IdentityRewriting",
+    "IllFormedHistory",
+    "Label",
+    "PreconditionViolation",
+    "QueryUpdateRewriting",
+    "RAResult",
+    "ReproError",
+    "RewritingMap",
+    "Role",
+    "SchedulingError",
+    "SequentialSpec",
+    "SpecViolation",
+    "Timestamp",
+    "TimestampGenerator",
+    "VersionVector",
+    "check_ra_linearizable",
+    "check_strong_linearizable",
+    "check_update_order",
+    "execution_order_check",
+    "freeze",
+    "fresh_uid",
+    "history_timestamp",
+    "max_timestamp",
+    "rewrite_history",
+    "timestamp_order_check",
+    "ts_sort_key",
+]

@@ -1,0 +1,50 @@
+"""Convergence / strong-eventual-consistency oracles.
+
+RA-linearizability implies convergence (Sec. 4.1 discussion and Sec. 7):
+since there is a unique total order of updates, any two replicas that have
+seen the same set of updates are in the same state, and queries issued there
+return the same values.  These helpers check that property directly on
+executions produced by the runtime.
+"""
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+
+def all_states_equal(states: Iterable[Any]) -> bool:
+    """True when every state in ``states`` compares equal."""
+    iterator = iter(states)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        return True
+    return all(state == first for state in iterator)
+
+
+def grouped_by_seen(
+    replica_views: Dict[str, Tuple[frozenset, Any]]
+) -> List[List[str]]:
+    """Group replicas by the set of operations they have seen.
+
+    ``replica_views`` maps replica id → (set of visible labels, state).
+    Returns the groups (lists of replica ids) with more than one member —
+    the groups on which convergence is checkable.
+    """
+    buckets: Dict[frozenset, List[str]] = {}
+    for replica, (seen, _state) in replica_views.items():
+        buckets.setdefault(seen, []).append(replica)
+    return [sorted(group) for group in buckets.values() if len(group) > 1]
+
+
+def check_convergence(
+    replica_views: Dict[str, Tuple[frozenset, Any]]
+) -> Tuple[bool, List[str]]:
+    """Check that replicas with equal visible sets have equal states.
+
+    Returns ``(ok, offending_replicas)``; ``offending_replicas`` is empty
+    when convergence holds.
+    """
+    for group in grouped_by_seen(replica_views):
+        states = [replica_views[r][1] for r in group]
+        if not all_states_equal(states):
+            return False, group
+    return True, []

@@ -1,0 +1,64 @@
+"""JSON encoding of the value domain.
+
+Arguments and return values of operations range over a small value domain —
+scalars, tuples, frozensets, FrozenDicts, timestamps, version vectors.
+``encode``/``decode`` map them to/from JSON-compatible structures (tagged
+dicts for the non-JSON-native types), used by the schedule recorder to
+persist executions and counterexamples.
+"""
+
+from typing import Any
+
+from .freeze import FrozenDict
+from .timestamp import BOTTOM, Timestamp, VersionVector
+
+_TAG = "__repro__"
+
+
+def encode(value: Any) -> Any:
+    """Encode a domain value into JSON-compatible data."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if value is BOTTOM:
+        return {_TAG: "bottom"}
+    if isinstance(value, Timestamp):
+        return {_TAG: "ts", "counter": value.counter, "replica": value.replica}
+    if isinstance(value, VersionVector):
+        return {_TAG: "vv", "entries": [list(e) for e in value.entries]}
+    if isinstance(value, FrozenDict):
+        return {
+            _TAG: "fdict",
+            "items": [[encode(k), encode(v)] for k, v in sorted(
+                value.items(), key=repr
+            )],
+        }
+    if isinstance(value, tuple):
+        return {_TAG: "tuple", "items": [encode(v) for v in value]}
+    if isinstance(value, frozenset):
+        return {
+            _TAG: "fset",
+            "items": sorted((encode(v) for v in value), key=repr),
+        }
+    raise TypeError(f"cannot encode {value!r} ({type(value).__name__})")
+
+
+def decode(data: Any) -> Any:
+    """Inverse of :func:`encode`."""
+    if not isinstance(data, dict):
+        return data
+    tag = data.get(_TAG)
+    if tag == "bottom":
+        return BOTTOM
+    if tag == "ts":
+        return Timestamp(data["counter"], data["replica"])
+    if tag == "vv":
+        return VersionVector(tuple(tuple(e) for e in data["entries"]))
+    if tag == "fdict":
+        return FrozenDict(
+            (decode(k), decode(v)) for k, v in data["items"]
+        )
+    if tag == "tuple":
+        return tuple(decode(v) for v in data["items"])
+    if tag == "fset":
+        return frozenset(decode(v) for v in data["items"])
+    raise TypeError(f"cannot decode {data!r}")

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the RA-linearizability library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PreconditionViolation(ReproError):
+    """A CRDT operation's generator precondition does not hold.
+
+    The paper's pseudo-code (Listing 1, 5) annotates generators with
+    ``precondition`` clauses that are *assumed* about the origin replica's
+    state.  Invoking an operation whose precondition fails is a client error,
+    reported through this exception.
+    """
+
+
+class IllFormedHistory(ReproError):
+    """A history violates a structural requirement (e.g. cyclic visibility)."""
+
+
+class SpecViolation(ReproError):
+    """A sequence of labels is not admitted by a sequential specification."""
+
+
+class CompositionError(ReproError):
+    """Invalid use of the object-composition operators."""
+
+
+class SchedulingError(ReproError):
+    """An invalid step was requested from the replicated-system simulator."""

@@ -1,0 +1,75 @@
+"""Helpers to turn values into hashable, immutable equivalents.
+
+Operation labels (and replica states of the pure-functional CRDT
+implementations) must be hashable so they can live in visibility relations,
+sets of labels, and memo tables.  ``freeze`` converts the mutable containers
+that naturally show up in return values (lists, sets, dicts) into their
+immutable counterparts, recursively.
+"""
+
+from typing import Any
+
+
+class FrozenDict(dict):
+    """An immutable, hashable dictionary.
+
+    Mutation methods raise :class:`TypeError`; the hash is computed lazily
+    from the frozenset of items and cached.
+    """
+
+    def _immutable(self, *args, **kwargs):
+        raise TypeError("FrozenDict is immutable")
+
+    __setitem__ = _immutable
+    __delitem__ = _immutable
+    pop = _immutable
+    popitem = _immutable
+    clear = _immutable
+    update = _immutable
+    setdefault = _immutable
+
+    def __copy__(self) -> "FrozenDict":
+        return self
+
+    def __deepcopy__(self, memo) -> "FrozenDict":
+        # Immutable with immutable contents: sharing is safe.
+        return self
+
+    def __reduce__(self):
+        return (FrozenDict, (dict(self),))
+
+    def __hash__(self):  # type: ignore[override]
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(frozenset(self.items()))
+            self.__dict__["_hash"] = cached
+        return cached
+
+    def set(self, key, value) -> "FrozenDict":
+        """Return a new FrozenDict with ``key`` mapped to ``value``."""
+        items = dict(self)
+        items[key] = value
+        return FrozenDict(items)
+
+    def discard(self, key) -> "FrozenDict":
+        """Return a new FrozenDict without ``key`` (no-op if absent)."""
+        if key not in self:
+            return self
+        items = dict(self)
+        del items[key]
+        return FrozenDict(items)
+
+
+def freeze(value: Any) -> Any:
+    """Return a hashable, immutable version of ``value``.
+
+    Lists and tuples become tuples, sets and frozensets become frozensets,
+    dicts become :class:`FrozenDict`.  Scalars pass through unchanged.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(freeze(item) for item in value)
+    if isinstance(value, dict):
+        return FrozenDict((freeze(k), freeze(v)) for k, v in value.items())
+    return value

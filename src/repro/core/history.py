@@ -1,0 +1,228 @@
+"""Histories ``(L, vis)`` — the abstract view of CRDT executions (Sec. 3.1).
+
+A history is a set of operation labels together with an acyclic *visibility*
+relation: ``(l1, l2) ∈ vis`` when the effector of ``l1`` had been applied at
+the origin replica of ``l2`` before ``l2`` executed.  For single-object
+(op-based, causal-delivery) executions visibility is a strict partial order;
+for object compositions it is merely acyclic (Sec. 5.1).
+"""
+
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from .errors import IllFormedHistory
+from .label import Label
+
+Edge = Tuple[Label, Label]
+
+
+class History:
+    """An immutable history ``(L, vis)``.
+
+    ``transitive`` controls what "visible" means:
+
+    * ``True`` (default, for hand-built histories): the stored edges are a
+      generator set and visibility is their transitive closure — matching
+      the paper's single-object histories, where causal delivery makes
+      visibility a (transitively closed) strict partial order.
+    * ``False`` (used by the runtime): the stored edges are the *exact*
+      visibility relation.  This matters for object compositions
+      (Sec. 5.1), where causal delivery holds per object only and
+      visibility is acyclic but **not** transitive — an operation may see
+      another whose own dependencies (on a different object) it has not
+      seen.
+
+    Either way :meth:`closure` gives the transitive closure, which the
+    checkers use for ordering constraints (linear extensions of a relation
+    and of its closure coincide).
+    """
+
+    def __init__(
+        self,
+        labels: Iterable[Label],
+        vis: Iterable[Edge] = (),
+        check: bool = True,
+        transitive: bool = True,
+    ) -> None:
+        self._labels: FrozenSet[Label] = frozenset(labels)
+        self._vis: FrozenSet[Edge] = frozenset(vis)
+        self._closure: Optional[FrozenSet[Edge]] = None
+        self.transitive = transitive
+        if check:
+            self._validate()
+
+    def _validate(self) -> None:
+        for src, dst in self._vis:
+            if src not in self._labels or dst not in self._labels:
+                raise IllFormedHistory(
+                    f"visibility edge ({src!r}, {dst!r}) mentions a label "
+                    "outside the history"
+                )
+            if src == dst:
+                raise IllFormedHistory(f"self-visibility on {src!r}")
+        if self._has_cycle():
+            raise IllFormedHistory("visibility relation is cyclic")
+
+    def _has_cycle(self) -> bool:
+        succs = self.successors_map()
+        state: Dict[Label, int] = {}  # 0 = visiting, 1 = done
+
+        for root in self._labels:
+            if root in state:
+                continue
+            stack: List[Tuple[Label, Iterable[Label]]] = [
+                (root, iter(succs.get(root, ())))
+            ]
+            state[root] = 0
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in state:
+                        state[nxt] = 0
+                        stack.append((nxt, iter(succs.get(nxt, ()))))
+                        advanced = True
+                        break
+                    if state[nxt] == 0:
+                        return True
+                if not advanced:
+                    state[node] = 1
+                    stack.pop()
+        return False
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def labels(self) -> FrozenSet[Label]:
+        return self._labels
+
+    @property
+    def vis(self) -> FrozenSet[Edge]:
+        return self._vis
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: Label) -> bool:
+        return label in self._labels
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, History):
+            return NotImplemented
+        return (
+            self._labels == other._labels
+            and self.effective() == other.effective()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._labels, self.effective()))
+
+    def __repr__(self) -> str:
+        return f"History({len(self._labels)} labels, {len(self._vis)} vis edges)"
+
+    # ------------------------------------------------------------------
+    # Graph structure
+    # ------------------------------------------------------------------
+
+    def successors_map(self) -> Dict[Label, Set[Label]]:
+        """Direct-successor adjacency of the stored (unclosed) relation."""
+        succs: Dict[Label, Set[Label]] = {}
+        for src, dst in self._vis:
+            succs.setdefault(src, set()).add(dst)
+        return succs
+
+    def closure(self) -> FrozenSet[Edge]:
+        """Transitive closure of the visibility relation (cached)."""
+        if self._closure is None:
+            succs = self.successors_map()
+            reach: Dict[Label, Set[Label]] = {}
+
+            def explore(node: Label) -> Set[Label]:
+                if node in reach:
+                    return reach[node]
+                reach[node] = set()  # placeholder; graph is acyclic
+                acc: Set[Label] = set()
+                for nxt in succs.get(node, ()):
+                    acc.add(nxt)
+                    acc |= explore(nxt)
+                reach[node] = acc
+                return acc
+
+            edges: Set[Edge] = set()
+            for label in self._labels:
+                for target in explore(label):
+                    edges.add((label, target))
+            self._closure = frozenset(edges)
+        return self._closure
+
+    def effective(self) -> FrozenSet[Edge]:
+        """The semantic visibility relation (see class docstring)."""
+        return self.closure() if self.transitive else self._vis
+
+    def sees(self, earlier: Label, later: Label) -> bool:
+        """True when ``earlier`` is visible to ``later``."""
+        return (earlier, later) in self.effective()
+
+    def visible_to(self, label: Label) -> FrozenSet[Label]:
+        """All labels visible to ``label``: ``vis⁻¹(label)``."""
+        return frozenset(src for src, dst in self.effective() if dst == label)
+
+    def visibly_after(self, label: Label) -> FrozenSet[Label]:
+        """All labels that see ``label``."""
+        return frozenset(dst for src, dst in self.effective() if src == label)
+
+    def concurrent(self, l1: Label, l2: Label) -> bool:
+        """``l1 ▷◁vis l2``: neither sees the other (Sec. 4.1)."""
+        return l1 != l2 and not self.sees(l1, l2) and not self.sees(l2, l1)
+
+    def concurrent_pairs(self) -> List[Tuple[Label, Label]]:
+        """All unordered concurrent pairs (each reported once)."""
+        ordered = sorted(self._labels, key=lambda l: l.uid)
+        pairs = []
+        for i, l1 in enumerate(ordered):
+            for l2 in ordered[i + 1:]:
+                if self.concurrent(l1, l2):
+                    pairs.append((l1, l2))
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Derived histories
+    # ------------------------------------------------------------------
+
+    def restrict(self, keep: AbstractSet[Label]) -> "History":
+        """Sub-history induced by the labels in ``keep``.
+
+        The effective visibility is restricted, so the result is exact
+        (``transitive=False``); for transitive inputs, orderings through
+        dropped labels are preserved via the closure.
+        """
+        kept = self._labels & frozenset(keep)
+        edges = [
+            (a, b) for a, b in self.effective() if a in kept and b in kept
+        ]
+        return History(kept, edges, check=False, transitive=False)
+
+    def project(self, obj: str) -> "History":
+        """Projection on the operations of a single object (Sec. 5.1)."""
+        return self.restrict({l for l in self._labels if l.obj == obj})
+
+    def objects(self) -> FrozenSet[str]:
+        """The set of object names occurring in the history."""
+        return frozenset(l.obj for l in self._labels if l.obj is not None)
+
+    def is_consistent_with(self, sequence: List[Label]) -> bool:
+        """``vis ∪ seq`` acyclic — i.e. seq is a linear extension of vis."""
+        position = {label: i for i, label in enumerate(sequence)}
+        if set(position) != set(self._labels):
+            return False
+        return all(position[a] < position[b] for a, b in self.closure())

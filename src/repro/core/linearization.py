@@ -1,0 +1,153 @@
+"""Linear-extension machinery shared by the RA-linearizability checkers.
+
+The brute-force checker of Def. 3.5 searches over *update* linearizations
+only: because queries are validated against the sub-sequence of updates
+visible to them, the order of updates (a linear extension of the visibility
+closure restricted — through intermediate labels — to updates) completely
+determines whether a witness exists.  Queries can then always be inserted
+into any such update order consistently with visibility.
+
+This module provides the topological-order enumeration with optional
+specification-prefix pruning used by that search.
+"""
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
+
+from .history import History
+from .label import Label
+from .timestamp import BOTTOM, Timestamp, max_timestamp
+
+
+def induced_predecessors(
+    history: History, nodes: Iterable[Label]
+) -> Dict[Label, Set[Label]]:
+    """Predecessor map of the visibility closure restricted to ``nodes``.
+
+    Because the closure is taken over *all* labels first, orderings forced
+    through intermediate labels (e.g. update ≺ query ≺ update) are kept.
+    """
+    node_set = set(nodes)
+    preds: Dict[Label, Set[Label]] = {n: set() for n in node_set}
+    for src, dst in history.closure():
+        if src in node_set and dst in node_set:
+            preds[dst].add(src)
+    return preds
+
+
+def iter_topological_orders(
+    nodes: Sequence[Label],
+    preds: Dict[Label, Set[Label]],
+    prune: Optional[Callable[[List[Label], Label], bool]] = None,
+    max_orders: Optional[int] = None,
+) -> Iterator[List[Label]]:
+    """Enumerate linear extensions of ``preds`` over ``nodes``.
+
+    ``prune(prefix, candidate)`` — when provided — is called before extending
+    ``prefix`` with ``candidate``; returning False abandons that branch.
+    ``max_orders`` bounds the number of *complete* orders yielded.
+
+    Nodes are explored in uid order for determinism.
+    """
+    ordered = sorted(nodes, key=lambda l: l.uid)
+    remaining_preds = {n: set(preds.get(n, ())) & set(ordered) for n in ordered}
+    prefix: List[Label] = []
+    used: Set[Label] = set()
+    yielded = 0
+
+    def backtrack() -> Iterator[List[Label]]:
+        nonlocal yielded
+        if max_orders is not None and yielded >= max_orders:
+            return
+        if len(prefix) == len(ordered):
+            yielded += 1
+            yield list(prefix)
+            return
+        for node in ordered:
+            if node in used:
+                continue
+            if remaining_preds[node] - used:
+                continue
+            if prune is not None and not prune(prefix, node):
+                continue
+            prefix.append(node)
+            used.add(node)
+            yield from backtrack()
+            prefix.pop()
+            used.remove(node)
+
+    return backtrack()
+
+
+def merge_queries(
+    history: History,
+    update_order: Sequence[Label],
+    queries: Iterable[Label],
+) -> List[Label]:
+    """A full linear extension of visibility containing ``update_order``.
+
+    Builds the constraint graph (visibility closure plus consecutive-update
+    edges) and topologically sorts it, preferring to place each query as
+    early as possible (right after the updates visible to it).
+    """
+    all_labels = list(update_order) + [q for q in queries]
+    update_pos = {u: i for i, u in enumerate(update_order)}
+    preds: Dict[Label, Set[Label]] = {l: set() for l in all_labels}
+    label_set = set(all_labels)
+    for src, dst in history.closure():
+        if src in label_set and dst in label_set:
+            preds[dst].add(src)
+    for earlier, later in zip(update_order, update_order[1:]):
+        preds[later].add(earlier)
+
+    result: List[Label] = []
+    placed: Set[Label] = set()
+    # Deterministic ready-queue: queries first (eager), then updates in order.
+    def sort_key(label: Label):
+        if label in update_pos:
+            return (1, update_pos[label], label.uid)
+        return (0, 0, label.uid)
+
+    pending = set(all_labels)
+    while pending:
+        ready = [l for l in pending if not (preds[l] - placed)]
+        if not ready:
+            raise ValueError("constraint graph is cyclic; update order "
+                             "inconsistent with visibility")
+        nxt = min(ready, key=sort_key)
+        result.append(nxt)
+        placed.add(nxt)
+        pending.remove(nxt)
+    return result
+
+
+def ts_sort_key(ts: object):
+    """A sort key placing ⊥ first and Lamport timestamps in order."""
+    if ts is BOTTOM:
+        return (0, 0, "")
+    assert isinstance(ts, Timestamp)
+    return (1, ts.counter, ts.replica)
+
+
+def history_timestamp(history: History, label: Label) -> object:
+    """``tsh(ℓ)`` (Sec. 4.2): the label's own timestamp, or the maximal
+    timestamp among operations visible to it ("virtual" timestamp)."""
+    if label.ts is not BOTTOM:
+        return label.ts
+    return max_timestamp(l.ts for l in history.visible_to(label))
+
+
+def visible_updates(
+    history: History, label: Label, updates: FrozenSet[Label]
+) -> FrozenSet[Label]:
+    """``vis⁻¹(ℓ) ∩ Updates``."""
+    return history.visible_to(label) & updates

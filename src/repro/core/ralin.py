@@ -1,0 +1,263 @@
+"""RA-linearizability checkers (Def. 3.5 and Def. 3.7, Sec. 4).
+
+Three checkers are provided:
+
+* :func:`check_ra_linearizable` — the brute-force decision procedure for
+  Def. 3.5/3.7: search over update linearizations consistent with
+  visibility, with specification-prefix pruning.
+* :func:`check_update_order` — validate one *candidate* update order
+  against conditions (i)–(iii); used by the two proof-methodology
+  instantiations below.
+* :func:`execution_order_check` / :func:`timestamp_order_check` — the
+  Sec. 4.1 (execution-order) and Sec. 4.2 (timestamp-order, virtual
+  timestamps) candidate constructions.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from .history import History
+from .label import Label
+from .linearization import (
+    history_timestamp,
+    induced_predecessors,
+    iter_topological_orders,
+    merge_queries,
+    ts_sort_key,
+)
+from .rewriting import QueryUpdateRewriting, rewrite_history
+from .spec import SequentialSpec
+
+
+@dataclass
+class RAResult:
+    """Outcome of an RA-linearizability check."""
+
+    ok: bool
+    reason: str = ""
+    #: Witness update linearization (rewritten labels), when ``ok``.
+    update_order: Optional[List[Label]] = None
+    #: Witness full linearization (queries merged in), when ``ok``.
+    linearization: Optional[List[Label]] = None
+    #: Number of candidate update orders examined.
+    explored: int = 0
+    #: The rewritten history the check ran on.
+    rewritten: Optional[History] = None
+    #: Label at which the failing condition was detected (best effort).
+    culprit: Optional[Label] = field(default=None)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _partition(history: History, spec: SequentialSpec):
+    updates = frozenset(l for l in history.labels if spec.is_update(l))
+    queries = frozenset(l for l in history.labels if spec.is_query(l))
+    rest = history.labels - updates - queries
+    if rest:
+        raise ValueError(
+            f"labels {sorted(rest, key=lambda l: l.uid)!r} are neither "
+            "queries nor updates of the specification; apply a query-update "
+            "rewriting first"
+        )
+    return updates, queries
+
+
+def _query_ok(
+    history: History,
+    spec: SequentialSpec,
+    update_order: Sequence[Label],
+    updates: FrozenSet[Label],
+    query: Label,
+) -> bool:
+    """Condition (iii): ``seq↓vis⁻¹(q)∩Updates · q ∈ Spec``."""
+    visible = history.visible_to(query) & updates
+    subsequence = [u for u in update_order if u in visible]
+    frontier = spec.replay(subsequence)
+    if not frontier:
+        return False
+    return bool(spec.step_frontier(frontier, query))
+
+
+def check_update_order(
+    history: History,
+    spec: SequentialSpec,
+    update_order: Sequence[Label],
+) -> RAResult:
+    """Validate a candidate update linearization against Def. 3.5.
+
+    ``history`` must already be rewritten (no query-updates).  Checks:
+    (i) the candidate is consistent with visibility, (ii) it is admitted by
+    the specification, (iii) every query is justified by its visible
+    sub-sequence.
+    """
+    updates, queries = _partition(history, spec)
+    if set(update_order) != set(updates):
+        return RAResult(False, "candidate does not cover exactly the updates")
+
+    position = {u: i for i, u in enumerate(update_order)}
+    for src, dst in history.closure():
+        if src in position and dst in position and position[src] > position[dst]:
+            return RAResult(
+                False,
+                f"candidate violates visibility: {dst!r} precedes {src!r}",
+                culprit=dst,
+            )
+
+    rejected = spec.first_rejected(list(update_order))
+    if rejected is not None:
+        return RAResult(
+            False,
+            f"update sequence not admitted by {spec.name} at {rejected!r}",
+            culprit=rejected,
+        )
+
+    for query in sorted(queries, key=lambda l: l.uid):
+        if not _query_ok(history, spec, update_order, updates, query):
+            return RAResult(
+                False,
+                f"query {query!r} not justified by its visible updates",
+                culprit=query,
+            )
+
+    full = merge_queries(history, list(update_order), queries)
+    return RAResult(
+        True,
+        "candidate update order is an RA-linearization witness",
+        update_order=list(update_order),
+        linearization=full,
+        explored=1,
+        rewritten=history,
+    )
+
+
+def check_ra_linearizable(
+    history: History,
+    spec: SequentialSpec,
+    gamma: Optional[QueryUpdateRewriting] = None,
+    max_orders: Optional[int] = None,
+    prune_with_spec: bool = True,
+) -> RAResult:
+    """Decide RA-linearizability of ``history`` w.r.t. ``spec`` (Def. 3.7).
+
+    When ``gamma`` is given the history is first γ-rewritten.  The search
+    enumerates linear extensions of the visibility closure restricted to
+    updates; ``prune_with_spec`` abandons prefixes the specification already
+    rejects (sound because specifications here are prefix-closed).
+    """
+    rewritten = rewrite_history(history, gamma) if gamma else history
+    updates, queries = _partition(rewritten, spec)
+    preds = induced_predecessors(rewritten, updates)
+
+    prefix_frontiers: List[FrozenSet] = [spec.initial_frontier()]
+
+    def prune(prefix: List[Label], candidate: Label) -> bool:
+        if not prune_with_spec:
+            return True
+        # Keep the frontier stack in sync with the DFS prefix.
+        del prefix_frontiers[len(prefix) + 1:]
+        nxt = spec.step_frontier(prefix_frontiers[len(prefix)], candidate)
+        if not nxt:
+            return False
+        if len(prefix_frontiers) == len(prefix) + 1:
+            prefix_frontiers.append(nxt)
+        else:
+            prefix_frontiers[len(prefix) + 1] = nxt
+        return True
+
+    explored = 0
+    for order in iter_topological_orders(
+        sorted(updates, key=lambda l: l.uid), preds, prune=prune,
+        max_orders=max_orders,
+    ):
+        explored += 1
+        if not prune_with_spec and not spec.admits(order):
+            continue
+        ok = all(
+            _query_ok(rewritten, spec, order, updates, q) for q in queries
+        )
+        if ok:
+            full = merge_queries(rewritten, order, queries)
+            return RAResult(
+                True,
+                "found RA-linearization",
+                update_order=order,
+                linearization=full,
+                explored=explored,
+                rewritten=rewritten,
+            )
+    reason = "no update linearization satisfies Def. 3.5"
+    if max_orders is not None and explored >= max_orders:
+        reason = f"gave up after exploring {explored} candidate orders"
+    return RAResult(False, reason, explored=explored, rewritten=rewritten)
+
+
+def execution_order_candidate(
+    history: History, generation_order: Sequence[Label]
+) -> List[Label]:
+    """The execution-order update linearization (Sec. 4.1).
+
+    ``generation_order`` lists the history's labels in the order their
+    generators executed (the trace order); the candidate is its restriction
+    to the labels of ``history``.
+    """
+    in_history = [l for l in generation_order if l in history.labels]
+    missing = history.labels - set(in_history)
+    if missing:
+        raise ValueError(f"generation order misses labels: {missing!r}")
+    return in_history
+
+
+def execution_order_check(
+    history: History,
+    spec: SequentialSpec,
+    generation_order: Sequence[Label],
+    gamma: Optional[QueryUpdateRewriting] = None,
+) -> RAResult:
+    """Check the execution-order linearization (Theorem 4.4 instance).
+
+    Rewritten labels inherit the generation position of the label they came
+    from (the γ image of ℓ executes "where ℓ executed").
+    """
+    rewritten = rewrite_history(history, gamma) if gamma else history
+    position: Dict[Label, int] = {}
+    for index, original in enumerate(generation_order):
+        if gamma is not None:
+            for image in gamma.rewrite(original):
+                position[image] = index
+        else:
+            position[original] = index
+    updates = [l for l in rewritten.labels if spec.is_update(l)]
+    updates.sort(key=lambda l: (position[l], l.uid))
+    return check_update_order(rewritten, spec, updates)
+
+
+def timestamp_order_check(
+    history: History,
+    spec: SequentialSpec,
+    generation_order: Sequence[Label],
+    gamma: Optional[QueryUpdateRewriting] = None,
+) -> RAResult:
+    """Check the timestamp-order linearization (Theorem 4.6 instance).
+
+    Updates are ordered by ``tsh`` — their own timestamp, or the maximal
+    visible ("virtual") timestamp — with ties broken by generation order, as
+    prescribed in Sec. 4.2.
+    """
+    rewritten = rewrite_history(history, gamma) if gamma else history
+    position: Dict[Label, int] = {}
+    for index, original in enumerate(generation_order):
+        if gamma is not None:
+            for image in gamma.rewrite(original):
+                position[image] = index
+        else:
+            position[original] = index
+    updates = [l for l in rewritten.labels if spec.is_update(l)]
+    updates.sort(
+        key=lambda l: (
+            ts_sort_key(history_timestamp(rewritten, l)),
+            position[l],
+            l.uid,
+        )
+    )
+    return check_update_order(rewritten, spec, updates)

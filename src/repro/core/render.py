@@ -1,0 +1,80 @@
+"""ASCII rendering of histories and linearizations.
+
+Produces the per-replica-lane pictures the paper draws (Fig. 3, 5a, 9, 10):
+one lane per origin replica, operations in generation order, followed by
+the (transitively reduced) visibility edges that cross lanes.
+"""
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .history import History
+from .label import Label
+
+
+def _short(label: Label) -> str:
+    prefix = f"{label.obj}." if label.obj else ""
+    inner = ",".join(repr(a) for a in label.args)
+    suffix = ""
+    if label.ret is not None:
+        suffix = f"⇒{label.ret!r}"
+    return f"{prefix}{label.method}({inner}){suffix}"
+
+
+def transitive_reduction(history: History) -> Set[Tuple[Label, Label]]:
+    """The minimal edge set whose closure is the history's closure."""
+    closure = history.closure()
+    reduced = set()
+    for src, dst in closure:
+        if not any(
+            (src, mid) in closure and (mid, dst) in closure
+            for mid in history.labels
+            if mid != src and mid != dst
+        ):
+            reduced.add((src, dst))
+    return reduced
+
+
+def render_history(
+    history: History,
+    generation_order: Optional[Sequence[Label]] = None,
+    title: str = "history",
+) -> str:
+    """Render a history as replica lanes plus cross-lane visibility edges."""
+    order = [
+        l for l in (generation_order or sorted(history.labels,
+                                               key=lambda l: l.uid))
+        if l in history.labels
+    ]
+    lanes: Dict[str, List[Label]] = {}
+    for label in order:
+        lanes.setdefault(label.origin or "?", []).append(label)
+
+    names = {label: f"[{i}]" for i, label in enumerate(order)}
+    lines = [f"{title}:"]
+    for replica in sorted(lanes):
+        steps = "  →  ".join(
+            f"{names[l]} {_short(l)}" for l in lanes[replica]
+        )
+        lines.append(f"  {replica}: {steps}")
+
+    cross = [
+        (src, dst)
+        for src, dst in sorted(
+            transitive_reduction(history),
+            key=lambda e: (names[e[0]], names[e[1]]),
+        )
+        if src.origin != dst.origin
+    ]
+    if cross:
+        lines.append("  visibility across replicas:")
+        for src, dst in cross:
+            lines.append(f"    {names[src]} ≺ {names[dst]}")
+    return "\n".join(lines)
+
+
+def render_linearization(
+    sequence: Sequence[Label], title: str = "linearization"
+) -> str:
+    """Render a witness linearization as a single arrow chain."""
+    chain = " · ".join(_short(label) for label in sequence)
+    return f"{title}: {chain}"

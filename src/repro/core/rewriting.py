@@ -1,0 +1,81 @@
+"""Query-update rewritings γ and history rewriting (Def. 3.7, Example 3.6).
+
+A query-update rewriting maps every label to one label (queries and updates)
+or to a *pair* ``(query, update)`` (query-updates such as OR-Set's
+``remove``).  Rewriting a history replaces each label by its image and
+re-wires visibility:
+
+* for a pair ``(q, u)``, the query is ordered before the update:
+  ``(q, u) ∈ vis'``;
+* for every ``(ℓ, ℓ') ∈ vis``: ``(upd(γℓ), qry(γℓ')) ∈ vis'`` — the query
+  part of ``ℓ'`` sees exactly what ``ℓ'`` saw, and whoever saw ``ℓ`` sees its
+  update part.
+"""
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Tuple, Union
+
+from .history import History
+from .label import Label
+
+Rewritten = Union[Tuple[Label], Tuple[Label, Label]]
+
+
+class QueryUpdateRewriting(ABC):
+    """A query-update rewriting γ : L → L^{≤2}."""
+
+    @abstractmethod
+    def rewrite(self, label: Label) -> Rewritten:
+        """Image of ``label``: a 1-tuple, or a (query, update) 2-tuple."""
+
+    def qry(self, label: Label) -> Label:
+        """``qry(γ(ℓ))``: the singleton itself, or the pair's first part."""
+        return self.rewrite(label)[0]
+
+    def upd(self, label: Label) -> Label:
+        """``upd(γ(ℓ))``: the singleton itself, or the pair's second part."""
+        return self.rewrite(label)[-1]
+
+
+class IdentityRewriting(QueryUpdateRewriting):
+    """γ = identity — for data types with no query-update operations."""
+
+    def rewrite(self, label: Label) -> Rewritten:
+        return (label,)
+
+
+def rewrite_history(history: History, gamma: QueryUpdateRewriting) -> History:
+    """The γ-rewriting ``γ(h)`` of a history (Def. 3.7)."""
+    images: Dict[Label, Rewritten] = {}
+    labels: List[Label] = []
+    edges = []
+    for label in history.labels:
+        image = gamma.rewrite(label)
+        if len(image) not in (1, 2):
+            raise ValueError(
+                f"rewriting must map to one or two labels, got {image!r}"
+            )
+        images[label] = image
+        labels.extend(image)
+        if len(image) == 2:
+            edges.append((image[0], image[1]))
+    for src, dst in history.effective():
+        edges.append((images[src][-1], images[dst][0]))
+    # The Def. 3.7 rules define vis' exactly; do not re-close it.
+    return History(labels, edges, transitive=False)
+
+
+class RewritingMap(QueryUpdateRewriting):
+    """A rewriting given by a plain function ``Label -> tuple of labels``."""
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+        self._cache: Dict[Label, Rewritten] = {}
+
+    def rewrite(self, label: Label) -> Rewritten:
+        # Cache so that repeated calls return the *same* label objects —
+        # rewritten labels get fresh uids, and identity across calls matters
+        # for building coherent histories.
+        if label not in self._cache:
+            self._cache[label] = self._fn(label)
+        return self._cache[label]

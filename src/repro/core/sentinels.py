@@ -1,0 +1,12 @@
+"""Distinguished list elements shared by specifications and implementations.
+
+* ``ROOT`` — the pre-existing element ``◦`` of RGA (Listing 1): the
+  timestamp tree is initialized with it, it can never be removed, and
+  ``read`` never reports it.
+* ``BEGIN`` / ``END`` — Wooki's ``◦begin`` and ``◦end`` W-characters
+  (Appendix B.3): permanent head and tail of every W-string.
+"""
+
+ROOT = "◦"          # ◦
+BEGIN = "◦begin"    # ◦begin
+END = "◦end"        # ◦end

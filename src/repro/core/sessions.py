@@ -1,0 +1,98 @@
+"""Session guarantees (Terry et al. 1994) as history predicates.
+
+Sec. 7 places RA-linearizability strictly above the session guarantees and
+strictly below sequential consistency.  These checkers make the lower bound
+executable on our histories: a *session* is the sequence of operations a
+replica originated (recovered from label ``origin`` metadata and a
+generation order).
+
+* **Read Your Writes** — every operation sees all earlier operations of
+  its own session.
+* **Monotonic Reads** — the visible set only grows along a session.
+* **Monotonic Writes** / **Writes Follow Reads** — visibility of an
+  operation is inherited by whoever sees a later session operation; with a
+  transitively-closed visibility (which the Fig. 7 semantics produces),
+  both reduce to: if ℓ₁ precedes ℓ₂ in a session and ℓ₂ is visible to ℓ,
+  then so is ℓ₁.
+
+The op-based runtime guarantees all of these by construction; the checkers
+exist to *verify* that (and to classify hand-built or adversarial
+histories).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from .history import History
+from .label import Label
+
+
+def sessions_of(order: Sequence[Label]) -> Dict[str, List[Label]]:
+    """Group a generation order into per-origin sessions."""
+    sessions: Dict[str, List[Label]] = {}
+    for label in order:
+        if label.origin is None:
+            raise ValueError(f"label {label!r} has no origin replica")
+        sessions.setdefault(label.origin, []).append(label)
+    return sessions
+
+
+@dataclass
+class SessionReport:
+    """Which session guarantees a history satisfies."""
+
+    read_your_writes: bool = True
+    monotonic_reads: bool = True
+    session_order_inherited: bool = True
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def all_hold(self) -> bool:
+        return (
+            self.read_your_writes
+            and self.monotonic_reads
+            and self.session_order_inherited
+        )
+
+
+def check_session_guarantees(
+    history: History, generation_order: Sequence[Label]
+) -> SessionReport:
+    """Check the session guarantees over a history."""
+    report = SessionReport()
+    sessions = sessions_of(
+        [l for l in generation_order if l in history.labels]
+    )
+
+    for replica, session in sessions.items():
+        for i, later in enumerate(session):
+            for earlier in session[:i]:
+                if not history.sees(earlier, later):
+                    report.read_your_writes = False
+                    report.violations.append(
+                        f"RYW: {later!r} at {replica} misses own earlier "
+                        f"{earlier!r}"
+                    )
+
+    for replica, session in sessions.items():
+        for earlier, later in zip(session, session[1:]):
+            missing = history.visible_to(earlier) - history.visible_to(later)
+            if missing - {later}:
+                report.monotonic_reads = False
+                report.violations.append(
+                    f"MR: {later!r} at {replica} lost sight of "
+                    f"{sorted(missing, key=lambda l: l.uid)!r}"
+                )
+
+    for replica, session in sessions.items():
+        for i, later in enumerate(session):
+            for earlier in session[:i]:
+                for observer in history.visibly_after(later):
+                    if not history.sees(earlier, observer):
+                        report.session_order_inherited = False
+                        report.violations.append(
+                            f"MW/WFR: {observer!r} sees {later!r} but not "
+                            f"its session predecessor {earlier!r}"
+                        )
+
+    return report

@@ -1,0 +1,155 @@
+"""Sequential specifications (Def. 3.1, Sec. 3.2).
+
+A specification is described operationally: an initial abstract state and a
+transition relation ``ϕ —ℓ→ ϕ'``.  Because some specifications are
+nondeterministic (Wooki's ``addBetween``, the ``addAt3`` list spec of
+Appendix C), ``step`` returns the *set* of successor states; an empty result
+means the label is not admitted from that state.
+
+Specification labels are partitioned into *queries* (identity transitions
+that validate a return value) and *updates* (state transformers).  After the
+query-update rewriting γ (Def. 3.7) has been applied, these are the only two
+roles — the rewriting eliminates query-updates.
+"""
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Any, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from .label import Label
+
+
+class Role(enum.Enum):
+    """Role of a method in a specification or implementation."""
+
+    QUERY = "query"
+    UPDATE = "update"
+    QUERY_UPDATE = "query-update"
+
+
+class SequentialSpec(ABC):
+    """Abstract base class of sequential specifications."""
+
+    #: Human-readable name, e.g. ``"Spec(OR-Set)"``.
+    name: str = "Spec"
+
+    #: Guard on the replay frontier: nondeterministic specifications
+    #: (Wooki, addAt2) can have exponentially many reachable states in the
+    #: sequence length; rather than exhaust memory, replay raises
+    #: :class:`~repro.core.errors.SpecViolation` past this many states.
+    frontier_limit: int = 100_000
+
+    @abstractmethod
+    def initial(self) -> Any:
+        """The initial abstract state ϕ₀ (hashable)."""
+
+    @abstractmethod
+    def step(self, state: Any, label: Label) -> Iterable[Any]:
+        """Successor states of ``state`` under ``label`` (may be empty)."""
+
+    @abstractmethod
+    def role(self, method: str) -> Role:
+        """Role of ``method`` — after rewriting, QUERY or UPDATE."""
+
+    # ------------------------------------------------------------------
+    # Replay machinery shared by all checkers
+    # ------------------------------------------------------------------
+
+    def is_query(self, label: Label) -> bool:
+        return self.role(label.method) is Role.QUERY
+
+    def is_update(self, label: Label) -> bool:
+        return self.role(label.method) is Role.UPDATE
+
+    def initial_frontier(self) -> FrozenSet[Any]:
+        return frozenset([self.initial()])
+
+    def step_frontier(
+        self, frontier: Iterable[Any], label: Label
+    ) -> FrozenSet[Any]:
+        """Image of a set of states under one label."""
+        from .errors import SpecViolation
+
+        result: Set[Any] = set()
+        for state in frontier:
+            result.update(self.step(state, label))
+            if len(result) > self.frontier_limit:
+                raise SpecViolation(
+                    f"{self.name}: replay frontier exceeded "
+                    f"{self.frontier_limit} states at {label!r} — the "
+                    "nondeterministic specification is intractable at this "
+                    "history size"
+                )
+        return frozenset(result)
+
+    def replay(self, sequence: Sequence[Label]) -> FrozenSet[Any]:
+        """States reachable by executing ``sequence`` from the initial state.
+
+        The sequence is admitted (``(L, seq) ∈ Spec``) iff the result is
+        non-empty.
+        """
+        frontier = self.initial_frontier()
+        for label in sequence:
+            frontier = self.step_frontier(frontier, label)
+            if not frontier:
+                return frontier
+        return frontier
+
+    def admits(self, sequence: Sequence[Label]) -> bool:
+        """``seq ∈ Spec``?"""
+        return bool(self.replay(sequence))
+
+    def first_rejected(self, sequence: Sequence[Label]) -> Optional[Label]:
+        """The first label at which replay fails, or None if admitted."""
+        frontier = self.initial_frontier()
+        for label in sequence:
+            frontier = self.step_frontier(frontier, label)
+            if not frontier:
+                return label
+        return None
+
+
+class ComposedSpec(SequentialSpec):
+    """Composition ``Spec₁ ⊗ Spec₂ ⊗ …`` of per-object specifications.
+
+    A sequence is admitted iff its projection on each object's labels is
+    admitted by that object's specification (Sec. 5.1).  Operationally the
+    composed state is a tuple of per-object states and each label steps only
+    its own component — which accepts exactly the interleavings.
+    """
+
+    def __init__(self, specs: "dict[str, SequentialSpec]") -> None:
+        self._names: List[str] = sorted(specs)
+        self._specs = dict(specs)
+        self.name = "⊗".join(self._specs[n].name for n in self._names)
+
+    def initial(self) -> Any:
+        return tuple(self._specs[n].initial() for n in self._names)
+
+    def step(self, state: Any, label: Label) -> Iterable[Any]:
+        if label.obj not in self._specs:
+            return []
+        index = self._names.index(label.obj)
+        spec = self._specs[label.obj]
+        successors = []
+        for nxt in spec.step(state[index], label):
+            successors.append(state[:index] + (nxt,) + state[index + 1:])
+        return successors
+
+    def role(self, method: str) -> Role:
+        for spec in self._specs.values():
+            try:
+                return spec.role(method)
+            except KeyError:
+                continue
+        raise KeyError(method)
+
+    def role_of(self, label: Label) -> Role:
+        """Role resolved through the label's object."""
+        return self._specs[label.obj].role(label.method)
+
+    def is_query(self, label: Label) -> bool:
+        return self.role_of(label) is Role.QUERY
+
+    def is_update(self, label: Label) -> bool:
+        return self.role_of(label) is Role.UPDATE

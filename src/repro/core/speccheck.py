@@ -1,0 +1,96 @@
+"""A linter for sequential specifications.
+
+The checkers rely on structural properties of every ``SequentialSpec``:
+
+* **queries are pure** — a query step never moves to a different state
+  (Def. 3.5's condition (iii) silently assumes it: queries are *justified*,
+  not replayed);
+* **query verdicts are decisive** — at a given state, a query label either
+  validates (returning exactly that state) or rejects;
+* **prefix closure** — the spec-pruning search assumes a rejected prefix
+  cannot be extended into an admitted sequence (true by construction for
+  transition systems: ``replay`` of a longer sequence factors through the
+  shorter one);
+* **determinism report** — whether any explored update produced multiple
+  successors (allowed — Wooki, addAt2 — but worth surfacing).
+
+``lint_spec`` explores the spec's reachable states under a caller-provided
+label alphabet and checks each property, reporting violations.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Sequence, Set
+
+from .label import Label
+from .spec import Role, SequentialSpec
+
+
+@dataclass
+class SpecLintReport:
+    """Outcome of linting one specification."""
+
+    spec_name: str
+    ok: bool = True
+    nondeterministic: bool = False
+    states_explored: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    def record(self, message: str) -> None:
+        self.ok = False
+        if len(self.violations) < 10:
+            self.violations.append(message)
+
+
+def lint_spec(
+    spec: SequentialSpec,
+    update_alphabet: Sequence[Label],
+    query_probes: Callable[[object], Iterable[Label]],
+    max_states: int = 200,
+) -> SpecLintReport:
+    """Explore reachable spec states and check the structural properties.
+
+    ``update_alphabet`` — update labels to drive exploration with;
+    ``query_probes(state)`` — query labels (with candidate returns) to
+    evaluate at each reachable state.
+    """
+    report = SpecLintReport(spec.name)
+    frontier = [spec.initial()]
+    seen: Set = set(frontier)
+
+    while frontier and report.states_explored < max_states:
+        state = frontier.pop()
+        report.states_explored += 1
+
+        for query in query_probes(state):
+            if spec.role(query.method) is not Role.QUERY:
+                report.record(f"probe {query!r} is not a query")
+                continue
+            successors = list(spec.step(state, query))
+            if len(successors) > 1:
+                report.record(
+                    f"query {query!r} has several successors at {state!r}"
+                )
+            for nxt in successors:
+                if nxt != state:
+                    report.record(
+                        f"query {query!r} changed the state: "
+                        f"{state!r} -> {nxt!r}"
+                    )
+
+        for update in update_alphabet:
+            if spec.role(update.method) is Role.QUERY:
+                report.record(f"alphabet label {update!r} is a query")
+                continue
+            successors = list(spec.step(state, update))
+            if len(set(successors)) > 1:
+                report.nondeterministic = True
+            for nxt in successors:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+    return report
+
+
+def counterexample_free(report: SpecLintReport) -> bool:
+    """Convenience alias used by the tests."""
+    return report.ok

@@ -1,0 +1,75 @@
+"""Descriptive statistics over histories.
+
+Used by the scaling benchmarks and by anyone tuning workloads: the cost of
+RA-linearizability checking is driven not by operation count but by the
+*shape* of the visibility relation — how many updates there are, how
+concurrent they are, and how wide the widest antichain is (the search
+branches over linear extensions of the update order).
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .history import History
+from .spec import SequentialSpec
+
+
+@dataclass(frozen=True)
+class HistoryStats:
+    """Shape summary of one history."""
+
+    operations: int
+    updates: int
+    queries: int
+    vis_edges: int
+    closure_edges: int
+    concurrent_pairs: int
+    max_antichain: int
+
+    @property
+    def closure_density(self) -> float:
+        """Fraction of ordered pairs related by visibility (1 = total)."""
+        n = self.operations
+        possible = n * (n - 1) // 2
+        return self.closure_edges / possible if possible else 1.0
+
+
+def history_stats(
+    history: History, spec: Optional[SequentialSpec] = None
+) -> HistoryStats:
+    """Compute :class:`HistoryStats`; update/query split needs ``spec``."""
+    labels = history.labels
+    updates = queries = 0
+    if spec is not None:
+        for label in labels:
+            if spec.is_update(label):
+                updates += 1
+            elif spec.is_query(label):
+                queries += 1
+    return HistoryStats(
+        operations=len(labels),
+        updates=updates,
+        queries=queries,
+        vis_edges=len(history.vis),
+        closure_edges=len(history.closure()),
+        concurrent_pairs=len(history.concurrent_pairs()),
+        max_antichain=greedy_max_antichain(history),
+    )
+
+
+def greedy_max_antichain(history: History) -> int:
+    """A lower bound on the largest antichain (mutually concurrent set).
+
+    Greedy: scan labels in uid order, keep those concurrent with everything
+    kept so far; repeat from each starting label and take the best.  Exact
+    for the small histories the checkers handle; a bound otherwise.
+    """
+    labels = sorted(history.labels, key=lambda l: l.uid)
+    best = 0
+    for start in range(len(labels)):
+        chain = [labels[start]]
+        for candidate in labels[start + 1:]:
+            if all(history.concurrent(candidate, kept) for kept in chain):
+                chain.append(candidate)
+        best = max(best, len(chain))
+    return best

@@ -1,0 +1,49 @@
+"""CRDT implementations — the substrate the paper's results range over."""
+
+from .base import (
+    Effector,
+    EffectorClass,
+    GeneratorResult,
+    OpBasedCRDT,
+    StateBasedCRDT,
+)
+from .opbased import (
+    Op2PSet,
+    OpCounter,
+    OpLWWRegister,
+    OpORSet,
+    OpRGA,
+    OpRGAAddAt,
+    OpWooki,
+)
+from .statebased import (
+    SBLWWRegister,
+    SB2PSet,
+    SBGCounter,
+    SBGSet,
+    SBLWWElementSet,
+    SBMVRegister,
+    SBPNCounter,
+)
+
+__all__ = [
+    "Op2PSet",
+    "SBLWWRegister",
+    "Effector",
+    "EffectorClass",
+    "GeneratorResult",
+    "OpBasedCRDT",
+    "OpCounter",
+    "OpLWWRegister",
+    "OpORSet",
+    "OpRGA",
+    "OpRGAAddAt",
+    "OpWooki",
+    "SB2PSet",
+    "SBGCounter",
+    "SBGSet",
+    "SBLWWElementSet",
+    "SBMVRegister",
+    "SBPNCounter",
+    "StateBasedCRDT",
+]

@@ -1,0 +1,24 @@
+"""Operation-based CRDT implementations (Sec. 2, Appendix B)."""
+
+from .counter import OpCounter
+from .lww_register import OpLWWRegister
+from .or_set import OpORSet
+from .two_phase_set import Op2PSet
+from .rga import OpRGA, traverse, tree_elements
+from .rga_addat import OpRGAAddAt
+from .wooki import OpWooki, WChar, integrate_ins, values_of
+
+__all__ = [
+    "Op2PSet",
+    "OpCounter",
+    "OpLWWRegister",
+    "OpORSet",
+    "OpRGA",
+    "OpRGAAddAt",
+    "OpWooki",
+    "WChar",
+    "integrate_ins",
+    "traverse",
+    "tree_elements",
+    "values_of",
+]

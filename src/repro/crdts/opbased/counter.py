@@ -1,0 +1,43 @@
+"""Operation-based counter (Listing 3 / Appendix B.1).
+
+The simplest op-based CRDT: the payload is an integer, ``inc``/``dec``
+broadcast effectors that shift it by ±1 (which trivially commute), and
+``read`` returns it.  Execution-order linearizable w.r.t. ``Spec(Counter)``.
+"""
+
+from typing import Any, Tuple
+
+from ...core.spec import Role
+from ..base import Effector, GeneratorResult, OpBasedCRDT
+
+
+class OpCounter(OpBasedCRDT):
+    """Op-based counter; state is an ``int``."""
+
+    type_name = "Counter"
+    methods = {
+        "inc": Role.UPDATE,
+        "dec": Role.UPDATE,
+        "read": Role.QUERY,
+    }
+
+    def initial_state(self) -> int:
+        return 0
+
+    def generator(
+        self, state: int, method: str, args: Tuple, ts: Any
+    ) -> GeneratorResult:
+        if method == "inc":
+            return GeneratorResult(ret=None, effector=Effector("inc"))
+        if method == "dec":
+            return GeneratorResult(ret=None, effector=Effector("dec"))
+        if method == "read":
+            return GeneratorResult(ret=state, effector=None)
+        raise KeyError(method)
+
+    def apply_effector(self, state: int, effector: Effector) -> int:
+        if effector.method == "inc":
+            return state + 1
+        if effector.method == "dec":
+            return state - 1
+        raise KeyError(effector.method)

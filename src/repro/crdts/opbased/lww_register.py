@@ -1,0 +1,55 @@
+"""Operation-based last-writer-wins register (Listing 4 / Appendix B.2).
+
+The payload is a ``(value, timestamp)`` pair.  ``write(a)`` samples a fresh
+timestamp ``ts'`` and broadcasts the effector ``(a, ts')``; a receiving
+replica installs the pair only when its own timestamp is smaller — so the
+write with the largest timestamp wins everywhere, and concurrent write
+effectors commute.  Timestamp-order linearizable w.r.t. ``Spec(Reg)``
+(Fig. 12: LWW-Register, OB, TO).
+"""
+
+from typing import Any, Optional, Tuple
+
+from ...core.spec import Role
+from ...core.timestamp import BOTTOM
+from ..base import Effector, GeneratorResult, OpBasedCRDT
+
+State = Tuple[Optional[Any], Any]  # (value, timestamp)
+
+
+class OpLWWRegister(OpBasedCRDT):
+    """Op-based LWW register; state is ``(value, ts)`` with ts₀ = ⊥."""
+
+    type_name = "LWW-Register"
+    methods = {
+        "write": Role.UPDATE,
+        "read": Role.QUERY,
+    }
+    timestamped_methods = frozenset({"write"})
+
+    def __init__(self, initial_value: Optional[Any] = None) -> None:
+        self._initial_value = initial_value
+
+    def initial_state(self) -> State:
+        return (self._initial_value, BOTTOM)
+
+    def generator(
+        self, state: State, method: str, args: Tuple, ts: Any
+    ) -> GeneratorResult:
+        if method == "write":
+            (value,) = args
+            return GeneratorResult(
+                ret=None, effector=Effector("write", (value, ts))
+            )
+        if method == "read":
+            return GeneratorResult(ret=state[0], effector=None)
+        raise KeyError(method)
+
+    def apply_effector(self, state: State, effector: Effector) -> State:
+        if effector.method == "write":
+            value, ts = effector.args
+            current_value, current_ts = state
+            if current_ts < ts:
+                return (value, ts)
+            return state
+        raise KeyError(effector.method)

@@ -1,0 +1,66 @@
+"""Operation-based Observed-Remove Set (Listing 2, Sec. 2.2).
+
+Every ``add(a)`` tags the element with a unique identifier (we use the
+freshly sampled timestamp, which Lamport pairs make globally unique) and
+returns it.  ``remove(a)`` is a *query-update*: its generator observes the
+``(a, k)`` pairs currently in the local state and returns them; its effector
+removes exactly those pairs.  A concurrent ``add`` — whose identifier the
+remove has not observed — therefore survives, which is the "add wins over
+concurrent remove" behaviour of Fig. 5.
+
+Execution-order linearizable w.r.t. ``Spec(OR-Set)`` after the query-update
+rewriting of Example 3.6 (Fig. 12: OR-Set, OB, EO).
+"""
+
+from typing import Any, FrozenSet, Tuple
+
+from ...core.spec import Role
+from ..base import Effector, GeneratorResult, OpBasedCRDT
+
+State = FrozenSet[Tuple[Any, Any]]  # set of (element, identifier) pairs
+
+
+class OpORSet(OpBasedCRDT):
+    """Op-based OR-Set; state is a frozenset of (element, id) pairs."""
+
+    type_name = "OR-Set"
+    methods = {
+        "add": Role.UPDATE,
+        "remove": Role.QUERY_UPDATE,
+        "read": Role.QUERY,
+    }
+    timestamped_methods = frozenset({"add"})
+
+    def initial_state(self) -> State:
+        return frozenset()
+
+    def generator(
+        self, state: State, method: str, args: Tuple, ts: Any
+    ) -> GeneratorResult:
+        if method == "add":
+            (element,) = args
+            identifier = ts  # getUniqueIdentifier(): Lamport ts are unique
+            return GeneratorResult(
+                ret=identifier,
+                effector=Effector("add", (element, identifier)),
+            )
+        if method == "remove":
+            (element,) = args
+            observed = frozenset(p for p in state if p[0] == element)
+            return GeneratorResult(
+                ret=observed,
+                effector=Effector("remove", (observed,)),
+            )
+        if method == "read":
+            values = frozenset(e for e, _ in state)
+            return GeneratorResult(ret=values, effector=None)
+        raise KeyError(method)
+
+    def apply_effector(self, state: State, effector: Effector) -> State:
+        if effector.method == "add":
+            element, identifier = effector.args
+            return state | {(element, identifier)}
+        if effector.method == "remove":
+            (observed,) = effector.args
+            return state - observed
+        raise KeyError(effector.method)

@@ -1,0 +1,108 @@
+"""Replicated Growable Array (Listing 1, Sec. 2.1).
+
+The payload is a *timestamp tree* — a set of triples ``(parent, ts, elem)``
+rooted at the pre-existing element ``◦`` — and a tombstone set.
+``addAfter(a, b)`` samples a timestamp for ``b`` and hangs it under ``a``;
+``remove(a)`` tombstones ``a`` (the node stays, so concurrent ``addAfter``
+under it still finds its parent — the commutativity trick of Sec. 2.1);
+``read`` traverses the tree pre-order with siblings visited in *decreasing*
+timestamp order, skipping tombstoned values.
+
+Timestamp-order linearizable w.r.t. ``Spec(RGA)`` (Fig. 12: RGA, OB, TO).
+"""
+
+from typing import Any, Dict, FrozenSet, List, Tuple
+
+from ...core.sentinels import ROOT
+from ...core.spec import Role
+from ..base import Effector, GeneratorResult, OpBasedCRDT
+
+Node = Tuple[Any, Any, Any]  # (parent, ts, elem)
+State = Tuple[FrozenSet[Node], FrozenSet[Any]]  # (Ti-Tree N, Tomb)
+
+
+def tree_elements(nodes: FrozenSet[Node]) -> FrozenSet[Any]:
+    """The elements stored in a Ti-Tree (excluding the implicit root)."""
+    return frozenset(elem for _, _, elem in nodes)
+
+
+def traverse(nodes: FrozenSet[Node], tombs: FrozenSet[Any]) -> Tuple[Any, ...]:
+    """Pre-order traversal, siblings by decreasing timestamp (Sec. 2.1).
+
+    Tombstoned elements are omitted from the output but still traversed —
+    their subtrees remain reachable.  ``◦`` is never reported.
+    """
+    children: Dict[Any, List[Tuple[Any, Any]]] = {}
+    for parent, ts, elem in nodes:
+        children.setdefault(parent, []).append((ts, elem))
+    for siblings in children.values():
+        siblings.sort(key=lambda pair: (pair[0].counter, pair[0].replica),
+                      reverse=True)
+
+    output: List[Any] = []
+
+    def visit(elem: Any) -> None:
+        if elem != ROOT and elem not in tombs:
+            output.append(elem)
+        for _, child in children.get(elem, ()):
+            visit(child)
+
+    visit(ROOT)
+    return tuple(output)
+
+
+class OpRGA(OpBasedCRDT):
+    """Op-based RGA; state is ``(N, Tomb)``."""
+
+    type_name = "RGA"
+    methods = {
+        "addAfter": Role.UPDATE,
+        "remove": Role.UPDATE,
+        "read": Role.QUERY,
+    }
+    timestamped_methods = frozenset({"addAfter"})
+
+    def initial_state(self) -> State:
+        return (frozenset(), frozenset())
+
+    def precondition(self, state: State, method: str, args: Tuple) -> bool:
+        nodes, tombs = state
+        elements = tree_elements(nodes)
+        if method == "addAfter":
+            anchor, value = args
+            anchor_ok = anchor == ROOT or (
+                anchor in elements and anchor not in tombs
+            )
+            return anchor_ok and value not in elements and value != ROOT
+        if method == "remove":
+            (value,) = args
+            return value in elements and value not in tombs and value != ROOT
+        return True
+
+    def generator(
+        self, state: State, method: str, args: Tuple, ts: Any
+    ) -> GeneratorResult:
+        nodes, tombs = state
+        if method == "addAfter":
+            anchor, value = args
+            return GeneratorResult(
+                ret=None, effector=Effector("addAfter", (anchor, ts, value))
+            )
+        if method == "remove":
+            (value,) = args
+            return GeneratorResult(
+                ret=None, effector=Effector("remove", (value,))
+            )
+        if method == "read":
+            return GeneratorResult(ret=traverse(nodes, tombs), effector=None)
+        raise KeyError(method)
+
+    def apply_effector(self, state: State, effector: Effector) -> State:
+        nodes, tombs = state
+        if effector.method == "addAfter":
+            anchor, ts, value = effector.args
+            return (nodes | {(anchor, ts, value)}, tombs)
+        if effector.method == "remove":
+            (value,) = effector.args
+            return (nodes, tombs | {value})
+        raise KeyError(effector.method)

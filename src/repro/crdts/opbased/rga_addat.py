@@ -1,0 +1,72 @@
+"""RGA with the index-based ``addAt`` interface (Appendix C.4).
+
+Same payload as :class:`~repro.crdts.opbased.rga.OpRGA`; the interface of
+[Attiya et al. 2016]:
+
+* ``addAt(a, k) ⇒ s`` — insert value ``a`` at position ``k`` of the local
+  list; ``k`` past the end appends; returns the *updated local* list.
+  Internally resolves to ``addAfter(b, a)`` where ``b`` is the local
+  ``(k-1)``-th visible element (``◦`` for a head insert or an empty view).
+* ``remove(a) ⇒ s`` — tombstone ``a`` and return the updated local list.
+* ``read() ⇒ s``.
+
+This object is **not** RA-linearizable w.r.t. ``Spec(addAt1)`` or
+``Spec(addAt2)`` (Lemma C.1, Fig. 14) but **is** w.r.t. ``Spec(addAt3)``
+(Lemma C.2) — the API experiment of Sec. 4.2's closing remark.
+"""
+
+from typing import Any, Tuple
+
+from ...core.sentinels import ROOT
+from ...core.spec import Role
+from ..base import Effector, GeneratorResult, OpBasedCRDT
+from .rga import OpRGA, State, traverse, tree_elements
+
+
+class OpRGAAddAt(OpRGA):
+    """RGA payload behind the ``addAt`` index interface."""
+
+    type_name = "RGA-addAt"
+    methods = {
+        "addAt": Role.QUERY_UPDATE,
+        "remove": Role.QUERY_UPDATE,
+        "read": Role.QUERY,
+    }
+    timestamped_methods = frozenset({"addAt"})
+
+    def precondition(self, state: State, method: str, args: Tuple) -> bool:
+        nodes, tombs = state
+        elements = tree_elements(nodes)
+        if method == "addAt":
+            value, index = args
+            return value not in elements and value != ROOT and index >= 0
+        if method == "remove":
+            (value,) = args
+            return value in elements and value not in tombs and value != ROOT
+        return True
+
+    def generator(
+        self, state: State, method: str, args: Tuple, ts: Any
+    ) -> GeneratorResult:
+        nodes, tombs = state
+        if method == "addAt":
+            value, index = args
+            local = traverse(nodes, tombs)
+            if not local or index == 0:
+                anchor = ROOT
+            elif len(local) >= index:
+                anchor = local[index - 1]
+            else:
+                anchor = local[-1]
+            effector = Effector("addAfter", (anchor, ts, value))
+            updated = traverse(nodes | {(anchor, ts, value)}, tombs)
+            return GeneratorResult(ret=updated, effector=effector)
+        if method == "remove":
+            (value,) = args
+            updated = traverse(nodes, tombs | {value})
+            return GeneratorResult(
+                ret=updated, effector=Effector("remove", (value,))
+            )
+        if method == "read":
+            return GeneratorResult(ret=traverse(nodes, tombs), effector=None)
+        raise KeyError(method)

@@ -1,0 +1,65 @@
+"""Operation-based two-phase set.
+
+The op-based counterpart of Listing 10: the payload is ``(A, R)``; ``add``
+and ``remove`` broadcast idempotent set-insertions (into ``A`` and the
+tombstone set ``R`` respectively), so all effectors commute.  The ``remove``
+precondition requires the element to be live at the origin, and causal
+delivery then guarantees the matching ``add`` arrives first everywhere.
+Clients must add each value at most once (the 2P-Set usage assumption).
+
+Execution-order linearizable w.r.t. the plain ``Spec(Set)``.
+"""
+
+from typing import Any, FrozenSet, Tuple
+
+from ...core.spec import Role
+from ..base import Effector, GeneratorResult, OpBasedCRDT
+
+State = Tuple[FrozenSet[Any], FrozenSet[Any]]
+
+
+class Op2PSet(OpBasedCRDT):
+    """Op-based 2P-Set; state is ``(A, R)``."""
+
+    type_name = "2P-Set (op)"
+    methods = {
+        "add": Role.UPDATE,
+        "remove": Role.UPDATE,
+        "read": Role.QUERY,
+    }
+
+    def initial_state(self) -> State:
+        return (frozenset(), frozenset())
+
+    def precondition(self, state: State, method: str, args: Tuple) -> bool:
+        added, removed = state
+        if method == "add":
+            (element,) = args
+            return element not in added
+        if method == "remove":
+            (element,) = args
+            return element in added and element not in removed
+        return True
+
+    def generator(
+        self, state: State, method: str, args: Tuple, ts: Any
+    ) -> GeneratorResult:
+        added, removed = state
+        if method == "add":
+            (element,) = args
+            return GeneratorResult(None, Effector("add", (element,)))
+        if method == "remove":
+            (element,) = args
+            return GeneratorResult(None, Effector("remove", (element,)))
+        if method == "read":
+            return GeneratorResult(added - removed, None)
+        raise KeyError(method)
+
+    def apply_effector(self, state: State, effector: Effector) -> State:
+        added, removed = state
+        (element,) = effector.args
+        if effector.method == "add":
+            return (added | {element}, removed)
+        if effector.method == "remove":
+            return (added, removed | {element})
+        raise KeyError(effector.method)

@@ -1,0 +1,168 @@
+"""Wooki — a W-string list CRDT with ``addBetween`` (Listing 5, App. B.3).
+
+The payload is a *W-string*: an ordered sequence of W-characters
+``(id, value, degree, visible)`` delimited by the permanent sentinels
+``◦begin``/``◦end``.  ``addBetween(a, b, c)`` creates a W-character for
+``b`` whose degree is one more than the larger of its neighbours' and weaves
+it into the string with the recursive ``integrateIns`` procedure — which
+deterministically resolves conflicts by degree first, then identifier
+(timestamp) order.  ``remove`` merely hides a character (sets its flag).
+
+Execution-order linearizable w.r.t. the *nondeterministic* ``Spec(Wooki)``
+(Fig. 12: Wooki, OB, EO): the spec admits any position between ``a`` and
+``c``, and ``integrateIns`` deterministically picks one.
+"""
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ...core.sentinels import BEGIN, END
+from ...core.spec import Role
+from ...core.timestamp import Timestamp
+from ..base import Effector, GeneratorResult, OpBasedCRDT
+
+
+@dataclass(frozen=True)
+class WChar:
+    """A W-character: identifier, value, degree, visibility flag."""
+
+    wid: Any
+    value: Any
+    degree: int
+    visible: bool
+
+
+_BEGIN_CHAR = WChar(BEGIN, BEGIN, 0, True)
+_END_CHAR = WChar(END, END, 0, True)
+
+State = Tuple[WChar, ...]
+
+
+def _id_lt(a: Any, b: Any) -> bool:
+    """Identifier order ``<id`` — both are Lamport timestamps here."""
+    assert isinstance(a, Timestamp) and isinstance(b, Timestamp)
+    return a < b
+
+
+def _index_of(chars: Tuple[WChar, ...], wid: Any) -> int:
+    for i, c in enumerate(chars):
+        if c.wid == wid:
+            return i
+    raise KeyError(f"W-character {wid!r} not in string")
+
+
+def _find_by_value(chars: Tuple[WChar, ...], value: Any) -> Optional[WChar]:
+    for c in chars:
+        if c.value == value:
+            return c
+    return None
+
+
+def integrate_ins(
+    chars: Tuple[WChar, ...], w: WChar, wp_id: Any, wn_id: Any
+) -> Tuple[WChar, ...]:
+    """The recursive ``integrateIns`` of Listing 5 (pure version)."""
+    mutable: List[WChar] = list(chars)
+
+    def rec(prev_id: Any, next_id: Any) -> None:
+        p = _index_of(tuple(mutable), prev_id)
+        n = _index_of(tuple(mutable), next_id)
+        sub = mutable[p + 1:n]
+        if not sub:
+            mutable.insert(n, w)
+            return
+        dmin = min(c.degree for c in sub)
+        fence = [c for c in sub if c.degree == dmin]
+        if _id_lt(w.wid, fence[0].wid):
+            rec(prev_id, fence[0].wid)
+            return
+        i = 0
+        while i < len(fence) - 1 and _id_lt(fence[i].wid, w.wid):
+            i += 1
+        if i == len(fence) - 1 and _id_lt(fence[i].wid, w.wid):
+            rec(fence[i].wid, next_id)
+        else:
+            rec(fence[i - 1].wid, fence[i].wid)
+
+    rec(wp_id, wn_id)
+    return tuple(mutable)
+
+
+def values_of(chars: Tuple[WChar, ...]) -> Tuple[Any, ...]:
+    """Visible values, sentinels excluded."""
+    return tuple(
+        c.value for c in chars
+        if c.visible and c.value not in (BEGIN, END)
+    )
+
+
+class OpWooki(OpBasedCRDT):
+    """Op-based Wooki; state is the W-string."""
+
+    type_name = "Wooki"
+    methods = {
+        "addBetween": Role.UPDATE,
+        "remove": Role.UPDATE,
+        "read": Role.QUERY,
+    }
+    timestamped_methods = frozenset({"addBetween"})
+
+    def initial_state(self) -> State:
+        return (_BEGIN_CHAR, _END_CHAR)
+
+    def precondition(self, state: State, method: str, args: Tuple) -> bool:
+        if method == "addBetween":
+            before, value, after = args
+            if after == BEGIN or before == END:
+                return False
+            if value in (BEGIN, END):
+                return False
+            wp = _find_by_value(state, before)
+            wn = _find_by_value(state, after)
+            if wp is None or wn is None:
+                return False
+            if _find_by_value(state, value) is not None:
+                return False
+            return _index_of(state, wp.wid) < _index_of(state, wn.wid)
+        if method == "remove":
+            (value,) = args
+            if value in (BEGIN, END):
+                return False
+            char = _find_by_value(state, value)
+            return char is not None and char.visible
+        return True
+
+    def generator(
+        self, state: State, method: str, args: Tuple, ts: Any
+    ) -> GeneratorResult:
+        if method == "addBetween":
+            before, value, after = args
+            wp = _find_by_value(state, before)
+            wn = _find_by_value(state, after)
+            degree = max(wp.degree, wn.degree) + 1
+            w = WChar(ts, value, degree, True)
+            return GeneratorResult(
+                ret=None,
+                effector=Effector("integrate", (w, wp.wid, wn.wid)),
+            )
+        if method == "remove":
+            (value,) = args
+            return GeneratorResult(
+                ret=None, effector=Effector("hide", (value,))
+            )
+        if method == "read":
+            return GeneratorResult(ret=values_of(state), effector=None)
+        raise KeyError(method)
+
+    def apply_effector(self, state: State, effector: Effector) -> State:
+        if effector.method == "integrate":
+            w, wp_id, wn_id = effector.args
+            return integrate_ins(state, w, wp_id, wn_id)
+        if effector.method == "hide":
+            (value,) = effector.args
+            return tuple(
+                WChar(c.wid, c.value, c.degree, False)
+                if c.value == value else c
+                for c in state
+            )
+        raise KeyError(effector.method)

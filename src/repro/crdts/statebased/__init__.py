@@ -1,0 +1,18 @@
+"""State-based CRDT implementations (Sec. 6, Appendix D/E)."""
+
+from .counters import SBGCounter, SBPNCounter
+from .lww_register import SBLWWRegister
+from .lww_element_set import SBLWWElementSet, lww_contents
+from .mv_register import SBMVRegister
+from .sets import SB2PSet, SBGSet
+
+__all__ = [
+    "SBLWWRegister",
+    "SB2PSet",
+    "SBGCounter",
+    "SBGSet",
+    "SBLWWElementSet",
+    "SBMVRegister",
+    "SBPNCounter",
+    "lww_contents",
+]

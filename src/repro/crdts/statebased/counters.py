@@ -1,0 +1,131 @@
+"""State-based counters: G-Counter and PN-Counter (Listing 9).
+
+The PN-Counter payload is a pair of per-replica vectors ``(P, N)``; ``inc``
+(``dec``) bumps the origin's entry of ``P`` (``N``) and ``merge`` is the
+pointwise maximum — the canonical join semilattice.  ``read`` returns
+``ΣP − ΣN``.
+
+Appendix D classifies their local effectors as *cumulative*: the local
+effector of every ``inc`` at replica ``r`` has the same argument
+``(inc, r)``, and effectors commute unconditionally (Prop′₁).
+Execution-order linearizable w.r.t. ``Spec(Counter)`` (Fig. 12:
+PN-Counter, SB, EO).
+"""
+
+from typing import Any, Tuple
+
+from ...core.freeze import FrozenDict
+from ...core.label import Label
+from ...core.spec import Role
+from ..base import EffectorClass, StateBasedCRDT
+
+Vector = FrozenDict
+State = Tuple[Vector, Vector]
+
+
+def _bump(vector: Vector, replica: str) -> Vector:
+    return vector.set(replica, vector.get(replica, 0) + 1)
+
+
+def _join(v1: Vector, v2: Vector) -> Vector:
+    merged = dict(v1)
+    for replica, count in v2.items():
+        if count > merged.get(replica, 0):
+            merged[replica] = count
+    return FrozenDict(merged)
+
+
+def _leq(v1: Vector, v2: Vector) -> bool:
+    return all(count <= v2.get(replica, 0) for replica, count in v1.items())
+
+
+class SBPNCounter(StateBasedCRDT):
+    """State-based PN-Counter; state is ``(P, N)``."""
+
+    type_name = "PN-Counter"
+    methods = {
+        "inc": Role.UPDATE,
+        "dec": Role.UPDATE,
+        "read": Role.QUERY,
+    }
+    effector_class = EffectorClass.CUMULATIVE
+
+    def initial_state(self) -> State:
+        return (FrozenDict(), FrozenDict())
+
+    def apply(
+        self, state: State, method: str, args: Tuple, ts: Any, replica: str
+    ) -> Tuple[Any, State]:
+        p, n = state
+        if method == "inc":
+            return None, (_bump(p, replica), n)
+        if method == "dec":
+            return None, (p, _bump(n, replica))
+        if method == "read":
+            return sum(p.values()) - sum(n.values()), state
+        raise KeyError(method)
+
+    def merge(self, state1: State, state2: State) -> State:
+        return (_join(state1[0], state2[0]), _join(state1[1], state2[1]))
+
+    def compare(self, state1: State, state2: State) -> bool:
+        return _leq(state1[0], state2[0]) and _leq(state1[1], state2[1])
+
+    def effector_args(self, label: Label) -> Any:
+        if label.method in ("inc", "dec"):
+            return (label.method, label.origin)
+        return None
+
+    def apply_local(self, state: State, arg: Any) -> State:
+        method, replica = arg
+        p, n = state
+        if method == "inc":
+            return (_bump(p, replica), n)
+        return (p, _bump(n, replica))
+
+    def predicate_p(self, state: State, arg: Any) -> bool:
+        method, replica = arg
+        vector = state[0] if method == "inc" else state[1]
+        return vector.get(replica, 0) == 0
+
+
+class SBGCounter(StateBasedCRDT):
+    """State-based grow-only counter (the P half of the PN-Counter)."""
+
+    type_name = "G-Counter"
+    methods = {
+        "inc": Role.UPDATE,
+        "read": Role.QUERY,
+    }
+    effector_class = EffectorClass.CUMULATIVE
+
+    def initial_state(self) -> Vector:
+        return FrozenDict()
+
+    def apply(
+        self, state: Vector, method: str, args: Tuple, ts: Any, replica: str
+    ) -> Tuple[Any, Vector]:
+        if method == "inc":
+            return None, _bump(state, replica)
+        if method == "read":
+            return sum(state.values()), state
+        raise KeyError(method)
+
+    def merge(self, state1: Vector, state2: Vector) -> Vector:
+        return _join(state1, state2)
+
+    def compare(self, state1: Vector, state2: Vector) -> bool:
+        return _leq(state1, state2)
+
+    def effector_args(self, label: Label) -> Any:
+        if label.method == "inc":
+            return ("inc", label.origin)
+        return None
+
+    def apply_local(self, state: Vector, arg: Any) -> Vector:
+        _method, replica = arg
+        return _bump(state, replica)
+
+    def predicate_p(self, state: Vector, arg: Any) -> bool:
+        _method, replica = arg
+        return state.get(replica, 0) == 0

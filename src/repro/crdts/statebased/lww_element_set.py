@@ -1,0 +1,98 @@
+"""State-based LWW-Element-Set (Listing 8).
+
+The payload is ``(A, R)``: timestamped add and remove records.  An element
+is in the set when some add record beats *every* remove record for it
+(strictly — a remove with an equal-or-larger timestamp wins; our Lamport
+timestamps are unique, so only the larger-vs-smaller cases arise).
+``merge`` is the pairwise union.
+
+Local effectors are *uniquely identified* by their timestamps and the
+timestamp order is consistent with visibility (the runtime's Lamport clocks
+advance on merge), so Appendix D.3 applies with timestamp-order
+linearizations against the plain ``Spec(Set)`` (Fig. 12:
+LWW-Element-Set, SB, TO).
+"""
+
+from typing import Any, FrozenSet, Tuple
+
+from ...core.label import Label
+from ...core.spec import Role
+from ..base import EffectorClass, StateBasedCRDT
+
+Record = Tuple[Any, Any]  # (element, timestamp)
+State = Tuple[FrozenSet[Record], FrozenSet[Record]]
+
+
+def lww_contents(state: State) -> FrozenSet[Any]:
+    """The elements currently in the set (Listing 8's ``read``)."""
+    adds, removes = state
+    present = set()
+    for element, add_ts in adds:
+        beats_all = all(
+            rem_ts < add_ts
+            for rem_element, rem_ts in removes
+            if rem_element == element
+        )
+        if beats_all:
+            present.add(element)
+    return frozenset(present)
+
+
+class SBLWWElementSet(StateBasedCRDT):
+    """State-based LWW-Element-Set; state is ``(A, R)``."""
+
+    type_name = "LWW-Element-Set"
+    methods = {
+        "add": Role.UPDATE,
+        "remove": Role.UPDATE,
+        "read": Role.QUERY,
+    }
+    timestamped_methods = frozenset({"add", "remove"})
+    effector_class = EffectorClass.UNIQUE
+
+    def initial_state(self) -> State:
+        return (frozenset(), frozenset())
+
+    def apply(
+        self, state: State, method: str, args: Tuple, ts: Any, replica: str
+    ) -> Tuple[Any, State]:
+        adds, removes = state
+        if method == "add":
+            (element,) = args
+            return None, (adds | {(element, ts)}, removes)
+        if method == "remove":
+            (element,) = args
+            return None, (adds, removes | {(element, ts)})
+        if method == "read":
+            return lww_contents(state), state
+        raise KeyError(method)
+
+    def merge(self, state1: State, state2: State) -> State:
+        return (state1[0] | state2[0], state1[1] | state2[1])
+
+    def compare(self, state1: State, state2: State) -> bool:
+        return state1[0] <= state2[0] and state1[1] <= state2[1]
+
+    def effector_args(self, label: Label) -> Any:
+        if label.method in ("add", "remove"):
+            (element,) = label.args
+            return (label.method, element, label.ts)
+        return None
+
+    def apply_local(self, state: State, arg: Any) -> State:
+        method, element, ts = arg
+        adds, removes = state
+        if method == "add":
+            return (adds | {(element, ts)}, removes)
+        return (adds, removes | {(element, ts)})
+
+    def arg_lt(self, arg1: Any, arg2: Any) -> bool:
+        return arg1[2] < arg2[2]
+
+    def predicate_p(self, state: State, arg: Any) -> bool:
+        _method, _element, ts = arg
+        stored = {record[1] for record in state[0] | state[1]}
+        return all(not (ts < other) for other in stored)
+
+    def timestamps_in_state(self, state: State):
+        return [record[1] for record in state[0] | state[1]]

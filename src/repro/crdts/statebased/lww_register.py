@@ -1,0 +1,79 @@
+"""State-based last-writer-wins register.
+
+The state-based counterpart of Listing 4: the payload is a single
+``(value, timestamp)`` pair, ``merge`` keeps the pair with the larger
+timestamp, and ``write`` installs a fresh timestamp (the runtime's Lamport
+clocks make fresh timestamps dominate everything merged so far).
+
+Local effectors are uniquely identified by their timestamps (Appendix D.3)
+and the register linearizes in timestamp order against ``Spec(Reg)``.
+"""
+
+from typing import Any, Optional, Tuple
+
+from ...core.label import Label
+from ...core.spec import Role
+from ...core.timestamp import BOTTOM
+from ..base import EffectorClass, StateBasedCRDT
+
+State = Tuple[Optional[Any], Any]  # (value, timestamp)
+
+
+class SBLWWRegister(StateBasedCRDT):
+    """State-based LWW register; state is ``(value, ts)``."""
+
+    type_name = "LWW-Register (state)"
+    methods = {
+        "write": Role.UPDATE,
+        "read": Role.QUERY,
+    }
+    timestamped_methods = frozenset({"write"})
+    effector_class = EffectorClass.UNIQUE
+
+    def __init__(self, initial_value: Optional[Any] = None) -> None:
+        self._initial_value = initial_value
+
+    def initial_state(self) -> State:
+        return (self._initial_value, BOTTOM)
+
+    def apply(
+        self, state: State, method: str, args: Tuple, ts: Any, replica: str
+    ) -> Tuple[Any, State]:
+        if method == "write":
+            (value,) = args
+            current_value, current_ts = state
+            if current_ts < ts:
+                return None, (value, ts)
+            return None, state
+        if method == "read":
+            return state[0], state
+        raise KeyError(method)
+
+    def merge(self, state1: State, state2: State) -> State:
+        return state2 if state1[1] < state2[1] else state1
+
+    def compare(self, state1: State, state2: State) -> bool:
+        return state1[1] < state2[1] or state1 == state2
+
+    def effector_args(self, label: Label) -> Any:
+        if label.method == "write":
+            (value,) = label.args
+            return (value, label.ts)
+        return None
+
+    def apply_local(self, state: State, arg: Any) -> State:
+        value, ts = arg
+        if state[1] < ts:
+            return (value, ts)
+        return state
+
+    def arg_lt(self, arg1: Any, arg2: Any) -> bool:
+        return arg1[1] < arg2[1]
+
+    def predicate_p(self, state: State, arg: Any) -> bool:
+        _value, ts = arg
+        return not (ts < state[1])
+
+    def timestamps_in_state(self, state: State):
+        _value, ts = state
+        return [] if ts is BOTTOM else [ts]

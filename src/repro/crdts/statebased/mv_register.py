@@ -1,0 +1,88 @@
+"""State-based multi-value register (Listing 7, Appendix E.1).
+
+The payload is a set of ``(value, version-vector)`` pairs.  A ``write(a)``
+computes a version vector strictly above everything it has seen (pointwise
+max of all stored vectors, plus one at the origin's entry) and replaces the
+payload with the singleton ``{(a, V')}``; ``merge`` keeps the pairs of both
+sides that are not strictly dominated by a pair of the other — so
+concurrent writes *coexist* and ``read`` may return several values.
+
+Local effectors are *uniquely identified* (Appendix D.3): the fresh version
+vector is unique per write (Lemma E.1), vector order is consistent with
+visibility, and concurrent writes get incomparable vectors (Lemma E.2).
+Execution-order linearizable w.r.t. ``Spec(MV-Reg)`` (Fig. 12: MVR, SB, EO).
+"""
+
+from typing import Any, FrozenSet, Tuple
+
+from ...core.label import Label
+from ...core.spec import Role
+from ...core.timestamp import VersionVector
+from ..base import EffectorClass, StateBasedCRDT
+
+Pair = Tuple[Any, VersionVector]
+State = FrozenSet[Pair]
+
+
+class SBMVRegister(StateBasedCRDT):
+    """State-based MVR; state is a frozenset of (value, vv) pairs."""
+
+    type_name = "MV-Register"
+    methods = {
+        "write": Role.QUERY_UPDATE,
+        "read": Role.QUERY,
+    }
+    effector_class = EffectorClass.UNIQUE
+
+    def initial_state(self) -> State:
+        return frozenset()
+
+    def apply(
+        self, state: State, method: str, args: Tuple, ts: Any, replica: str
+    ) -> Tuple[Any, State]:
+        if method == "write":
+            (value,) = args
+            joined = VersionVector()
+            for _, vv in state:
+                joined = joined.join(vv)
+            fresh = joined.bump(replica)
+            return fresh, frozenset({(value, fresh)})
+        if method == "read":
+            return frozenset(v for v, _ in state), state
+        raise KeyError(method)
+
+    def merge(self, state1: State, state2: State) -> State:
+        keep1 = {
+            (v, vv) for v, vv in state1
+            if not any(vv.lt(other) for _, other in state2)
+        }
+        keep2 = {
+            (v, vv) for v, vv in state2
+            if not any(vv.lt(other) for _, other in state1)
+        }
+        return frozenset(keep1 | keep2)
+
+    def compare(self, state1: State, state2: State) -> bool:
+        return all(
+            any(vv.leq(other) for _, other in state2) for _, vv in state1
+        )
+
+    def effector_args(self, label: Label) -> Any:
+        if label.method == "write":
+            (value,) = label.args
+            return (value, label.ret)  # ret is the fresh version vector
+        return None
+
+    def apply_local(self, state: State, arg: Any) -> State:
+        value, vv = arg
+        survivors = {
+            (v, other) for v, other in state if not other.lt(vv)
+        }
+        return frozenset(survivors | {(value, vv)})
+
+    def arg_lt(self, arg1: Any, arg2: Any) -> bool:
+        return arg1[1].lt(arg2[1])
+
+    def predicate_p(self, state: State, arg: Any) -> bool:
+        _value, vv = arg
+        return all(not vv.lt(other) for _, other in state)

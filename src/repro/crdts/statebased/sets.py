@@ -1,0 +1,129 @@
+"""State-based grow-only set and two-phase set (Listing 10).
+
+* **G-Set** — a bare grow-only set: ``add`` inserts, ``merge`` is union.
+* **2P-Set** — ``(A, R)`` with a tombstone set ``R``: an element is present
+  when in ``A \\ R``; removal is permanent and re-adding has no effect, so
+  clients must add each value at most once (the paper's usage assumption,
+  enforced by our workload generators).
+
+Both have *idempotent* local effectors (Appendix D.5: applying an effector
+twice equals applying it once — Prop₆), and are execution-order
+linearizable w.r.t. ``Spec(Set)`` (Fig. 12: 2P-Set, SB, EO).
+"""
+
+from typing import Any, FrozenSet, Tuple
+
+from ...core.label import Label
+from ...core.spec import Role
+from ..base import EffectorClass, StateBasedCRDT
+
+TwoPhaseState = Tuple[FrozenSet[Any], FrozenSet[Any]]
+
+
+class SBGSet(StateBasedCRDT):
+    """State-based grow-only set; state is a frozenset."""
+
+    type_name = "G-Set"
+    methods = {
+        "add": Role.UPDATE,
+        "read": Role.QUERY,
+    }
+    effector_class = EffectorClass.IDEMPOTENT
+
+    def initial_state(self) -> FrozenSet[Any]:
+        return frozenset()
+
+    def apply(
+        self, state, method: str, args: Tuple, ts: Any, replica: str
+    ) -> Tuple[Any, FrozenSet[Any]]:
+        if method == "add":
+            (element,) = args
+            return None, state | {element}
+        if method == "read":
+            return state, state
+        raise KeyError(method)
+
+    def merge(self, state1, state2):
+        return state1 | state2
+
+    def compare(self, state1, state2) -> bool:
+        return state1 <= state2
+
+    def effector_args(self, label: Label) -> Any:
+        if label.method == "add":
+            (element,) = label.args
+            return ("add", element)
+        return None
+
+    def apply_local(self, state, arg):
+        _method, element = arg
+        return state | {element}
+
+    def predicate_p(self, state, arg) -> bool:
+        _method, element = arg
+        return element not in state
+
+
+class SB2PSet(StateBasedCRDT):
+    """State-based two-phase set; state is ``(A, R)``."""
+
+    type_name = "2P-Set"
+    methods = {
+        "add": Role.UPDATE,
+        "remove": Role.UPDATE,
+        "read": Role.QUERY,
+    }
+    effector_class = EffectorClass.IDEMPOTENT
+
+    def initial_state(self) -> TwoPhaseState:
+        return (frozenset(), frozenset())
+
+    def precondition(
+        self, state: TwoPhaseState, method: str, args: Tuple
+    ) -> bool:
+        if method == "remove":
+            (element,) = args
+            added, removed = state
+            return element in added and element not in removed
+        return True
+
+    def apply(
+        self, state: TwoPhaseState, method: str, args: Tuple, ts: Any,
+        replica: str,
+    ) -> Tuple[Any, TwoPhaseState]:
+        added, removed = state
+        if method == "add":
+            (element,) = args
+            return None, (added | {element}, removed)
+        if method == "remove":
+            (element,) = args
+            return None, (added, removed | {element})
+        if method == "read":
+            return added - removed, state
+        raise KeyError(method)
+
+    def merge(self, state1: TwoPhaseState, state2: TwoPhaseState):
+        return (state1[0] | state2[0], state1[1] | state2[1])
+
+    def compare(self, state1: TwoPhaseState, state2: TwoPhaseState) -> bool:
+        return state1[0] <= state2[0] and state1[1] <= state2[1]
+
+    def effector_args(self, label: Label) -> Any:
+        if label.method in ("add", "remove"):
+            (element,) = label.args
+            return (label.method, element)
+        return None
+
+    def apply_local(self, state: TwoPhaseState, arg: Any) -> TwoPhaseState:
+        method, element = arg
+        added, removed = state
+        if method == "add":
+            return (added | {element}, removed)
+        return (added, removed | {element})
+
+    def predicate_p(self, state: TwoPhaseState, arg: Any) -> bool:
+        method, element = arg
+        added, removed = state
+        if method == "add":
+            return element not in added
+        return element not in removed

@@ -1,0 +1,72 @@
+"""Proof-methodology harness (the mechanization substitute for Boogie)."""
+
+from .commutativity import (
+    CommutativityViolation,
+    check_commutativity,
+    sampled_states,
+)
+from .coverage import CoverageReport, format_coverage, measure_coverage
+from .differential import DifferentialReport, run_differential
+from .exhaustive import (
+    ExhaustiveResult,
+    exhaustive_verify,
+    exhaustive_verify_state,
+    standard_programs,
+)
+from .mutants import mutant_catalogue, verify_mutant
+from .refinement import RefinementReport, check_refinement
+from .registry import (
+    ALL_ENTRIES,
+    EXTRA_ENTRIES,
+    FIGURE_12_ENTRIES,
+    CRDTEntry,
+    entry_by_name,
+)
+from .report import (
+    VerificationResult,
+    format_table,
+    verify_all,
+    verify_entry,
+    verify_op_based,
+    verify_state_based,
+)
+from .statebased import (
+    StateBasedReport,
+    check_fold_oracle,
+    check_properties,
+    collected_states,
+)
+
+__all__ = [
+    "CoverageReport",
+    "DifferentialReport",
+    "exhaustive_verify_state",
+    "format_coverage",
+    "measure_coverage",
+    "run_differential",
+    "ExhaustiveResult",
+    "exhaustive_verify",
+    "mutant_catalogue",
+    "standard_programs",
+    "verify_mutant",
+    "ALL_ENTRIES",
+    "CRDTEntry",
+    "CommutativityViolation",
+    "EXTRA_ENTRIES",
+    "FIGURE_12_ENTRIES",
+    "RefinementReport",
+    "StateBasedReport",
+    "VerificationResult",
+    "check_commutativity",
+    "check_fold_oracle",
+    "check_properties",
+    "check_refinement",
+    "collected_states",
+    "entry_by_name",
+    "format_table",
+    "sampled_states",
+    "verify_all",
+    "verify_entry",
+    "verify_op_based",
+    "verify_state_based",
+]

@@ -1,0 +1,183 @@
+"""Mutant CRDTs — deliberately broken implementations.
+
+The harness's value lies in *rejecting* wrong implementations, not only in
+blessing right ones.  Each mutant here plants a classic CRDT bug; the tests
+and the mutation benchmark show that at least one proof obligation
+(Commutativity, Refinement, Prop1–Prop6, convergence, or the end-to-end
+RA-linearization check) catches every mutant on small random executions.
+
+Mutants:
+
+* :class:`LastDeliveryWinsRegister` — a "LWW" register whose write effector
+  ignores timestamps and overwrites unconditionally: concurrent writes
+  don't commute, replicas diverge.
+* :class:`EagerRemoveORSet` — an OR-Set whose remove effector erases *all*
+  instances of the element at the applying replica (not just the observed
+  pairs): the effector depends on the receiving state and races with
+  concurrent adds.
+* :class:`AscendingRGA` — RGA whose traversal orders siblings by
+  *ascending* timestamp: convergent, but reads contradict the
+  timestamp-order linearization (Refinement_ts and the TO check fail).
+* :class:`DroppingRGA` — RGA whose remove physically deletes tree nodes:
+  a concurrent ``addAfter`` under the removed element loses its subtree on
+  one delivery order and keeps it on the other.
+* :class:`SummingPNCounter` — a PN-Counter whose merge *adds* vectors
+  instead of taking the pointwise max: merge is not idempotent
+  (Prop4/fold oracle fail) and duplicated messages double-count.
+* :class:`KeepAllMVRegister` — an MVR whose merge keeps dominated pairs:
+  overwritten values resurface in reads (Refinement/EO check fail).
+"""
+
+from typing import Any, Dict, Tuple
+
+from ..core.label import Label
+from ..core.sentinels import ROOT
+from ..crdts.base import Effector, GeneratorResult
+from ..crdts.opbased.lww_register import OpLWWRegister
+from ..crdts.opbased.or_set import OpORSet
+from ..crdts.opbased.rga import OpRGA, State as RGAState
+from ..crdts.statebased.counters import SBPNCounter, _join
+from ..crdts.statebased.mv_register import SBMVRegister
+from ..core.freeze import FrozenDict
+
+
+class LastDeliveryWinsRegister(OpLWWRegister):
+    """Mutant: the write effector ignores the timestamp comparison."""
+
+    type_name = "mutant:last-delivery-wins-register"
+
+    def apply_effector(self, state, effector: Effector):
+        value, ts = effector.args
+        return (value, ts)  # unconditional overwrite
+
+
+class EagerRemoveORSet(OpORSet):
+    """Mutant: remove erases every instance present at the receiver."""
+
+    type_name = "mutant:eager-remove-orset"
+
+    def generator(self, state, method, args, ts) -> GeneratorResult:
+        if method == "remove":
+            (element,) = args
+            observed = frozenset(p for p in state if p[0] == element)
+            return GeneratorResult(
+                ret=observed, effector=Effector("purge", (element,))
+            )
+        return super().generator(state, method, args, ts)
+
+    def apply_effector(self, state, effector: Effector):
+        if effector.method == "purge":
+            (element,) = effector.args
+            return frozenset(p for p in state if p[0] != element)
+        return super().apply_effector(state, effector)
+
+
+class AscendingRGA(OpRGA):
+    """Mutant: read traverses siblings in ascending timestamp order."""
+
+    type_name = "mutant:ascending-rga"
+
+    def generator(self, state, method, args, ts) -> GeneratorResult:
+        if method == "read":
+            nodes, tombs = state
+            return GeneratorResult(
+                ret=_traverse_ascending(nodes, tombs), effector=None
+            )
+        return super().generator(state, method, args, ts)
+
+
+def _traverse_ascending(nodes, tombs) -> Tuple[Any, ...]:
+    children: Dict[Any, list] = {}
+    for parent, ts, elem in nodes:
+        children.setdefault(parent, []).append((ts, elem))
+    for siblings in children.values():
+        siblings.sort(key=lambda pair: (pair[0].counter, pair[0].replica))
+
+    output = []
+
+    def visit(elem):
+        if elem != ROOT and elem not in tombs:
+            output.append(elem)
+        for _, child in children.get(elem, ()):
+            visit(child)
+
+    visit(ROOT)
+    return tuple(output)
+
+
+class DroppingRGA(OpRGA):
+    """Mutant: remove deletes the node (and strands its subtree)."""
+
+    type_name = "mutant:dropping-rga"
+
+    def apply_effector(self, state: RGAState, effector: Effector) -> RGAState:
+        if effector.method == "remove":
+            nodes, tombs = state
+            (value,) = effector.args
+            return (
+                frozenset(n for n in nodes if n[2] != value),
+                tombs,
+            )
+        return super().apply_effector(state, effector)
+
+
+class SummingPNCounter(SBPNCounter):
+    """Mutant: merge sums vectors instead of joining them."""
+
+    type_name = "mutant:summing-pn-counter"
+
+    def merge(self, state1, state2):
+        def add(v1, v2):
+            merged = dict(v1)
+            for replica, count in v2.items():
+                merged[replica] = merged.get(replica, 0) + count
+            return FrozenDict(merged)
+
+        return (add(state1[0], state2[0]), add(state1[1], state2[1]))
+
+
+class KeepAllMVRegister(SBMVRegister):
+    """Mutant: merge keeps dominated (overwritten) pairs."""
+
+    type_name = "mutant:keep-all-mv-register"
+
+    def merge(self, state1, state2):
+        return frozenset(state1 | state2)
+
+
+def verify_mutant(
+    make_crdt, base_entry_name: str, executions: int = 10,
+    operations: int = 12,
+):
+    """Run the full harness with a mutant substituted for the real CRDT.
+
+    Returns the :class:`~repro.proofs.report.VerificationResult`; a caught
+    mutant has ``verified == False`` with the failing obligations recorded.
+    """
+    from dataclasses import replace
+
+    from .registry import entry_by_name
+    from .report import verify_entry
+
+    base = entry_by_name(base_entry_name)
+    entry = replace(
+        base,
+        name=f"mutant of {base.name}",
+        make_crdt=make_crdt,
+        in_figure_12=False,
+    )
+    return verify_entry(entry, executions=executions, operations=operations)
+
+
+def mutant_catalogue():
+    """(name, make_crdt, base entry name) for the mutation benchmark."""
+    return [
+        ("last-delivery-wins register", LastDeliveryWinsRegister,
+         "LWW-Register"),
+        ("eager-remove OR-Set", EagerRemoveORSet, "OR-Set"),
+        ("ascending-sibling RGA", AscendingRGA, "RGA"),
+        ("node-dropping RGA", DroppingRGA, "RGA"),
+        ("vector-summing PN-Counter", SummingPNCounter, "PN-Counter"),
+        ("keep-dominated MV-Register", KeepAllMVRegister,
+         "Multi-Value Reg."),
+    ]

@@ -1,0 +1,117 @@
+"""Refinement / Refinement_ts checking for op-based CRDTs (Sec. 4.1, 4.2).
+
+A *refinement mapping* ``abs`` relates replica states to specification
+states such that:
+
+* **Simulating effectors** — every effector application ``σ' = δ(σ)`` is
+  matched by the corresponding specification transition
+  ``abs(σ) —upd(γℓ)→ abs(σ')``.  In the timestamp-order variant
+  (Refinement_ts) the obligation only applies when ``ts(ℓ)`` is not smaller
+  than any timestamp stored in ``σ`` — the linearization's timestamp order
+  guarantees effectors are replayed under that guard.
+* **Simulating generators** — every query (and the query part of every
+  query-update) is admitted by the specification at ``abs(σ)`` of the origin
+  state it ran against.
+
+The checker replays an execution's trace — generator and effector actions in
+their real order, per replica — and discharges each obligation on the
+concrete pre/post states.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.label import Label
+from ..core.rewriting import QueryUpdateRewriting
+from ..core.spec import Role, SequentialSpec
+from ..runtime.system import OpBasedSystem
+
+
+@dataclass
+class RefinementReport:
+    """Outcome of a refinement check over one execution."""
+
+    ok: bool = True
+    violations: List[str] = field(default_factory=list)
+    checked_effectors: int = 0
+    checked_generators: int = 0
+    skipped_by_guard: int = 0
+
+    def record(self, message: str) -> None:
+        self.ok = False
+        self.violations.append(message)
+
+
+def check_refinement(
+    system: OpBasedSystem,
+    spec: SequentialSpec,
+    abs_fn: Callable[[Any], Any],
+    gamma: Optional[QueryUpdateRewriting] = None,
+    timestamp_guard: Optional[Callable[[Any], Any]] = None,
+) -> RefinementReport:
+    """Check Refinement (or Refinement_ts) along one execution.
+
+    ``timestamp_guard`` — when given — makes this Refinement_ts: it maps a
+    replica state to the collection of timestamps it stores (``ts(σ)``), and
+    effector obligations are skipped when the effector's timestamp is
+    smaller than some stored timestamp.
+    """
+    (obj,) = system.objects
+    crdt = system.objects[obj]
+    report = RefinementReport()
+    states: Dict[str, Any] = {
+        replica: crdt.initial_state() for replica in system.replicas
+    }
+
+    def effector_obligation(replica: str, label: Label) -> None:
+        effector = system.effector_of(label)
+        if effector is None:
+            return
+        pre = states[replica]
+        post = crdt.apply_effector(pre, effector)
+        states[replica] = post
+        if timestamp_guard is not None and label.generates_timestamp():
+            stored = list(timestamp_guard(pre))
+            if any(label.ts < ts for ts in stored):
+                report.skipped_by_guard += 1
+                return
+        upd_label = gamma.upd(label) if gamma else label
+        report.checked_effectors += 1
+        successors = spec.step(abs_fn(pre), upd_label)
+        if abs_fn(post) not in successors:
+            report.record(
+                f"effector of {label!r} at {replica} not simulated: "
+                f"abs(pre)={abs_fn(pre)!r} -{upd_label!r}-> expected "
+                f"abs(post)={abs_fn(post)!r}, spec allows {successors!r}"
+            )
+
+    def generator_obligation(replica: str, label: Label) -> None:
+        role = crdt.methods[label.method]
+        pre = states[replica]
+        if role is Role.QUERY:
+            qry_label = gamma.qry(label) if gamma else label
+        elif role is Role.QUERY_UPDATE and gamma is not None:
+            qry_label = gamma.qry(label)
+        else:
+            return
+        report.checked_generators += 1
+        if not spec.step(abs_fn(pre), qry_label):
+            report.record(
+                f"generator of {label!r} at {replica} not simulated: "
+                f"spec rejects {qry_label!r} at abs state {abs_fn(pre)!r}"
+            )
+
+    for kind, replica, label in system.trace:
+        if kind == "gen":
+            generator_obligation(replica, label)
+            effector_obligation(replica, label)
+        else:
+            effector_obligation(replica, label)
+
+    # Sanity: the replayed states match the system's actual replica states.
+    for replica in system.replicas:
+        if states[replica] != system.state(replica, obj):
+            report.record(
+                f"replayed state of {replica} diverges from the execution"
+            )
+    return report

@@ -1,0 +1,219 @@
+"""End-to-end verification harness: regenerates the Fig. 12 table.
+
+For every catalogue entry the harness runs a batch of randomized executions
+and discharges, on each:
+
+* **Commutativity** (op-based) or **Prop1–Prop6 + fold oracle**
+  (state-based) — the per-class proof obligations of Sec. 4 / Appendix D;
+* **Refinement** (op-based: Refinement or Refinement_ts along the trace);
+* **Convergence** — replicas that saw the same operations agree;
+* **RA-linearizability** — the execution-order or timestamp-order candidate
+  linearization (per the entry's Fig. 12 class) is a valid
+  RA-linearization of the execution's history.
+
+``format_table`` renders the results in the shape of Fig. 12.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.convergence import check_convergence
+from ..core.linearization import history_timestamp, ts_sort_key
+from ..core.ralin import execution_order_check, timestamp_order_check
+from ..runtime.schedule import random_op_execution, random_state_execution
+from .commutativity import check_commutativity
+from .refinement import check_refinement
+from .registry import ALL_ENTRIES, FIGURE_12_ENTRIES, CRDTEntry
+from .statebased import check_fold_oracle, check_properties
+
+
+@dataclass
+class VerificationResult:
+    """Aggregated outcome of the harness for one CRDT."""
+
+    name: str
+    kind: str
+    lin_class: str
+    executions: int = 0
+    operations: int = 0
+    commutativity_ok: bool = True
+    refinement_ok: bool = True
+    convergence_ok: bool = True
+    ralin_ok: bool = True
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def verified(self) -> bool:
+        return (
+            self.commutativity_ok
+            and self.refinement_ok
+            and self.convergence_ok
+            and self.ralin_ok
+        )
+
+    def note(self, message: str) -> None:
+        self.failures.append(message)
+
+
+def _candidate_check(entry: CRDTEntry, history, spec, generation_order, gamma):
+    if entry.lin_class == "EO":
+        return execution_order_check(history, spec, generation_order, gamma)
+    return timestamp_order_check(history, spec, generation_order, gamma)
+
+
+def verify_op_based(
+    entry: CRDTEntry,
+    executions: int = 10,
+    operations: int = 10,
+    base_seed: int = 0,
+) -> VerificationResult:
+    """Run the Sec. 4 methodology on randomized op-based executions."""
+    result = VerificationResult(entry.name, entry.kind, entry.lin_class)
+    for run in range(executions):
+        crdt = entry.make_crdt()
+        spec = entry.make_spec()
+        gamma = entry.make_gamma()
+        workload = entry.make_workload()
+        system = random_op_execution(
+            crdt, workload, operations=operations, seed=base_seed + run
+        )
+        result.executions += 1
+        result.operations += len(system.generation_order)
+
+        violations = check_commutativity(system)
+        if violations:
+            result.commutativity_ok = False
+            result.note(f"run {run}: {violations[0]}")
+
+        refinement = check_refinement(
+            system, spec, entry.abs_fn, gamma,
+            timestamp_guard=entry.state_timestamps
+            if entry.lin_class == "TO" else None,
+        )
+        if not refinement.ok:
+            result.refinement_ok = False
+            result.note(f"run {run}: {refinement.violations[0]}")
+
+        converged, offenders = check_convergence(system.replica_views())
+        if not converged:
+            result.convergence_ok = False
+            result.note(f"run {run}: divergent replicas {offenders}")
+
+        outcome = _candidate_check(
+            entry, system.history(), spec, system.generation_order, gamma
+        )
+        if not outcome.ok:
+            result.ralin_ok = False
+            result.note(f"run {run}: {outcome.reason}")
+    return result
+
+
+def verify_state_based(
+    entry: CRDTEntry,
+    executions: int = 10,
+    operations: int = 10,
+    base_seed: int = 0,
+) -> VerificationResult:
+    """Run the Appendix D methodology on randomized state-based executions."""
+    result = VerificationResult(entry.name, entry.kind, entry.lin_class)
+    for run in range(executions):
+        crdt = entry.make_crdt()
+        spec = entry.make_spec()
+        gamma = entry.make_gamma()
+        workload = entry.make_workload()
+        system = random_state_execution(
+            crdt, workload, operations=operations, seed=base_seed + run
+        )
+        result.executions += 1
+        result.operations += len(system.generation_order)
+
+        props = check_properties(system)
+        if not props.ok:
+            result.commutativity_ok = False
+            result.note(f"run {run}: {props.violations[0]}")
+
+        history = system.history()
+        order = list(system.generation_order)
+        if entry.lin_class == "TO":
+            position = {label: i for i, label in enumerate(order)}
+            order.sort(
+                key=lambda l: (
+                    ts_sort_key(history_timestamp(history, l)),
+                    position[l],
+                )
+            )
+        fold = check_fold_oracle(system, order)
+        if not fold.ok:
+            result.refinement_ok = False
+            result.note(f"run {run}: {fold.violations[0]}")
+
+        converged, offenders = check_convergence(system.replica_views())
+        if not converged:
+            result.convergence_ok = False
+            result.note(f"run {run}: divergent replicas {offenders}")
+
+        outcome = _candidate_check(
+            entry, history, spec, system.generation_order, gamma
+        )
+        if not outcome.ok:
+            result.ralin_ok = False
+            result.note(f"run {run}: {outcome.reason}")
+    return result
+
+
+def verify_entry(
+    entry: CRDTEntry,
+    executions: int = 10,
+    operations: int = 10,
+    base_seed: int = 0,
+) -> VerificationResult:
+    """Dispatch to the op-based or state-based methodology."""
+    if entry.kind == "OB":
+        return verify_op_based(entry, executions, operations, base_seed)
+    return verify_state_based(entry, executions, operations, base_seed)
+
+
+def verify_all(
+    executions: int = 10,
+    operations: int = 10,
+    include_extras: bool = True,
+) -> List[VerificationResult]:
+    entries = ALL_ENTRIES if include_extras else FIGURE_12_ENTRIES
+    return [verify_entry(entry, executions, operations) for entry in entries]
+
+
+def format_markdown(results: List[VerificationResult]) -> str:
+    """Render results as a Markdown table (for reports / EXPERIMENTS.md)."""
+    lines = [
+        "| CRDT | Imp. | Lin. | verified | executions | operations |",
+        "|---|---|---|---|---|---|",
+    ]
+    for res in results:
+        lines.append(
+            f"| {res.name} | {res.kind} | {res.lin_class} | "
+            f"{'yes' if res.verified else '**NO**'} | "
+            f"{res.executions} | {res.operations} |"
+        )
+    return "\n".join(lines)
+
+
+def format_table(
+    results: List[VerificationResult], title: Optional[str] = None
+) -> str:
+    """Render results in the shape of Fig. 12, plus verification columns."""
+    header = (
+        f"{'CRDT':<18} {'Imp.':<5} {'Lin.':<5} {'verified':<9} "
+        f"{'execs':>6} {'ops':>6}"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for res in results:
+        lines.append(
+            f"{res.name:<18} {res.kind:<5} {res.lin_class:<5} "
+            f"{'yes' if res.verified else 'NO':<9} "
+            f"{res.executions:>6} {res.operations:>6}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,267 @@
+"""Appendix D proof methodology for state-based CRDTs.
+
+Each state-based CRDT exposes a "local effector" decomposition
+(``effector_args`` / ``apply_local``) and is classified as
+uniquely-identified (D.3), cumulative (D.4), or idempotent (D.5).  This
+module checks the corresponding properties on executions:
+
+* **Prop1/Prop′1** — local effectors of concurrent operations (UNIQUE) or
+  all operations (CUMULATIVE/IDEMPOTENT) commute.
+* **Prop2/Prop′2** — merge/apply interchange under the P1/P2 predicate:
+  ``merge(σ, apply(σ', arg)) = apply(merge(σ, σ'), arg)``.
+* **Prop3/Prop′3** — ``merge(apply(σ, arg), apply(σ', arg)) =
+  apply(merge(σ, σ'), arg)`` (P1-guarded for UNIQUE).
+* **Prop4** — ``merge`` is commutative and ``merge(σ0, σ0) = σ0``.
+* **Prop5** — the local effector reproduces the origin step:
+  ``apply(σ, arg(ℓ)) = θ(σ, m, a)|state``.
+* **Prop6** — (IDEMPOTENT only) applying a local effector twice equals once.
+* **UNIQUE extras** — effector arguments are globally unique and their
+  partial order is consistent with visibility (Lemma E.1).
+* **Lemma D.1/D.2/D.3 oracle** — every local configuration's state equals
+  the fold of the local effectors of its visible updates in linearization
+  order.
+
+Together with Refinement over the fold (handled by the registry's
+end-to-end check), these imply RA-linearizability per Appendix D.
+"""
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Any, Dict, List, Sequence, Set
+
+from ..core.history import History
+from ..core.label import Label
+from ..crdts.base import EffectorClass, StateBasedCRDT
+from ..runtime.state_system import StateBasedSystem
+
+
+@dataclass
+class StateBasedReport:
+    """Outcome of the Appendix D property checks on one execution."""
+
+    ok: bool = True
+    violations: List[str] = field(default_factory=list)
+    checks: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, message: str) -> None:
+        self.ok = False
+        self.violations.append(message)
+
+    def bump(self, name: str) -> None:
+        self.checks[name] = self.checks.get(name, 0) + 1
+
+
+def collected_states(system: StateBasedSystem) -> List[Any]:
+    """All states an execution exhibited: replica pre/post states and
+    message payloads, deduplicated."""
+    states: List[Any] = [system.crdt.initial_state()]
+    for event in system.events:
+        states.append(event[3])
+        states.append(event[4])
+    for message in system.messages:
+        states.append(message.state)
+    unique: List[Any] = []
+    for state in states:
+        if state not in unique:
+            unique.append(state)
+    return unique
+
+
+def _update_labels(system: StateBasedSystem) -> List[Label]:
+    crdt = system.crdt
+    return [
+        label for label in system.generation_order
+        if crdt.effector_args(label) is not None
+    ]
+
+
+def check_properties(system: StateBasedSystem) -> StateBasedReport:
+    """Check Prop1–Prop6 (as applicable) on one execution."""
+    crdt: StateBasedCRDT = system.crdt
+    report = StateBasedReport()
+    states = collected_states(system)
+    history = system.history()
+    updates = _update_labels(system)
+    args = {label: crdt.effector_args(label) for label in updates}
+
+    _check_prop1(crdt, report, states, history, updates, args)
+    _check_prop23(crdt, report, states, updates, args)
+    _check_prop4(crdt, report, states)
+    _check_prop5(crdt, report, system)
+    if crdt.effector_class is EffectorClass.IDEMPOTENT:
+        _check_prop6(crdt, report, states, updates, args)
+    if crdt.effector_class is EffectorClass.UNIQUE:
+        _check_unique_args(crdt, report, history, updates, args)
+    return report
+
+
+def _check_prop1(crdt, report, states, history, updates, args) -> None:
+    unconditional = crdt.effector_class is not EffectorClass.UNIQUE
+    for first, second in combinations(updates, 2):
+        if not unconditional and not history.concurrent(first, second):
+            continue
+        for state in states:
+            report.bump("prop1")
+            one_two = crdt.apply_local(
+                crdt.apply_local(state, args[first]), args[second]
+            )
+            two_one = crdt.apply_local(
+                crdt.apply_local(state, args[second]), args[first]
+            )
+            if one_two != two_one:
+                report.record(
+                    f"Prop1: local effectors of {first!r}/{second!r} do not "
+                    f"commute on {state!r}"
+                )
+                return
+
+
+def _check_prop23(crdt, report, states, updates, args) -> None:
+    for label in updates:
+        arg = args[label]
+        for state1 in states:
+            for state2 in states:
+                applicable = crdt.predicate_p(state1, arg) and \
+                    crdt.predicate_p(state2, arg)
+                merged = crdt.merge(state1, state2)
+                if applicable:
+                    report.bump("prop2")
+                    left = crdt.merge(
+                        state1, crdt.apply_local(state2, arg)
+                    )
+                    right = crdt.apply_local(merged, arg)
+                    if left != right:
+                        report.record(
+                            f"Prop2 fails for {label!r} on "
+                            f"({state1!r}, {state2!r})"
+                        )
+                        return
+                if applicable or crdt.effector_class in (
+                    EffectorClass.CUMULATIVE, EffectorClass.IDEMPOTENT
+                ):
+                    report.bump("prop3")
+                    left = crdt.merge(
+                        crdt.apply_local(state1, arg),
+                        crdt.apply_local(state2, arg),
+                    )
+                    right = crdt.apply_local(merged, arg)
+                    if left != right:
+                        report.record(
+                            f"Prop3 fails for {label!r} on "
+                            f"({state1!r}, {state2!r})"
+                        )
+                        return
+
+
+def _check_prop4(crdt, report, states) -> None:
+    initial = crdt.initial_state()
+    report.bump("prop4")
+    if crdt.merge(initial, initial) != initial:
+        report.record("Prop4: merge(σ0, σ0) ≠ σ0")
+    for state1 in states:
+        for state2 in states:
+            report.bump("prop4")
+            if crdt.merge(state1, state2) != crdt.merge(state2, state1):
+                report.record(
+                    f"Prop4: merge not commutative on ({state1!r}, {state2!r})"
+                )
+                return
+
+
+def _check_prop5(crdt, report, system) -> None:
+    for event in system.events:
+        if event[0] != "op":
+            continue
+        _kind, _replica, label, pre, post = event
+        arg = crdt.effector_args(label)
+        report.bump("prop5")
+        if arg is None:
+            if pre != post:
+                report.record(f"query {label!r} changed the state")
+        elif crdt.apply_local(pre, arg) != post:
+            report.record(
+                f"Prop5: local effector of {label!r} does not reproduce θ"
+            )
+
+
+def _check_prop6(crdt, report, states, updates, args) -> None:
+    for label in updates:
+        arg = args[label]
+        for state in states:
+            report.bump("prop6")
+            once = crdt.apply_local(state, arg)
+            twice = crdt.apply_local(once, arg)
+            if once != twice:
+                report.record(
+                    f"Prop6: local effector of {label!r} not idempotent "
+                    f"on {state!r}"
+                )
+                return
+
+
+def _check_unique_args(crdt, report, history, updates, args) -> None:
+    values = list(args.values())
+    report.bump("unique-args")
+    if len(values) != len(set(values)):
+        report.record("UNIQUE: effector arguments are not pairwise distinct")
+    for first, second in combinations(updates, 2):
+        if history.sees(first, second):
+            report.bump("arg-order")
+            if not crdt.arg_lt(args[first], args[second]):
+                report.record(
+                    f"UNIQUE: visibility {first!r} ≺ {second!r} not "
+                    "reflected by the argument order"
+                )
+        elif history.sees(second, first):
+            report.bump("arg-order")
+            if not crdt.arg_lt(args[second], args[first]):
+                report.record(
+                    f"UNIQUE: visibility {second!r} ≺ {first!r} not "
+                    "reflected by the argument order"
+                )
+
+
+def check_fold_oracle(
+    system: StateBasedSystem,
+    linearization: Sequence[Label],
+) -> StateBasedReport:
+    """Lemma D.1/D.2/D.3: every local configuration equals the fold of the
+    local effectors of its visible updates in ``linearization`` order."""
+    crdt = system.crdt
+    report = StateBasedReport()
+    position = {label: i for i, label in enumerate(linearization)}
+
+    def fold(labels: Set[Label]) -> Any:
+        present = sorted(
+            (l for l in labels if crdt.effector_args(l) is not None),
+            key=lambda l: position[l],
+        )
+        state = crdt.initial_state()
+        for label in present:
+            state = crdt.apply_local(state, crdt.effector_args(label))
+        return state
+
+    # Replay events to know each local configuration over time.
+    seen: Dict[str, Set[Label]] = {r: set() for r in system.replicas}
+    for event in system.events:
+        kind, replica = event[0], event[1]
+        if kind == "op":
+            seen[replica].add(event[2])
+        else:
+            seen[replica] |= set(event[2].labels)
+        report.bump("fold")
+        expected = fold(seen[replica])
+        if expected != event[4]:
+            report.record(
+                f"fold oracle: {replica} after {event[2]!r} is "
+                f"{event[4]!r}, fold gives {expected!r}"
+            )
+            return report
+    for message in system.messages:
+        report.bump("fold")
+        if fold(set(message.labels)) != message.state:
+            report.record(
+                f"fold oracle: message {message.msg_id} state diverges"
+            )
+            return report
+    return report

@@ -1,0 +1,73 @@
+"""Replicated-system runtime: the paper's operational semantics, executable."""
+
+from .causal_broadcast import NetworkStats, UnreliableCausalBroadcast
+from .cluster import Cluster, ReplicaHandle
+from .composition import (
+    check_composed_ra_linearizable,
+    combine_per_object,
+    composed,
+    composed_spec,
+    composed_ts,
+    per_object_rewriting,
+)
+from .recording import dumps, loads, record_schedule, replay_schedule
+from .schedule import (
+    explore_op_programs,
+    random_op_execution,
+    random_state_execution,
+)
+from .state_composition import ComposedStateSystem, ObjectMessage
+from .state_system import Message, StateBasedSystem
+from .system import DEFAULT_OBJECT, OpBasedSystem
+from .workloads import (
+    CounterWorkload,
+    GCounterWorkload,
+    GSetWorkload,
+    LWWSetWorkload,
+    MVRegisterWorkload,
+    ORSetWorkload,
+    RGAAddAtWorkload,
+    RGAWorkload,
+    RegisterWorkload,
+    TwoPSetWorkload,
+    Workload,
+    WookiWorkload,
+)
+
+__all__ = [
+    "NetworkStats",
+    "UnreliableCausalBroadcast",
+    "ComposedStateSystem",
+    "ObjectMessage",
+    "Cluster",
+    "ReplicaHandle",
+    "dumps",
+    "loads",
+    "record_schedule",
+    "replay_schedule",
+    "check_composed_ra_linearizable",
+    "combine_per_object",
+    "composed",
+    "composed_spec",
+    "composed_ts",
+    "per_object_rewriting",
+    "CounterWorkload",
+    "DEFAULT_OBJECT",
+    "GCounterWorkload",
+    "GSetWorkload",
+    "LWWSetWorkload",
+    "MVRegisterWorkload",
+    "Message",
+    "ORSetWorkload",
+    "OpBasedSystem",
+    "RGAAddAtWorkload",
+    "RGAWorkload",
+    "RegisterWorkload",
+    "StateBasedSystem",
+    "TwoPSetWorkload",
+    "Workload",
+    "WookiWorkload",
+    "explore_op_programs",
+    "random_op_execution",
+    "random_state_execution",
+]

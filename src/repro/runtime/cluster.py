@@ -1,0 +1,163 @@
+"""A user-facing facade over the op-based runtime.
+
+:class:`Cluster` wraps :class:`~repro.runtime.system.OpBasedSystem` with the
+ergonomics an application developer expects:
+
+* per-replica handles with method proxying —
+  ``cluster["alice"].add("x")`` instead of ``system.invoke(...)``;
+* network *partitions* — while replicas are in different blocks, effectors
+  are not delivered across; ``heal()`` reconnects and ``sync()`` flushes;
+* one-call correctness checks (``check()``) running the entry-appropriate
+  RA-linearizability verdict and the convergence oracle.
+
+Partitions only delay delivery (availability under partition is the whole
+point of CRDTs — Sec. 1); they never drop effectors, so healing always
+reaches quiescence.
+"""
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.convergence import check_convergence
+from ..core.errors import SchedulingError
+from ..core.ralin import RAResult, check_ra_linearizable
+from ..core.rewriting import QueryUpdateRewriting
+from ..core.spec import SequentialSpec
+from ..crdts.base import OpBasedCRDT
+from .system import OpBasedSystem
+
+
+class ReplicaHandle:
+    """A bound view of one replica: method calls become invocations."""
+
+    def __init__(self, cluster: "Cluster", replica: str) -> None:
+        self._cluster = cluster
+        self._replica = replica
+
+    @property
+    def name(self) -> str:
+        return self._replica
+
+    def __getattr__(self, method: str):
+        if method.startswith("_"):
+            raise AttributeError(method)
+
+        def call(*args, obj: Optional[str] = None):
+            label = self._cluster.system.invoke(
+                self._replica, method, tuple(args), obj=obj
+            )
+            self._cluster.flush()
+            return label.ret
+
+        return call
+
+    def state(self, obj: Optional[str] = None) -> Any:
+        return self._cluster.system.state(self._replica, obj)
+
+    def __repr__(self) -> str:
+        return f"<replica {self._replica}>"
+
+
+class Cluster:
+    """A replicated object with partition-aware delivery."""
+
+    def __init__(
+        self,
+        objects: "Dict[str, OpBasedCRDT] | OpBasedCRDT",
+        replicas: Sequence[str] = ("r1", "r2", "r3"),
+        shared_timestamps: bool = True,
+        auto_deliver: bool = True,
+    ) -> None:
+        self.system = OpBasedSystem(
+            objects, replicas, shared_timestamps=shared_timestamps
+        )
+        self.auto_deliver = auto_deliver
+        self._blocks: List[Set[str]] = [set(replicas)]
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def partition(self, *blocks: Sequence[str]) -> None:
+        """Split the cluster into disjoint blocks; unlisted replicas form
+        their own singleton blocks."""
+        assigned: Set[str] = set()
+        new_blocks: List[Set[str]] = []
+        for block in blocks:
+            members = set(block)
+            unknown = members - set(self.system.replicas)
+            if unknown:
+                raise SchedulingError(f"unknown replicas {sorted(unknown)}")
+            if members & assigned:
+                raise SchedulingError("partition blocks must be disjoint")
+            assigned |= members
+            new_blocks.append(members)
+        for replica in self.system.replicas:
+            if replica not in assigned:
+                new_blocks.append({replica})
+        self._blocks = new_blocks
+        self.flush()
+
+    def heal(self) -> None:
+        """Reconnect everything and flush pending deliveries."""
+        self._blocks = [set(self.system.replicas)]
+        self.flush()
+
+    def connected(self, source: str, target: str) -> bool:
+        """Are two replicas currently in the same partition block?"""
+        return any(
+            source in block and target in block for block in self._blocks
+        )
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Deliver everything deliverable within the current topology."""
+        if not self.auto_deliver:
+            return
+        progress = True
+        while progress:
+            progress = False
+            for replica in self.system.replicas:
+                for label in self.system.deliverable(replica):
+                    if self.connected(label.origin, replica):
+                        self.system.deliver(replica, label)
+                        progress = True
+
+    def sync(self) -> None:
+        """Force full delivery regardless of ``auto_deliver``."""
+        saved = self.auto_deliver
+        self.auto_deliver = True
+        try:
+            self.flush()
+        finally:
+            self.auto_deliver = saved
+
+    # ------------------------------------------------------------------
+    # Access and checking
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, replica: str) -> ReplicaHandle:
+        if replica not in self.system.replicas:
+            raise KeyError(replica)
+        return ReplicaHandle(self, replica)
+
+    @property
+    def replicas(self) -> Tuple[str, ...]:
+        return tuple(self.system.replicas)
+
+    def check(
+        self,
+        spec: SequentialSpec,
+        gamma: Optional[QueryUpdateRewriting] = None,
+        max_orders: Optional[int] = None,
+    ) -> RAResult:
+        """RA-linearizability of everything executed so far."""
+        return check_ra_linearizable(
+            self.system.history(), spec, gamma=gamma, max_orders=max_orders
+        )
+
+    def converged(self, obj: Optional[str] = None) -> bool:
+        ok, _ = check_convergence(self.system.replica_views(obj))
+        return ok

@@ -1,0 +1,80 @@
+"""Recording and replaying op-based executions.
+
+An execution of the Fig. 7 semantics is fully determined by its *schedule*:
+the interleaved sequence of generator invocations ``(replica, obj, method,
+args)`` and effector deliveries ``(replica, index-of-invocation)``.
+``record_schedule`` extracts that schedule (JSON-serializable via the value
+codec), and ``replay_schedule`` re-runs it on fresh objects — reproducing
+the same states, return values, and timestamps (label uids differ, nothing
+else does).  This is how counterexamples found by random exploration are
+persisted and shared.
+"""
+
+import json
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+from ..core.encoding import decode, encode
+from ..crdts.base import OpBasedCRDT
+from .system import OpBasedSystem
+
+
+def record_schedule(system: OpBasedSystem) -> Dict[str, Any]:
+    """Extract the (JSON-able) schedule of a finished execution."""
+    index_of = {label: i for i, label in enumerate(system.generation_order)}
+    steps: List[Dict[str, Any]] = []
+    for kind, replica, label in system.trace:
+        if kind == "gen":
+            steps.append({
+                "kind": "invoke",
+                "replica": replica,
+                "obj": label.obj,
+                "method": label.method,
+                "args": encode(label.args),
+            })
+        else:
+            steps.append({
+                "kind": "deliver",
+                "replica": replica,
+                "invocation": index_of[label],
+            })
+    return {
+        "replicas": list(system.replicas),
+        "objects": sorted(system.objects),
+        "shared_timestamps": system.shared_timestamps,
+        "steps": steps,
+    }
+
+
+def replay_schedule(
+    objects: "Mapping[str, OpBasedCRDT] | OpBasedCRDT",
+    schedule: Dict[str, Any],
+) -> OpBasedSystem:
+    """Re-run a recorded schedule on fresh CRDT instances."""
+    system = OpBasedSystem(
+        objects,
+        replicas=schedule["replicas"],
+        shared_timestamps=schedule.get("shared_timestamps", True),
+    )
+    invocations = []
+    for step in schedule["steps"]:
+        if step["kind"] == "invoke":
+            label = system.invoke(
+                step["replica"],
+                step["method"],
+                decode(step["args"]),
+                obj=step["obj"],
+            )
+            invocations.append(label)
+        else:
+            system.deliver(step["replica"], invocations[step["invocation"]])
+    return system
+
+
+def dumps(schedule: Dict[str, Any]) -> str:
+    """Serialize a schedule to a JSON string."""
+    return json.dumps(schedule, indent=2, sort_keys=True)
+
+
+def loads(text: str) -> Dict[str, Any]:
+    """Parse a schedule from a JSON string."""
+    return json.loads(text)

@@ -1,0 +1,190 @@
+"""Schedulers: randomized executions and exhaustive small-scope exploration.
+
+The randomized drivers interleave workload invocations with adversarial
+delivery (op-based: causal but arbitrarily delayed; state-based: message
+duplication, reordering, and loss) and close executions with a read at every
+replica — so every history carries queries worth justifying.
+
+The exhaustive explorer enumerates *all* interleavings of fixed per-replica
+programs (used by the Sec. 3.3 client-reasoning reproduction and the Fig. 10
+reachability arguments).
+"""
+
+import copy
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import PreconditionViolation
+from ..crdts.base import OpBasedCRDT, StateBasedCRDT
+from .state_system import StateBasedSystem
+from .system import OpBasedSystem
+from .workloads import Workload
+
+
+def random_op_execution(
+    crdt: OpBasedCRDT,
+    workload: Workload,
+    replicas: Sequence[str] = ("r1", "r2", "r3"),
+    operations: int = 10,
+    seed: int = 0,
+    deliver_probability: float = 0.35,
+    final_reads: bool = True,
+    read_method: str = "read",
+) -> OpBasedSystem:
+    """Drive a random op-based execution and return the finished system.
+
+    After the random phase, all effectors are delivered (quiescence) and —
+    when ``final_reads`` — every replica reads once, so convergence is
+    observable in the history itself.
+    """
+    rng = random.Random(seed)
+    system = OpBasedSystem(crdt, replicas)
+    issued = 0
+    while issued < operations:
+        replica = rng.choice(system.replicas)
+        if rng.random() < deliver_probability:
+            pending = system.deliverable(replica)
+            if pending:
+                system.deliver(replica, rng.choice(pending))
+                continue
+        proposal = workload.propose(system.state(replica), rng)
+        if proposal is None:
+            continue
+        method, args = proposal
+        try:
+            system.invoke(replica, method, args)
+            issued += 1
+        except PreconditionViolation:
+            continue
+    system.deliver_all()
+    if final_reads:
+        for replica in system.replicas:
+            system.invoke(replica, read_method, ())
+        system.deliver_all()
+    return system
+
+
+def random_state_execution(
+    crdt: StateBasedCRDT,
+    workload: Workload,
+    replicas: Sequence[str] = ("r1", "r2", "r3"),
+    operations: int = 10,
+    seed: int = 0,
+    gossip_probability: float = 0.35,
+    duplicate_probability: float = 0.15,
+    final_reads: bool = True,
+    read_method: str = "read",
+) -> StateBasedSystem:
+    """Drive a random state-based execution with adversarial delivery."""
+    rng = random.Random(seed)
+    system = StateBasedSystem(crdt, replicas)
+    issued = 0
+    while issued < operations:
+        replica = rng.choice(system.replicas)
+        if system.messages and rng.random() < duplicate_probability:
+            # Re-apply an arbitrary old message (duplication / reordering).
+            system.receive(replica, rng.choice(system.messages))
+            continue
+        if rng.random() < gossip_probability:
+            target = rng.choice(
+                [r for r in system.replicas if r != replica]
+            )
+            system.gossip(replica, target)
+            continue
+        proposal = workload.propose(system.state(replica), rng)
+        if proposal is None:
+            continue
+        method, args = proposal
+        try:
+            system.invoke(replica, method, args)
+            issued += 1
+        except PreconditionViolation:
+            continue
+    system.sync_all()
+    if final_reads:
+        for replica in system.replicas:
+            system.invoke(replica, read_method, ())
+        system.sync_all()
+    return system
+
+
+# ----------------------------------------------------------------------
+# Exhaustive small-scope exploration
+# ----------------------------------------------------------------------
+
+#: A straight-line per-replica program: ``(method, args)`` steps, or
+#: ``(method, args, obj)`` when the system hosts several objects.
+Program = List[Tuple[Any, ...]]
+
+
+def explore_op_programs(
+    make_system: Callable[[], OpBasedSystem],
+    programs: Dict[str, Program],
+    visit: Callable[[OpBasedSystem, Dict[str, List[Any]]], None],
+    require_quiescence: bool = True,
+    max_configurations: Optional[int] = None,
+) -> int:
+    """Run per-replica ``programs`` under **every** interleaving.
+
+    ``visit(system, returns)`` is called on each final configuration, where
+    ``returns[replica]`` lists the return values of that replica's program
+    in order.  When ``require_quiescence`` is set, final configurations are
+    fully delivered before visiting.  Returns the number of final
+    configurations visited.
+    """
+    visited = 0
+
+    def step(
+        system: OpBasedSystem,
+        counters: Dict[str, int],
+        returns: Dict[str, List[Any]],
+    ) -> None:
+        nonlocal visited
+        if max_configurations is not None and visited >= max_configurations:
+            return
+        moved = False
+        for replica, program in programs.items():
+            index = counters[replica]
+            if index < len(program):
+                moved = True
+                branch = copy.deepcopy((system, counters, returns))
+                b_system, b_counters, b_returns = branch
+                step_spec = program[index]
+                method, args = step_spec[0], step_spec[1]
+                obj = step_spec[2] if len(step_spec) > 2 else None
+                try:
+                    label = b_system.invoke(replica, method, args, obj=obj)
+                except PreconditionViolation:
+                    continue  # this interleaving cannot run the op yet
+                b_counters[replica] += 1
+                b_returns[replica].append(label.ret)
+                step(b_system, b_counters, b_returns)
+        for replica in list(programs):
+            for label in system.deliverable(replica):
+                moved = True
+                branch = copy.deepcopy((system, counters, returns))
+                b_system, b_counters, b_returns = branch
+                # Re-locate the copied label by uid inside the copy.
+                copies = [
+                    l for l in b_system.generation_order if l.uid == label.uid
+                ]
+                b_system.deliver(replica, copies[0])
+                step(b_system, b_counters, b_returns)
+        if not moved:
+            visited += 1
+            visit(system, returns)
+        elif not require_quiescence and all(
+            counters[r] == len(p) for r, p in programs.items()
+        ):
+            # Also report configurations where programs finished but
+            # deliveries are still pending.
+            visited += 1
+            visit(system, returns)
+
+    initial = make_system()
+    step(
+        initial,
+        {replica: 0 for replica in programs},
+        {replica: [] for replica in programs},
+    )
+    return visited

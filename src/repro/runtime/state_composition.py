@@ -1,0 +1,141 @@
+"""Composition of state-based objects (Sec. 5 ⊗ts, state-based flavour).
+
+Several state-based objects replicated over the same nodes, with a *global*
+visibility relation (an operation sees every operation — of any object —
+already in its replica's label set) and a **shared Lamport clock**: a fresh
+timestamp dominates the timestamps of all operations visible at the
+replica, regardless of object (the ⊗ts discipline of Fig. 11, which
+Theorem 5.5 needs for timestamp-ordered objects such as the
+LWW-Element-Set).
+
+Messages are per-object snapshots tagged with the sender's *full* label set
+so that cross-object visibility propagates with the payload.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import PreconditionViolation, SchedulingError
+from ..core.history import History
+from ..core.label import Label
+from ..core.timestamp import BOTTOM, TimestampGenerator
+from ..crdts.base import StateBasedCRDT
+
+
+@dataclass(frozen=True)
+class ObjectMessage:
+    """A GENERATE'd snapshot of one object at one replica."""
+
+    msg_id: int
+    sender: str
+    obj: str
+    labels: FrozenSet[Label]
+    state: Any
+
+
+class ComposedStateSystem:
+    """Multiple state-based objects with shared clock and global vis."""
+
+    def __init__(
+        self,
+        objects: Dict[str, StateBasedCRDT],
+        replicas: Sequence[str] = ("r1", "r2", "r3"),
+        shared_timestamps: bool = True,
+    ) -> None:
+        if not objects:
+            raise ValueError("need at least one object")
+        self.objects = dict(objects)
+        self.replicas = list(replicas)
+        self.shared_timestamps = shared_timestamps
+        if shared_timestamps:
+            shared = TimestampGenerator()
+            self._generators = {name: shared for name in self.objects}
+        else:
+            self._generators = {
+                name: TimestampGenerator() for name in self.objects
+            }
+        self._states: Dict[Tuple[str, str], Any] = {
+            (r, name): crdt.initial_state()
+            for r in self.replicas
+            for name, crdt in self.objects.items()
+        }
+        self._seen: Dict[str, Set[Label]] = {r: set() for r in self.replicas}
+        self._vis: Set[Tuple[Label, Label]] = set()
+        self.messages: List[ObjectMessage] = []
+        self.generation_order: List[Label] = []
+
+    def invoke(
+        self, replica: str, method: str, args: Tuple = (),
+        obj: Optional[str] = None,
+    ) -> Label:
+        if obj is None:
+            if len(self.objects) != 1:
+                raise SchedulingError("object name required")
+            obj = next(iter(self.objects))
+        crdt = self.objects[obj]
+        state = self._states[(replica, obj)]
+        if not crdt.precondition(state, method, tuple(args)):
+            raise PreconditionViolation(
+                f"{obj}.{method}{tuple(args)!r} fails at {replica}"
+            )
+        if method in crdt.timestamped_methods:
+            ts = self._generators[obj].fresh(replica)
+        else:
+            ts = BOTTOM
+        ret, new_state = crdt.apply(state, method, tuple(args), ts, replica)
+        label = Label(
+            method, tuple(args), ret=ret, ts=ts, obj=obj, origin=replica
+        )
+        for prior in self._seen[replica]:
+            self._vis.add((prior, label))
+        self._seen[replica].add(label)
+        self._states[(replica, obj)] = new_state
+        self.generation_order.append(label)
+        return label
+
+    def send(self, replica: str, obj: str) -> ObjectMessage:
+        message = ObjectMessage(
+            msg_id=len(self.messages),
+            sender=replica,
+            obj=obj,
+            labels=frozenset(self._seen[replica]),
+            state=self._states[(replica, obj)],
+        )
+        self.messages.append(message)
+        return message
+
+    def receive(self, replica: str, message: ObjectMessage) -> None:
+        crdt = self.objects[message.obj]
+        self._states[(replica, message.obj)] = crdt.merge(
+            self._states[(replica, message.obj)], message.state
+        )
+        # Only same-object labels become "seen" (their effects arrived);
+        # a shared clock still advances from the payload's timestamps.
+        self._seen[replica] |= {
+            l for l in message.labels if l.obj == message.obj
+        }
+        for ts in crdt.timestamps_in_state(message.state):
+            self._generators[message.obj].observe(replica, ts)
+
+    def gossip(self, source: str, target: str) -> None:
+        for obj in self.objects:
+            self.receive(target, self.send(source, obj))
+
+    def sync_all(self, rounds: int = 2) -> None:
+        for _ in range(rounds):
+            snapshots = [
+                (target, self.send(source, obj))
+                for source in self.replicas
+                for obj in self.objects
+                for target in self.replicas
+                if target != source
+            ]
+            for target, message in snapshots:
+                self.receive(target, message)
+
+    def state(self, replica: str, obj: str) -> Any:
+        return self._states[(replica, obj)]
+
+    def history(self) -> History:
+        return History(self.generation_order, self._vis, check=False,
+                       transitive=False)

@@ -1,0 +1,232 @@
+"""Operational semantics of op-based CRDT objects (Fig. 7) and of object
+compositions ⊗ / ⊗ts (Sec. 5.1, Fig. 11).
+
+A :class:`OpBasedSystem` is a global configuration ``(G, vis, DS)``:
+
+* per replica, a local configuration ``(L, σ)`` — the set of labels whose
+  effectors have been applied there, and the replica state;
+* the visibility relation ``vis`` (transitively closed by construction:
+  a new operation sees *everything* in the origin's ``L``);
+* ``DS``, the map from labels to their effectors.
+
+Every operation — queries included — produces an effector (the identity for
+queries) that is broadcast and applied exactly once per replica, under
+**causal delivery**: an effector is deliverable only when every visible
+operation *of the same object* has already been applied (the paper's
+``minvis`` side condition; for compositions, causal delivery holds per
+object only — Sec. 5.1).
+
+Timestamps come from :class:`~repro.core.timestamp.TimestampGenerator`
+instances.  A composition built with ``shared_timestamps=True`` is the
+shared-timestamp-generator composition ⊗ts of Fig. 11: a fresh timestamp
+exceeds the timestamps of *all* operations visible at the replica,
+regardless of object.  With independent generators (⊗), objects' timestamps
+may interleave inconsistently — which is exactly what enables the Fig. 10
+counterexample.
+"""
+
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.errors import PreconditionViolation, SchedulingError
+from ..core.history import History
+from ..core.label import Label
+from ..core.timestamp import BOTTOM, TimestampGenerator
+from ..crdts.base import Effector, OpBasedCRDT
+
+DEFAULT_OBJECT = "o"
+
+
+class OpBasedSystem:
+    """A replicated system running one or more op-based CRDT objects."""
+
+    def __init__(
+        self,
+        objects: "Mapping[str, OpBasedCRDT] | OpBasedCRDT",
+        replicas: Sequence[str] = ("r1", "r2", "r3"),
+        shared_timestamps: bool = True,
+    ) -> None:
+        if isinstance(objects, OpBasedCRDT):
+            objects = {DEFAULT_OBJECT: objects}
+        if not objects:
+            raise ValueError("need at least one object")
+        self.objects: Dict[str, OpBasedCRDT] = dict(objects)
+        self.replicas: List[str] = list(replicas)
+        self.shared_timestamps = shared_timestamps
+        if shared_timestamps:
+            shared = TimestampGenerator()
+            self._generators = {name: shared for name in self.objects}
+        else:
+            self._generators = {
+                name: TimestampGenerator() for name in self.objects
+            }
+        self._states: Dict[Tuple[str, str], Any] = {
+            (r, name): crdt.initial_state()
+            for r in self.replicas
+            for name, crdt in self.objects.items()
+        }
+        self._seen: Dict[str, Set[Label]] = {r: set() for r in self.replicas}
+        self._vis: Set[Tuple[Label, Label]] = set()
+        # Same-object visible predecessors, for causal-delivery checks.
+        self._causal_preds: Dict[Label, FrozenSet[Label]] = {}
+        self._effectors: Dict[Label, Optional[Effector]] = {}
+        self.generation_order: List[Label] = []
+        #: Action trace: ("gen"|"eff", replica, label).
+        self.trace: List[Tuple[str, str, Label]] = []
+
+    # ------------------------------------------------------------------
+    # OPERATION rule
+    # ------------------------------------------------------------------
+
+    def invoke(
+        self,
+        replica: str,
+        method: str,
+        args: Tuple = (),
+        obj: Optional[str] = None,
+    ) -> Label:
+        """Execute a generator at ``replica`` (the OPERATION rule)."""
+        obj = self._resolve_object(obj)
+        crdt = self.objects[obj]
+        state = self._states[(replica, obj)]
+        if not crdt.precondition(state, method, tuple(args)):
+            raise PreconditionViolation(
+                f"{obj}.{method}{tuple(args)!r} precondition fails at "
+                f"{replica} (state {state!r})"
+            )
+        if method in crdt.timestamped_methods:
+            ts = self._generators[obj].fresh(replica)
+        else:
+            ts = BOTTOM
+        result = crdt.generator(state, method, tuple(args), ts)
+        label = Label(
+            method, tuple(args), ret=result.ret, ts=ts, obj=obj,
+            origin=replica,
+        )
+        for prior in self._seen[replica]:
+            self._vis.add((prior, label))
+        self._causal_preds[label] = frozenset(
+            prior for prior in self._seen[replica] if prior.obj == obj
+        )
+        self._seen[replica].add(label)
+        self._effectors[label] = result.effector
+        if result.effector is not None:
+            self._states[(replica, obj)] = crdt.apply_effector(
+                state, result.effector
+            )
+        self.generation_order.append(label)
+        self.trace.append(("gen", replica, label))
+        return label
+
+    def _resolve_object(self, obj: Optional[str]) -> str:
+        if obj is not None:
+            if obj not in self.objects:
+                raise SchedulingError(f"unknown object {obj!r}")
+            return obj
+        if len(self.objects) == 1:
+            return next(iter(self.objects))
+        raise SchedulingError(
+            "object name required: the system hosts several objects"
+        )
+
+    # ------------------------------------------------------------------
+    # EFFECTOR rule
+    # ------------------------------------------------------------------
+
+    def deliverable(self, replica: str) -> List[Label]:
+        """Labels whose effectors may be applied at ``replica`` now.
+
+        Causal delivery: every same-object visible predecessor must already
+        be applied there (the ``minvis`` condition of Fig. 7, weakened to
+        per-object for compositions as in Sec. 5.1).
+        """
+        seen = self._seen[replica]
+        candidates = []
+        for label in self.generation_order:
+            if label in seen:
+                continue
+            if all(src in seen for src in self._causal_preds[label]):
+                candidates.append(label)
+        return candidates
+
+    def deliver(self, replica: str, label: Label) -> None:
+        """Apply ``label``'s effector at ``replica`` (the EFFECTOR rule)."""
+        if label in self._seen[replica]:
+            raise SchedulingError(f"{label!r} already applied at {replica}")
+        if label not in self._effectors:
+            raise SchedulingError(f"{label!r} was never generated here")
+        for src in self._causal_preds[label]:
+            if src not in self._seen[replica]:
+                raise SchedulingError(
+                    f"causal delivery violated: {src!r} not yet applied "
+                    f"at {replica} but visible to {label!r}"
+                )
+        effector = self._effectors[label]
+        if effector is not None:
+            obj = label.obj
+            crdt = self.objects[obj]
+            self._states[(replica, obj)] = crdt.apply_effector(
+                self._states[(replica, obj)], effector
+            )
+        self._seen[replica].add(label)
+        # With a shared generator (⊗ts) this advances the one global clock;
+        # with independent generators (⊗) only the label's own object's.
+        self._generators[label.obj].observe(replica, label.ts)
+        self.trace.append(("eff", replica, label))
+
+    def deliver_all(self) -> None:
+        """Deliver every pending effector everywhere (quiescence)."""
+        progress = True
+        while progress:
+            progress = False
+            for replica in self.replicas:
+                for label in self.deliverable(replica):
+                    self.deliver(replica, label)
+                    progress = True
+
+    def sync(self, replica: str) -> None:
+        """Deliver everything currently deliverable at one replica."""
+        delivered = True
+        while delivered:
+            delivered = False
+            for label in self.deliverable(replica):
+                self.deliver(replica, label)
+                delivered = True
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def state(self, replica: str, obj: Optional[str] = None) -> Any:
+        return self._states[(replica, self._resolve_object(obj))]
+
+    def effector_of(self, label: Label) -> Optional[Effector]:
+        """The effector produced by ``label`` (None for queries)."""
+        return self._effectors[label]
+
+    def seen(self, replica: str) -> FrozenSet[Label]:
+        return frozenset(self._seen[replica])
+
+    def history(self) -> History:
+        labels = list(self.generation_order)
+        return History(labels, self._vis, check=False, transitive=False)
+
+    def replica_views(
+        self, obj: Optional[str] = None
+    ) -> Dict[str, Tuple[FrozenSet[Label], Any]]:
+        """Per-replica (visible same-object updates, state) — for the
+        convergence oracle."""
+        obj = self._resolve_object(obj)
+        views = {}
+        for replica in self.replicas:
+            visible = frozenset(
+                l for l in self._seen[replica]
+                if l.obj == obj and self._effectors.get(l) is not None
+            )
+            views[replica] = (visible, self._states[(replica, obj)])
+        return views
+
+    def pending_count(self) -> int:
+        """Number of (label, replica) deliveries still outstanding."""
+        return sum(
+            len(self.deliverable(replica)) for replica in self.replicas
+        )

@@ -1,0 +1,169 @@
+"""Randomized workload generators, one per data type.
+
+A workload proposes, given a replica's current state, a *valid* next
+invocation (respecting the generator preconditions of Listing 1/5 etc.).
+Workloads are deliberately biased toward the conflict patterns each paper
+example exercises: OR-Set draws from a small value pool so concurrent
+add/remove conflicts actually happen; list workloads insert fresh values at
+observed anchors; 2P-Set adds each value at most once (the paper's usage
+assumption).
+"""
+
+import itertools
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Optional, Tuple
+
+from ..core.sentinels import BEGIN, END, ROOT
+from ..crdts.opbased.rga import traverse, tree_elements
+
+Invocation = Tuple[str, Tuple[Any, ...]]
+
+
+class Workload(ABC):
+    """Proposes the next invocation for a replica, given its state."""
+
+    @abstractmethod
+    def propose(self, state: Any, rng: random.Random) -> Optional[Invocation]:
+        """A valid ``(method, args)``, or None when nothing applies."""
+
+
+class CounterWorkload(Workload):
+    def propose(self, state, rng) -> Optional[Invocation]:
+        return rng.choice([("inc", ()), ("dec", ()), ("read", ())])
+
+
+class GCounterWorkload(Workload):
+    def propose(self, state, rng) -> Optional[Invocation]:
+        return rng.choice([("inc", ()), ("inc", ()), ("read", ())])
+
+
+class RegisterWorkload(Workload):
+    def __init__(self, values: Tuple[Any, ...] = ("a", "b", "c", "d")):
+        self._values = values
+
+    def propose(self, state, rng) -> Optional[Invocation]:
+        if rng.random() < 0.6:
+            return ("write", (rng.choice(self._values),))
+        return ("read", ())
+
+
+class ORSetWorkload(Workload):
+    def __init__(self, values: Tuple[Any, ...] = ("a", "b", "c")):
+        self._values = values
+
+    def propose(self, state, rng) -> Optional[Invocation]:
+        roll = rng.random()
+        if roll < 0.45:
+            return ("add", (rng.choice(self._values),))
+        if roll < 0.8:
+            return ("remove", (rng.choice(self._values),))
+        return ("read", ())
+
+
+class TwoPSetWorkload(Workload):
+    """Adds are globally fresh; removes only target live elements."""
+
+    def __init__(self) -> None:
+        self._fresh = itertools.count(1)
+
+    def propose(self, state, rng) -> Optional[Invocation]:
+        added, removed = state
+        live = sorted(added - removed)
+        roll = rng.random()
+        if roll < 0.5 or not live:
+            return ("add", (f"e{next(self._fresh)}",))
+        if roll < 0.8:
+            return ("remove", (rng.choice(live),))
+        return ("read", ())
+
+
+class GSetWorkload(Workload):
+    def __init__(self, values: Tuple[Any, ...] = ("a", "b", "c", "d")):
+        self._values = values
+
+    def propose(self, state, rng) -> Optional[Invocation]:
+        if rng.random() < 0.7:
+            return ("add", (rng.choice(self._values),))
+        return ("read", ())
+
+
+class LWWSetWorkload(Workload):
+    def __init__(self, values: Tuple[Any, ...] = ("a", "b", "c")):
+        self._values = values
+
+    def propose(self, state, rng) -> Optional[Invocation]:
+        roll = rng.random()
+        if roll < 0.4:
+            return ("add", (rng.choice(self._values),))
+        if roll < 0.75:
+            return ("remove", (rng.choice(self._values),))
+        return ("read", ())
+
+
+class RGAWorkload(Workload):
+    """Inserts fresh values after observed live anchors (or ◦)."""
+
+    def __init__(self) -> None:
+        self._fresh = itertools.count(1)
+
+    def propose(self, state, rng) -> Optional[Invocation]:
+        nodes, tombs = state
+        live = [e for e in tree_elements(nodes) if e not in tombs]
+        roll = rng.random()
+        if roll < 0.55 or not live:
+            anchor = rng.choice(live + [ROOT]) if live else ROOT
+            return ("addAfter", (anchor, f"x{next(self._fresh)}"))
+        if roll < 0.8:
+            return ("remove", (rng.choice(sorted(live)),))
+        return ("read", ())
+
+
+class RGAAddAtWorkload(Workload):
+    def __init__(self) -> None:
+        self._fresh = itertools.count(1)
+
+    def propose(self, state, rng) -> Optional[Invocation]:
+        nodes, tombs = state
+        visible = traverse(nodes, tombs)
+        roll = rng.random()
+        if roll < 0.55 or not visible:
+            index = rng.randint(0, len(visible) + 1)
+            return ("addAt", (f"x{next(self._fresh)}", index))
+        if roll < 0.8:
+            return ("remove", (rng.choice(visible),))
+        return ("read", ())
+
+
+class WookiWorkload(Workload):
+    def __init__(self) -> None:
+        self._fresh = itertools.count(1)
+
+    def propose(self, state, rng) -> Optional[Invocation]:
+        chars = state
+        values = [c.value for c in chars]
+        visible_live = [
+            c.value for c in chars
+            if c.visible and c.value not in (BEGIN, END)
+        ]
+        roll = rng.random()
+        if roll < 0.55 or not visible_live:
+            lo = rng.randrange(0, len(values) - 1)
+            hi = rng.randrange(lo + 1, len(values))
+            return (
+                "addBetween",
+                (values[lo], f"w{next(self._fresh)}", values[hi]),
+            )
+        if roll < 0.8:
+            return ("remove", (rng.choice(visible_live),))
+        return ("read", ())
+
+
+class MVRegisterWorkload(Workload):
+    def __init__(self, values: Tuple[Any, ...] = ("a", "b", "c", "d")):
+        self._values = values
+
+    def propose(self, state, rng) -> Optional[Invocation]:
+        if rng.random() < 0.6:
+            return ("write", (rng.choice(self._values),))
+        return ("read", ())

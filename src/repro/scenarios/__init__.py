@@ -1,0 +1,23 @@
+"""Executable reconstructions of the paper's figures and examples."""
+
+from .figures import (
+    Scenario,
+    fig2_rga_conflict,
+    fig5a_orset,
+    fig8_rga,
+    fig9_two_orsets,
+    fig10_two_rgas,
+    fig14_addat,
+    section33_programs,
+)
+
+__all__ = [
+    "Scenario",
+    "fig10_two_rgas",
+    "fig14_addat",
+    "fig2_rga_conflict",
+    "fig5a_orset",
+    "fig8_rga",
+    "fig9_two_orsets",
+    "section33_programs",
+]

@@ -1,0 +1,190 @@
+"""Executable reconstructions of the paper's figures.
+
+Each function drives the operational semantics to produce exactly the
+execution a figure depicts (adapted to Lamport timestamps) and returns the
+finished system plus the labels the figure names.  Tests, benchmarks, and
+examples all share these builders.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from ..core.history import History
+from ..core.label import Label
+from ..core.sentinels import ROOT
+from ..crdts.opbased import OpORSet, OpRGA, OpRGAAddAt
+from ..runtime.composition import composed, composed_ts
+from ..runtime.system import OpBasedSystem
+
+
+@dataclass
+class Scenario:
+    """A finished execution plus the figure's named labels."""
+
+    system: OpBasedSystem
+    labels: Dict[str, Label]
+
+    @property
+    def history(self) -> History:
+        return self.system.history()
+
+
+def fig2_rga_conflict() -> Scenario:
+    """Fig. 2: RGA conflict resolution.
+
+    Starting from ``a·b·e·f``-style state (here ``a·b·c``), two replicas
+    concurrently ``addAfter(c, d)`` and ``addAfter(c, e)``; after mutual
+    propagation both converge (higher timestamp first), and ``remove(d)``
+    tombstones ``d``.
+    """
+    system = OpBasedSystem(OpRGA(), replicas=("r1", "r2"))
+    la = system.invoke("r1", "addAfter", (ROOT, "a"))
+    lc = system.invoke("r1", "addAfter", ("a", "c"))   # tc < tb, as in Fig. 2
+    lb = system.invoke("r1", "addAfter", ("a", "b"))
+    system.deliver_all()
+    ld = system.invoke("r1", "addAfter", ("c", "d"))
+    le = system.invoke("r2", "addAfter", ("c", "e"))
+    system.deliver_all()
+    lrm = system.invoke("r2", "remove", ("d",))
+    system.deliver_all()
+    read = system.invoke("r1", "read")
+    system.deliver_all()
+    return Scenario(system, {
+        "addAfter(◦,a)": la, "addAfter(a,b)": lb, "addAfter(a,c)": lc,
+        "addAfter(c,d)": ld, "addAfter(c,e)": le, "remove(d)": lrm,
+        "read": read,
+    })
+
+
+def fig5a_orset() -> Scenario:
+    """Fig. 5a: the OR-Set execution that defeats standard linearizability.
+
+    Each replica adds ``a`` and ``b`` and removes one element having seen
+    only its own adds; after full propagation both reads return ``{a, b}``
+    — impossible for any whole-prefix linearization of a sequential Set.
+    """
+    system = OpBasedSystem(OpORSet(), replicas=("r1", "r2"))
+    a1 = system.invoke("r1", "add", ("a",))
+    b1 = system.invoke("r1", "add", ("b",))
+    ra = system.invoke("r1", "remove", ("a",))
+    b2 = system.invoke("r2", "add", ("b",))
+    a2 = system.invoke("r2", "add", ("a",))
+    rb = system.invoke("r2", "remove", ("b",))
+    system.deliver_all()
+    read1 = system.invoke("r1", "read")
+    read2 = system.invoke("r2", "read")
+    system.deliver_all()
+    return Scenario(system, {
+        "add(a)@r1": a1, "add(b)@r1": b1, "remove(a)": ra,
+        "add(b)@r2": b2, "add(a)@r2": a2, "remove(b)": rb,
+        "read@r1": read1, "read@r2": read2,
+    })
+
+
+def fig8_rga() -> Scenario:
+    """Fig. 8: the RGA execution separating EO from TO linearizations.
+
+    ``addAfter(◦,b)`` executes first (at r2) but draws the *larger*
+    timestamp; a read at r1 seeing both inserts returns ``b·a``, which only
+    the timestamp-order linearization explains.
+    """
+    system = OpBasedSystem(OpRGA(), replicas=("r1", "r2"))
+    lb = system.invoke("r2", "addAfter", (ROOT, "b"))   # ℓ2, ts (1,r2)
+    la = system.invoke("r1", "addAfter", (ROOT, "a"))   # ℓ1, ts (1,r1) < ℓ2
+    system.deliver("r1", lb)
+    read = system.invoke("r1", "read")                   # ℓ4 ⇒ b·a
+    lc = system.invoke("r2", "addAfter", ("b", "c"))     # ℓ3, ts (2,r2)
+    system.deliver_all()
+    return Scenario(system, {
+        "ℓ1": la, "ℓ2": lb, "ℓ3": lc, "ℓ4": read,
+    })
+
+
+def fig9_two_orsets() -> Scenario:
+    """Fig. 9: two OR-Sets whose per-object linearizations need not merge.
+
+    No deliveries: each operation is visible only at its origin, so
+    visibility is the two program orders.
+    """
+    system = composed({"o1": OpORSet(), "o2": OpORSet()},
+                      replicas=("r1", "r2"))
+    ld = system.invoke("r1", "add", ("d",), obj="o1")
+    la = system.invoke("r1", "add", ("a",), obj="o2")
+    lb = system.invoke("r2", "add", ("b",), obj="o2")
+    lc = system.invoke("r2", "add", ("c",), obj="o1")
+    return Scenario(system, {
+        "o1.add(d)": ld, "o2.add(a)": la, "o2.add(b)": lb, "o1.add(c)": lc,
+    })
+
+
+def fig10_two_rgas(shared_timestamps: bool) -> Scenario:
+    """Fig. 10: two RGAs under ⊗ (independent clocks) or ⊗ts (shared).
+
+    Under ⊗, the interleaved timestamp pattern ``ts1<ts2<ts3`` (o2) and
+    ``ts'1<ts'2`` (o1) arises with ``e`` visible to ``a``, and the composed
+    history is *not* RA-linearizable.  Under ⊗ts the same action sequence
+    yields coherent timestamps and the history is RA-linearizable.
+    """
+    make = composed_ts if shared_timestamps else composed
+    system = make({"o1": OpRGA(), "o2": OpRGA()}, replicas=("r1", "r2", "r3"))
+    lc = system.invoke("r1", "addAfter", (ROOT, "c"), obj="o2")   # ts1
+    lb = system.invoke("r2", "addAfter", (ROOT, "b"), obj="o1")   # ts'2
+    le = system.invoke("r3", "addAfter", (ROOT, "e"), obj="o2")   # ts3
+    system.deliver("r1", le)  # e becomes visible before a is issued
+    la = system.invoke("r1", "addAfter", (ROOT, "a"), obj="o1")   # ts'1
+    ld = system.invoke("r2", "addAfter", (ROOT, "d"), obj="o2")   # ts2
+    system.deliver_all()
+    read_o2 = system.invoke("r3", "read", (), obj="o2")
+    read_o1 = system.invoke("r3", "read", (), obj="o1")
+    system.deliver_all()
+    return Scenario(system, {
+        "o2.addAfter(◦,c)": lc, "o1.addAfter(◦,b)": lb,
+        "o2.addAfter(◦,e)": le, "o1.addAfter(◦,a)": la,
+        "o2.addAfter(◦,d)": ld,
+        "o2.read": read_o2, "o1.read": read_o1,
+    })
+
+
+def fig14_addat() -> Scenario:
+    """Fig. 14 / Lemma C.1: the ``addAt`` history with read ``d·e·c``.
+
+    Visibility: ``addAt(a,0) ≺ addAt(b,0)`` (r1), then r2 runs
+    ``remove(b); addAt(c,1)`` and r3 runs ``addAt(d,0); remove(a);
+    addAt(e,2)`` — exactly the partial order whose ten linear extensions
+    Lemma C.1 enumerates.  Not RA-linearizable w.r.t. Spec(addAt1) or
+    Spec(addAt2); RA-linearizable w.r.t. Spec(addAt3) (Lemma C.2).
+    """
+    system = OpBasedSystem(OpRGAAddAt(), replicas=("r1", "r2", "r3"))
+    la = system.invoke("r1", "addAt", ("a", 0))
+    lb = system.invoke("r1", "addAt", ("b", 0))
+    for label in (la, lb):
+        system.deliver("r2", label)
+        system.deliver("r3", label)
+    lrb = system.invoke("r2", "remove", ("b",))
+    lc = system.invoke("r2", "addAt", ("c", 1))
+    ld = system.invoke("r3", "addAt", ("d", 0))
+    lra = system.invoke("r3", "remove", ("a",))
+    le = system.invoke("r3", "addAt", ("e", 2))
+    system.deliver_all()
+    read = system.invoke("r2", "read")
+    system.deliver_all()
+    return Scenario(system, {
+        "addAt(a,0)": la, "addAt(b,0)": lb, "remove(b)": lrb,
+        "addAt(c,1)": lc, "addAt(d,0)": ld, "remove(a)": lra,
+        "addAt(e,2)": le, "read": read,
+    })
+
+
+def section33_programs() -> Tuple[Dict[str, Any], Any]:
+    """Sec. 3.3: the client programs and post-condition ``a∈X ⇒ a∈Y``."""
+    programs = {
+        "r1": [("add", ("a",)), ("remove", ("a",)), ("read", ())],
+        "r2": [("add", ("a",)), ("read", ())],
+    }
+
+    def postcondition(returns: Dict[str, Any]) -> bool:
+        x = returns["r1"][2]
+        y = returns["r2"][1]
+        return ("a" not in x) or ("a" in y)
+
+    return programs, postcondition

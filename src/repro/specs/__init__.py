@@ -1,0 +1,26 @@
+"""Sequential specifications of all data types studied in the paper."""
+
+from .addat import AddAt1Spec, AddAt2Spec, AddAt3Spec
+from .counter import CounterSpec
+from .mvregister import MVRegisterRewriting, MVRegisterSpec
+from .orset import ORSetRewriting, ORSetSpec, plain_set_view
+from .register import LWWRegisterSpec
+from .rga import RGASpec
+from .setspec import SetSpec
+from .wooki import WookiSpec
+
+__all__ = [
+    "AddAt1Spec",
+    "AddAt2Spec",
+    "AddAt3Spec",
+    "CounterSpec",
+    "LWWRegisterSpec",
+    "MVRegisterRewriting",
+    "MVRegisterSpec",
+    "ORSetRewriting",
+    "ORSetSpec",
+    "plain_set_view",
+    "RGASpec",
+    "SetSpec",
+    "WookiSpec",
+]

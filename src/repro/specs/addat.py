@@ -1,0 +1,156 @@
+"""The three list-with-index (``addAt``) specifications of Appendix C.
+
+The paper uses these to show that RA-linearizability is sensitive to the
+data type's API:
+
+* ``Spec(addAt1)`` — no tombstones: ``addAt(a,k)`` inserts at index ``k`` of
+  the *live* list.  RGA-with-addAt is **not** RA-linearizable w.r.t. it
+  (Lemma C.1, Fig. 14).
+* ``Spec(addAt2)`` — tombstones, index counted over live elements only; the
+  insert position among tombstoned neighbours is nondeterministic.  Also not
+  RA-linearizable for RGA-with-addAt (Lemma C.1: its admitted sequences are
+  included in Spec(addAt1)'s when each value is removed at most once).
+* ``Spec(addAt3)`` — operations *return* the local list content, and the
+  index is interpreted against a sub-sequence of the abstract list (the
+  origin replica's view).  RGA-with-addAt **is** RA-linearizable w.r.t. it
+  (Lemma C.2).
+"""
+
+from typing import Any, FrozenSet, Iterable, List, Set, Tuple
+
+from ..core.label import Label
+from ..core.spec import Role, SequentialSpec
+from .sequences import insert_at, is_subsequence, without
+
+_ROLES = {
+    "addAt": Role.UPDATE,
+    "remove": Role.UPDATE,
+    "read": Role.QUERY,
+}
+
+PlainState = Tuple[Any, ...]
+TombState = Tuple[Tuple[Any, ...], FrozenSet[Any]]
+
+
+class AddAt1Spec(SequentialSpec):
+    """``Spec(addAt1)``: live list, physical removal."""
+
+    name = "Spec(addAt1)"
+
+    def initial(self) -> PlainState:
+        return ()
+
+    def step(self, state: PlainState, label: Label) -> Iterable[PlainState]:
+        if label.method == "addAt":
+            value, index = label.args
+            if value in state:
+                return []
+            position = index if index <= len(state) else len(state)
+            return [insert_at(state, position, value)]
+        if label.method == "remove":
+            (value,) = label.args
+            if value not in state:
+                return []
+            return [tuple(x for x in state if x != value)]
+        if label.method == "read":
+            return [state] if label.ret == state else []
+        raise KeyError(label.method)
+
+    def role(self, method: str) -> Role:
+        return _ROLES[method]
+
+
+class AddAt2Spec(SequentialSpec):
+    """``Spec(addAt2)``: tombstoned list, live index, nondeterministic."""
+
+    name = "Spec(addAt2)"
+
+    def initial(self) -> TombState:
+        return ((), frozenset())
+
+    def step(self, state: TombState, label: Label) -> Iterable[TombState]:
+        sequence, tombs = state
+        if label.method == "addAt":
+            value, index = label.args
+            if value in sequence:
+                return []
+            successors: Set[TombState] = set()
+            live = without(sequence, tombs)
+            for split in range(len(sequence) + 1):
+                prefix_live = without(sequence[:split], tombs)
+                if len(prefix_live) == index:
+                    successors.add((insert_at(sequence, split, value), tombs))
+            if len(live) < index:
+                successors.add((sequence + (value,), tombs))
+            return sorted(successors)
+        if label.method == "remove":
+            (value,) = label.args
+            if value not in sequence:
+                return []
+            return [(sequence, tombs | {value})]
+        if label.method == "read":
+            visible = without(sequence, tombs)
+            return [state] if label.ret == visible else []
+        raise KeyError(label.method)
+
+    def role(self, method: str) -> Role:
+        return _ROLES[method]
+
+
+class AddAt3Spec(SequentialSpec):
+    """``Spec(addAt3)``: local-view returns, sub-sequence index semantics."""
+
+    name = "Spec(addAt3)"
+
+    def initial(self) -> TombState:
+        return ((), frozenset())
+
+    def _addat_successors(
+        self, state: TombState, value: Any, index: int, returned: Tuple
+    ) -> List[TombState]:
+        sequence, tombs = state
+        if value in sequence:
+            return []
+        if returned.count(value) != 1:
+            return []
+        at = returned.index(value)
+        rest = returned[:at] + returned[at + 1:]
+        if not is_subsequence(rest, sequence):
+            return []
+        successors: Set[TombState] = set()
+        if at == 0:
+            # b = ◦: the origin's view was empty, or a head insert (k = 0).
+            if len(returned) == 1 or index == 0:
+                successors.add((insert_at(sequence, 0, value), tombs))
+        else:
+            anchor = returned[at - 1]
+            matches_rule1 = at == index
+            matches_rule2 = at == len(returned) - 1 and at < index
+            if matches_rule1 or matches_rule2:
+                spot = sequence.index(anchor) + 1
+                successors.add((insert_at(sequence, spot, value), tombs))
+        return sorted(successors)
+
+    def step(self, state: TombState, label: Label) -> Iterable[TombState]:
+        sequence, tombs = state
+        if label.method == "addAt":
+            value, index = label.args
+            returned = label.ret if isinstance(label.ret, tuple) else ()
+            return self._addat_successors(state, value, index, returned)
+        if label.method == "remove":
+            (value,) = label.args
+            if value not in sequence:
+                return []
+            returned = label.ret if isinstance(label.ret, tuple) else None
+            if returned is None:
+                return []
+            if value in returned or not is_subsequence(returned, sequence):
+                return []
+            return [(sequence, tombs | {value})]
+        if label.method == "read":
+            visible = without(sequence, tombs)
+            return [state] if label.ret == visible else []
+        raise KeyError(label.method)
+
+    def role(self, method: str) -> Role:
+        return _ROLES[method]

@@ -1,0 +1,37 @@
+"""Sequential specification of a counter (Example 3.2 / Appendix B.1).
+
+The abstract state is an integer; ``inc``/``dec`` shift it by ±1 and
+``read() ⇒ k`` is admitted exactly when ``k`` equals the state.
+"""
+
+from typing import Any, Iterable
+
+from ..core.label import Label
+from ..core.spec import Role, SequentialSpec
+
+_ROLES = {
+    "inc": Role.UPDATE,
+    "dec": Role.UPDATE,
+    "read": Role.QUERY,
+}
+
+
+class CounterSpec(SequentialSpec):
+    """``Spec(Counter)``."""
+
+    name = "Spec(Counter)"
+
+    def initial(self) -> int:
+        return 0
+
+    def step(self, state: int, label: Label) -> Iterable[Any]:
+        if label.method == "inc":
+            return [state + 1]
+        if label.method == "dec":
+            return [state - 1]
+        if label.method == "read":
+            return [state] if label.ret == state else []
+        raise KeyError(label.method)
+
+    def role(self, method: str) -> Role:
+        return _ROLES[method]

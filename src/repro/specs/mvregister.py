@@ -1,0 +1,85 @@
+"""Sequential specification of the multi-value register (Appendix D.3/E.1).
+
+The abstract state is a set of ``(value, id)`` pairs where identifiers are
+partially ordered (version vectors in the Dynamo-style implementation).
+``write(a, id)`` is admitted when ``id`` is not dominated by any identifier
+already present; it inserts ``(a, id)`` and evicts every strictly-smaller
+pair.  ``read() ⇒ S`` returns the current set of values — possibly more than
+one, which is exactly the behaviour the paper insists a faithful MVR
+specification must expose (Sec. 1, "Simpler specifications, not simplistic
+specifications").
+
+The query-update rewriting for the implementation maps
+``write(a) ⇒ V'`` to the single update label ``write(a, V')`` (the fresh
+version vector acts as a unique identifier).
+"""
+
+from typing import Any, FrozenSet, Iterable, Tuple
+
+from ..core.label import Label
+from ..core.rewriting import QueryUpdateRewriting, Rewritten
+from ..core.spec import Role, SequentialSpec
+from ..core.timestamp import VersionVector
+
+_ROLES = {
+    "write": Role.UPDATE,
+    "read": Role.QUERY,
+}
+
+Pair = Tuple[Any, VersionVector]
+
+
+class MVRegisterSpec(SequentialSpec):
+    """``Spec(MV-Reg)``: abstract state is a set of (value, id) pairs."""
+
+    name = "Spec(MV-Reg)"
+
+    def initial(self) -> FrozenSet[Pair]:
+        return frozenset()
+
+    def step(self, state: FrozenSet[Pair], label: Label) -> Iterable[Any]:
+        if label.method == "write":
+            value, vv = label.args
+            if any(vv.leq(other) for _, other in state):
+                return []
+            survivors = {
+                (v, other) for v, other in state if not other.lt(vv)
+            }
+            return [frozenset(survivors | {(value, vv)})]
+        if label.method == "read":
+            values = frozenset(v for v, _ in state)
+            return [state] if label.ret == values else []
+        raise KeyError(label.method)
+
+    def role(self, method: str) -> Role:
+        return _ROLES[method]
+
+
+class MVRegisterRewriting(QueryUpdateRewriting):
+    """γ for the state-based MVR: ``write(a) ⇒ V'  ↦  write(a, V')``.
+
+    The implementation records the freshly generated version vector as the
+    operation's return value; the rewriting folds it into the arguments of a
+    plain update label.
+    """
+
+    def __init__(self) -> None:
+        self._cache = {}
+
+    def rewrite(self, label: Label) -> Rewritten:
+        if label not in self._cache:
+            if label.method == "write":
+                (value,) = label.args
+                vv = label.ret
+                image = Label(
+                    "write",
+                    (value, vv),
+                    ret=None,
+                    ts=label.ts,
+                    obj=label.obj,
+                    origin=label.origin,
+                )
+                self._cache[label] = (image,)
+            else:
+                self._cache[label] = (label,)
+        return self._cache[label]

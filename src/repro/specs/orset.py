@@ -1,0 +1,132 @@
+"""Sequential specification of the OR-Set and its rewriting (Example 3.4/3.6).
+
+The OR-Set's ``remove`` is a *query-update*: its generator observes the
+element-identifier pairs currently visible (``readIds``) and its effector
+removes exactly those.  The query-update rewriting γ therefore maps:
+
+* ``add(a) ⇒ k``        ↦ ``add(a, k)``                      (update)
+* ``remove(a) ⇒ R``     ↦ ``(readIds(a) ⇒ R, remove(R))``    (query, update)
+* ``read() ⇒ A``        ↦ itself                             (query)
+
+and the specification constrains the rewritten labels over an abstract state
+that is a set of ``(element, id)`` pairs.
+"""
+
+from typing import Any, Dict, FrozenSet, Iterable, Tuple
+
+from ..core.label import Label
+from ..core.rewriting import QueryUpdateRewriting, Rewritten
+from ..core.spec import Role, SequentialSpec
+
+_ROLES = {
+    "add": Role.UPDATE,
+    "remove": Role.UPDATE,
+    "readIds": Role.QUERY,
+    "read": Role.QUERY,
+}
+
+Pair = Tuple[Any, Any]
+
+
+class ORSetSpec(SequentialSpec):
+    """``Spec(OR-Set)`` over rewritten labels."""
+
+    name = "Spec(OR-Set)"
+
+    def initial(self) -> FrozenSet[Pair]:
+        return frozenset()
+
+    def step(self, state: FrozenSet[Pair], label: Label) -> Iterable[Any]:
+        if label.method == "add":
+            element, identifier = label.args
+            pair = (element, identifier)
+            if pair in state:
+                return []
+            return [state | {pair}]
+        if label.method == "remove":
+            (pairs,) = label.args
+            return [state - frozenset(pairs)]
+        if label.method == "readIds":
+            (element,) = label.args
+            expected = frozenset(p for p in state if p[0] == element)
+            return [state] if label.ret == expected else []
+        if label.method == "read":
+            values = frozenset(e for e, _ in state)
+            return [state] if label.ret == values else []
+        raise KeyError(label.method)
+
+    def role(self, method: str) -> Role:
+        return _ROLES[method]
+
+
+def plain_set_view() -> QueryUpdateRewriting:
+    """A forgetful relabeling onto the plain Set vocabulary.
+
+    Maps ``add(a) ⇒ k`` to ``add(a)`` and ``remove(a) ⇒ R`` to
+    ``remove(a)`` (dropping identifiers), leaving ``read`` untouched — the
+    labels against which Fig. 5a's standard-linearizability argument is
+    stated.
+    """
+    from ..core.rewriting import RewritingMap
+
+    def forget(label: Label):
+        if label.method in ("add", "remove"):
+            return (
+                Label(
+                    label.method,
+                    label.args,
+                    ret=None,
+                    obj=label.obj,
+                    origin=label.origin,
+                ),
+            )
+        return (label,)
+
+    return RewritingMap(forget)
+
+
+class ORSetRewriting(QueryUpdateRewriting):
+    """The γ of Example 3.6."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[Label, Rewritten] = {}
+
+    def rewrite(self, label: Label) -> Rewritten:
+        if label in self._cache:
+            return self._cache[label]
+        if label.method == "add":
+            (element,) = label.args
+            identifier = label.ret
+            image: Rewritten = (
+                Label(
+                    "add",
+                    (element, identifier),
+                    ret=None,
+                    ts=label.ts,
+                    obj=label.obj,
+                    origin=label.origin,
+                ),
+            )
+        elif label.method == "remove":
+            (element,) = label.args
+            observed = label.ret
+            query = Label(
+                "readIds",
+                (element,),
+                ret=observed,
+                ts=label.ts,
+                obj=label.obj,
+                origin=label.origin,
+            )
+            update = Label(
+                "remove",
+                (observed,),
+                ret=None,
+                obj=label.obj,
+                origin=label.origin,
+            )
+            image = (query, update)
+        else:
+            image = (label,)
+        self._cache[label] = image
+        return image

@@ -1,0 +1,39 @@
+"""Sequential specification of a last-writer-wins register (Appendix B.2).
+
+``write(a)`` replaces the abstract state; ``read() ⇒ v`` is admitted when
+``v`` equals the state.  The LWW-Register implementation linearizes in
+timestamp order against this specification (Fig. 12).
+"""
+
+from typing import Any, Iterable, Optional
+
+from ..core.label import Label
+from ..core.spec import Role, SequentialSpec
+
+_ROLES = {
+    "write": Role.UPDATE,
+    "read": Role.QUERY,
+}
+
+
+class LWWRegisterSpec(SequentialSpec):
+    """``Spec(Reg)``: abstract state is a single value."""
+
+    name = "Spec(Reg)"
+
+    def __init__(self, initial_value: Optional[Any] = None) -> None:
+        self._initial_value = initial_value
+
+    def initial(self) -> Any:
+        return self._initial_value
+
+    def step(self, state: Any, label: Label) -> Iterable[Any]:
+        if label.method == "write":
+            (value,) = label.args
+            return [value]
+        if label.method == "read":
+            return [state] if label.ret == state else []
+        raise KeyError(label.method)
+
+    def role(self, method: str) -> Role:
+        return _ROLES[method]

@@ -1,0 +1,56 @@
+"""Sequential specification of RGA — a list with add-after (Example 3.3).
+
+The abstract state is ``(l, T)``: ``l`` is the sequence of *all* values ever
+inserted (including removed ones, which stay as spec-level tombstones in
+``T``) and always starts with the pre-existing element ``◦``.
+
+* ``addAfter(a, b)`` inserts the fresh value ``b`` immediately after ``a``
+  (which must occur in ``l``; whether it is tombstoned is irrelevant, since
+  a concurrent ``remove(a)`` may legitimately linearize earlier).
+* ``remove(b)`` requires ``b ∈ l``, ``b ≠ ◦`` and adds ``b`` to ``T``.
+* ``read() ⇒ s`` is admitted when ``s = l/T`` (``◦`` never reported).
+"""
+
+from typing import Any, FrozenSet, Iterable, Tuple
+
+from ..core.label import Label
+from ..core.sentinels import ROOT
+from ..core.spec import Role, SequentialSpec
+from .sequences import insert_after, without
+
+_ROLES = {
+    "addAfter": Role.UPDATE,
+    "remove": Role.UPDATE,
+    "read": Role.QUERY,
+}
+
+State = Tuple[Tuple[Any, ...], FrozenSet[Any]]
+
+
+class RGASpec(SequentialSpec):
+    """``Spec(RGA)``."""
+
+    name = "Spec(RGA)"
+
+    def initial(self) -> State:
+        return ((ROOT,), frozenset())
+
+    def step(self, state: State, label: Label) -> Iterable[State]:
+        sequence, tombs = state
+        if label.method == "addAfter":
+            anchor, value = label.args
+            if value in sequence or anchor not in sequence:
+                return []
+            return [(insert_after(sequence, anchor, value), tombs)]
+        if label.method == "remove":
+            (value,) = label.args
+            if value not in sequence or value == ROOT:
+                return []
+            return [(sequence, tombs | {value})]
+        if label.method == "read":
+            visible = without(sequence, tombs | {ROOT})
+            return [state] if label.ret == visible else []
+        raise KeyError(label.method)
+
+    def role(self, method: str) -> Role:
+        return _ROLES[method]

@@ -1,0 +1,38 @@
+"""Small helpers over element sequences used by the list specifications."""
+
+from typing import Any, Sequence, Tuple
+
+
+def is_subsequence(candidate: Sequence[Any], full: Sequence[Any]) -> bool:
+    """True when ``candidate`` embeds into ``full`` preserving order."""
+    it = iter(full)
+    return all(any(element == item for item in it) for element in candidate)
+
+
+def without(sequence: Sequence[Any], removed) -> Tuple[Any, ...]:
+    """``l/T``: the sequence with every element of ``removed`` dropped."""
+    removed_set = set(removed)
+    return tuple(x for x in sequence if x not in removed_set)
+
+
+def insert_after(
+    sequence: Sequence[Any], anchor: Any, element: Any
+) -> Tuple[Any, ...]:
+    """Insert ``element`` immediately after ``anchor`` (which must occur)."""
+    result = []
+    inserted = False
+    for item in sequence:
+        result.append(item)
+        if item == anchor:
+            result.append(element)
+            inserted = True
+    if not inserted:
+        raise ValueError(f"anchor {anchor!r} not in sequence")
+    return tuple(result)
+
+
+def insert_at(sequence: Sequence[Any], index: int, element: Any) -> Tuple[Any, ...]:
+    """Insert ``element`` at position ``index``."""
+    items = list(sequence)
+    items.insert(index, element)
+    return tuple(items)

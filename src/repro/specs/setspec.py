@@ -1,0 +1,42 @@
+"""Plain sequential Set specification (Appendix E.2's ``Spec(Set)``).
+
+``add(a)`` and ``remove(a)`` are updates (always admitted), ``read() ⇒ A``
+is a query admitted when ``A`` equals the set contents.  Used by the
+LWW-Element-Set (timestamp-order) and the 2P-Set (execution-order), and as
+the *standard* Set specification against which Fig. 5a shows OR-Set is not
+strongly linearizable.
+"""
+
+from typing import Any, FrozenSet, Iterable
+
+from ..core.label import Label
+from ..core.spec import Role, SequentialSpec
+
+_ROLES = {
+    "add": Role.UPDATE,
+    "remove": Role.UPDATE,
+    "read": Role.QUERY,
+}
+
+
+class SetSpec(SequentialSpec):
+    """``Spec(Set)``: abstract state is a set of values."""
+
+    name = "Spec(Set)"
+
+    def initial(self) -> FrozenSet[Any]:
+        return frozenset()
+
+    def step(self, state: FrozenSet[Any], label: Label) -> Iterable[Any]:
+        if label.method == "add":
+            (value,) = label.args
+            return [state | {value}]
+        if label.method == "remove":
+            (value,) = label.args
+            return [state - {value}]
+        if label.method == "read":
+            return [state] if label.ret == state else []
+        raise KeyError(label.method)
+
+    def role(self, method: str) -> Role:
+        return _ROLES[method]

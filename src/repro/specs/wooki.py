@@ -1,0 +1,66 @@
+"""Sequential specification of Wooki — a list with add-between (App. B.3).
+
+``addBetween(a, b, c)`` inserts the fresh value ``b`` at *some* position
+strictly between ``a`` and ``c`` — the specification is nondeterministic
+(Sec. 3.2 discusses why: any deterministic conflict resolution must be
+allowed).  The sequence is delimited by the permanent sentinels ``◦begin``
+and ``◦end``; values are never placed before ``◦begin`` or after ``◦end``
+and the sentinels can never be removed.
+"""
+
+from typing import Any, FrozenSet, Iterable, List, Tuple
+
+from ..core.label import Label
+from ..core.sentinels import BEGIN, END
+from ..core.spec import Role, SequentialSpec
+from .sequences import insert_at, without
+
+_ROLES = {
+    "addBetween": Role.UPDATE,
+    "remove": Role.UPDATE,
+    "read": Role.QUERY,
+}
+
+State = Tuple[Tuple[Any, ...], FrozenSet[Any]]
+
+
+class WookiSpec(SequentialSpec):
+    """``Spec(Wooki)`` — nondeterministic insert position."""
+
+    name = "Spec(Wooki)"
+
+    def initial(self) -> State:
+        return ((BEGIN, END), frozenset())
+
+    def step(self, state: State, label: Label) -> Iterable[State]:
+        sequence, tombs = state
+        if label.method == "addBetween":
+            before, value, after = label.args
+            if value in sequence:
+                return []
+            if before == END or after == BEGIN:
+                return []
+            if before not in sequence or after not in sequence:
+                return []
+            lo = sequence.index(before)
+            hi = sequence.index(after)
+            if lo >= hi:
+                return []
+            successors: List[State] = []
+            for position in range(lo + 1, hi + 1):
+                successors.append(
+                    (insert_at(sequence, position, value), tombs)
+                )
+            return successors
+        if label.method == "remove":
+            (value,) = label.args
+            if value not in sequence or value in (BEGIN, END):
+                return []
+            return [(sequence, tombs | {value})]
+        if label.method == "read":
+            visible = without(sequence, tombs | {BEGIN, END})
+            return [state] if label.ret == visible else []
+        raise KeyError(label.method)
+
+    def role(self, method: str) -> Role:
+        return _ROLES[method]

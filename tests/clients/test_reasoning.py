@@ -1,0 +1,79 @@
+"""Client-side reasoning (Sec. 3.3)."""
+
+from repro.clients import (
+    check_client_assertion,
+    enumerate_ra_linearizations,
+    possible_query_returns,
+)
+from repro.core.history import History
+from repro.core.label import Label
+from repro.crdts import OpCounter, OpORSet
+from repro.scenarios import section33_programs
+from repro.specs import CounterSpec, ORSetRewriting, ORSetSpec
+
+
+class TestSection33:
+    def test_postcondition_holds_in_all_interleavings(self):
+        programs, postcondition = section33_programs()
+        result = check_client_assertion(OpORSet, programs, postcondition)
+        assert result.holds
+        assert result.configurations > 100
+        assert result.counterexamples == []
+
+    def test_false_assertion_yields_counterexample(self):
+        programs, _ = section33_programs()
+
+        def wrong(returns):
+            return "a" in returns["r1"][2]  # X always contains a — false
+
+        result = check_client_assertion(OpORSet, programs, wrong)
+        assert not result.holds
+        assert result.counterexamples
+
+    def test_counter_invariant(self):
+        programs = {
+            "r1": [("inc", ()), ("read", ())],
+            "r2": [("inc", ()), ("read", ())],
+        }
+
+        def at_least_own_inc(returns):
+            return returns["r1"][1] >= 1 and returns["r2"][1] >= 1
+
+        result = check_client_assertion(OpCounter, programs, at_least_own_inc)
+        assert result.holds
+
+
+class TestEnumeration:
+    def test_enumerates_all_witnesses(self):
+        inc1, inc2 = Label("inc"), Label("inc")
+        h = History([inc1, inc2])
+        witnesses = list(enumerate_ra_linearizations(h, CounterSpec()))
+        orders = {tuple(u) for u, _ in witnesses}
+        assert orders == {(inc1, inc2), (inc2, inc1)}
+
+    def test_spec_filters_witnesses(self):
+        inc = Label("inc")
+        read = Label("read", ret=1)
+        h = History([inc, read], [(inc, read)])
+        witnesses = list(enumerate_ra_linearizations(h, CounterSpec()))
+        assert len(witnesses) == 1
+        _, full = witnesses[0]
+        assert full == [inc, read]
+
+    def test_orset_rewriting_enumeration(self):
+        add = Label("add", ("a",), ret=1)
+        read = Label("read", ret=frozenset({"a"}))
+        h = History([add, read], [(add, read)])
+        witnesses = list(
+            enumerate_ra_linearizations(h, ORSetSpec(), ORSetRewriting())
+        )
+        assert witnesses
+
+
+class TestPossibleReturns:
+    def test_counter_read_range(self):
+        inc1, inc2 = Label("inc"), Label("inc")
+        read = Label("read", ret=1)
+        h = History([inc1, inc2, read], [(inc1, read)])
+        returns = possible_query_returns(h, CounterSpec(), read)
+        assert returns == [1]

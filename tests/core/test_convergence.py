@@ -1,0 +1,54 @@
+"""Convergence / SEC oracles."""
+
+from repro.core.convergence import (
+    all_states_equal,
+    check_convergence,
+    grouped_by_seen,
+)
+from repro.core.label import Label
+
+
+class TestAllStatesEqual:
+    def test_empty(self):
+        assert all_states_equal([])
+
+    def test_singleton(self):
+        assert all_states_equal([frozenset({"a"})])
+
+    def test_equal(self):
+        assert all_states_equal([1, 1, 1])
+
+    def test_unequal(self):
+        assert not all_states_equal([1, 2])
+
+
+class TestConvergence:
+    def _views(self, groups):
+        views = {}
+        for i, (seen, state) in enumerate(groups):
+            views[f"r{i}"] = (frozenset(seen), state)
+        return views
+
+    def test_same_seen_same_state_ok(self):
+        a = Label("m")
+        views = self._views([({a}, 1), ({a}, 1)])
+        ok, offenders = check_convergence(views)
+        assert ok and offenders == []
+
+    def test_same_seen_different_state_fails(self):
+        a = Label("m")
+        views = self._views([({a}, 1), ({a}, 2)])
+        ok, offenders = check_convergence(views)
+        assert not ok and set(offenders) == {"r0", "r1"}
+
+    def test_different_seen_not_compared(self):
+        a, b = Label("m"), Label("m")
+        views = self._views([({a}, 1), ({b}, 2)])
+        ok, _ = check_convergence(views)
+        assert ok
+
+    def test_grouping(self):
+        a = Label("m")
+        views = self._views([({a}, 1), ({a}, 1), (set(), 0)])
+        groups = grouped_by_seen(views)
+        assert groups == [["r0", "r1"]]

@@ -1,0 +1,49 @@
+"""JSON encoding of the value domain."""
+
+import json
+
+import pytest
+
+from repro.core.encoding import decode, encode
+from repro.core.freeze import FrozenDict
+from repro.core.timestamp import BOTTOM, Timestamp, VersionVector
+
+
+ROUND_TRIPS = [
+    None,
+    True,
+    42,
+    -3.5,
+    "hello",
+    (1, 2, "x"),
+    frozenset({1, 2}),
+    BOTTOM,
+    Timestamp(3, "r1"),
+    VersionVector.of({"r1": 2, "r2": 1}),
+    FrozenDict({"a": 1}),
+    (frozenset({("a", Timestamp(1, "r2"))}), "nested"),
+]
+
+
+@pytest.mark.parametrize("value", ROUND_TRIPS, ids=repr)
+def test_round_trip(value):
+    assert decode(encode(value)) == value
+
+
+@pytest.mark.parametrize("value", ROUND_TRIPS, ids=repr)
+def test_json_serializable(value):
+    assert decode(json.loads(json.dumps(encode(value)))) == value
+
+
+def test_bottom_identity():
+    assert decode(encode(BOTTOM)) is BOTTOM
+
+
+def test_unencodable_raises():
+    with pytest.raises(TypeError):
+        encode(object())
+
+
+def test_undecodable_raises():
+    with pytest.raises(TypeError):
+        decode({"__repro__": "martian"})

@@ -1,0 +1,66 @@
+"""freeze() and FrozenDict."""
+
+import pytest
+
+from repro.core.freeze import FrozenDict, freeze
+
+
+class TestFreeze:
+    def test_scalars_pass_through(self):
+        assert freeze(3) == 3
+        assert freeze("x") == "x"
+        assert freeze(None) is None
+
+    def test_list_to_tuple(self):
+        assert freeze([1, 2]) == (1, 2)
+        assert isinstance(freeze([1, 2]), tuple)
+
+    def test_set_to_frozenset(self):
+        assert freeze({1, 2}) == frozenset({1, 2})
+
+    def test_nested(self):
+        frozen = freeze([{1, 2}, {"k": [3]}])
+        assert frozen[0] == frozenset({1, 2})
+        assert frozen[1]["k"] == (3,)
+
+    def test_result_hashable(self):
+        hash(freeze([{"a": [1, {2}]}]))
+
+
+class TestFrozenDict:
+    def test_lookup(self):
+        fd = FrozenDict({"a": 1})
+        assert fd["a"] == 1 and fd.get("b", 0) == 0
+
+    def test_mutation_raises(self):
+        fd = FrozenDict({"a": 1})
+        with pytest.raises(TypeError):
+            fd["b"] = 2
+        with pytest.raises(TypeError):
+            del fd["a"]
+        with pytest.raises(TypeError):
+            fd.update({"c": 3})
+        with pytest.raises(TypeError):
+            fd.pop("a")
+        with pytest.raises(TypeError):
+            fd.clear()
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(FrozenDict({"a": 1, "b": 2})) == hash(
+            FrozenDict({"b": 2, "a": 1})
+        )
+        assert FrozenDict({"a": 1}) == FrozenDict({"a": 1})
+
+    def test_set_returns_new(self):
+        fd = FrozenDict({"a": 1})
+        fd2 = fd.set("b", 2)
+        assert "b" not in fd and fd2["b"] == 2
+
+    def test_discard(self):
+        fd = FrozenDict({"a": 1, "b": 2})
+        assert fd.discard("a") == FrozenDict({"b": 2})
+        assert fd.discard("zz") == fd
+
+    def test_usable_as_dict_key(self):
+        table = {FrozenDict({"a": 1}): "hit"}
+        assert table[FrozenDict({"a": 1})] == "hit"

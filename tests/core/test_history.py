@@ -1,0 +1,126 @@
+"""Histories and the visibility relation."""
+
+import pytest
+
+from repro.core.errors import IllFormedHistory
+from repro.core.history import History
+from repro.core.label import Label
+
+
+def labels(n):
+    return [Label(f"m{i}") for i in range(n)]
+
+
+class TestWellFormedness:
+    def test_empty_history(self):
+        h = History([])
+        assert len(h) == 0 and h.closure() == frozenset()
+
+    def test_edge_outside_labels_rejected(self):
+        a, b = labels(2)
+        with pytest.raises(IllFormedHistory):
+            History([a], [(a, b)])
+
+    def test_self_edge_rejected(self):
+        (a,) = labels(1)
+        with pytest.raises(IllFormedHistory):
+            History([a], [(a, a)])
+
+    def test_cycle_rejected(self):
+        a, b, c = labels(3)
+        with pytest.raises(IllFormedHistory):
+            History([a, b, c], [(a, b), (b, c), (c, a)])
+
+    def test_two_cycle_rejected(self):
+        a, b = labels(2)
+        with pytest.raises(IllFormedHistory):
+            History([a, b], [(a, b), (b, a)])
+
+    def test_acyclic_accepted(self):
+        a, b, c = labels(3)
+        History([a, b, c], [(a, b), (b, c), (a, c)])
+
+
+class TestClosureAndQueries:
+    def test_closure_transitive(self):
+        a, b, c = labels(3)
+        h = History([a, b, c], [(a, b), (b, c)])
+        assert (a, c) in h.closure()
+
+    def test_sees(self):
+        a, b, c = labels(3)
+        h = History([a, b, c], [(a, b), (b, c)])
+        assert h.sees(a, c) and not h.sees(c, a)
+
+    def test_visible_to(self):
+        a, b, c = labels(3)
+        h = History([a, b, c], [(a, b), (b, c)])
+        assert h.visible_to(c) == {a, b}
+        assert h.visible_to(a) == frozenset()
+
+    def test_visibly_after(self):
+        a, b, c = labels(3)
+        h = History([a, b, c], [(a, b), (b, c)])
+        assert h.visibly_after(a) == {b, c}
+
+    def test_concurrent(self):
+        a, b, c = labels(3)
+        h = History([a, b, c], [(a, c), (b, c)])
+        assert h.concurrent(a, b)
+        assert not h.concurrent(a, c)
+        assert not h.concurrent(a, a)
+
+    def test_concurrent_pairs(self):
+        a, b, c = labels(3)
+        h = History([a, b, c], [(a, c), (b, c)])
+        assert h.concurrent_pairs() == [(a, b)]
+
+    def test_contains(self):
+        a, b = labels(2)
+        h = History([a])
+        assert a in h and b not in h
+
+
+class TestDerivedHistories:
+    def test_restrict_keeps_indirect_order(self):
+        a, b, c = labels(3)
+        h = History([a, b, c], [(a, b), (b, c)])
+        restricted = h.restrict({a, c})
+        assert restricted.sees(a, c)
+        assert b not in restricted
+
+    def test_project_by_object(self):
+        a = Label("m", obj="o1")
+        b = Label("m", obj="o2")
+        c = Label("m", obj="o1")
+        h = History([a, b, c], [(a, b), (b, c)])
+        proj = h.project("o1")
+        assert proj.labels == {a, c}
+        assert proj.sees(a, c)  # order through b preserved
+
+    def test_objects(self):
+        a = Label("m", obj="o1")
+        b = Label("m", obj="o2")
+        assert History([a, b]).objects() == {"o1", "o2"}
+
+
+class TestConsistency:
+    def test_is_consistent_with_linear_extension(self):
+        a, b, c = labels(3)
+        h = History([a, b, c], [(a, b)])
+        assert h.is_consistent_with([a, b, c])
+        assert h.is_consistent_with([a, c, b])
+        assert h.is_consistent_with([c, a, b])
+        assert not h.is_consistent_with([b, a, c])
+
+    def test_is_consistent_requires_all_labels(self):
+        a, b = labels(2)
+        h = History([a, b])
+        assert not h.is_consistent_with([a])
+
+    def test_equality_by_closure(self):
+        a, b, c = labels(3)
+        h1 = History([a, b, c], [(a, b), (b, c)])
+        h2 = History([a, b, c], [(a, b), (b, c), (a, c)])
+        assert h1 == h2
+        assert hash(h1) == hash(h2)

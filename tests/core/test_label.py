@@ -1,0 +1,48 @@
+"""Operation labels."""
+
+from repro.core.label import Label, fresh_uid
+from repro.core.timestamp import BOTTOM, Timestamp
+
+
+class TestLabel:
+    def test_uids_are_unique(self):
+        assert Label("m").uid != Label("m").uid
+
+    def test_fresh_uid_monotone(self):
+        assert fresh_uid() < fresh_uid()
+
+    def test_args_frozen(self):
+        label = Label("m", ([1, 2], {3}))
+        assert label.args == ((1, 2), frozenset({3}))
+        hash(label)
+
+    def test_ret_frozen(self):
+        label = Label("m", ret={"a", "b"})
+        assert label.ret == frozenset({"a", "b"})
+
+    def test_default_ts_is_bottom(self):
+        assert Label("m").ts is BOTTOM
+        assert not Label("m").generates_timestamp()
+
+    def test_generates_timestamp(self):
+        assert Label("m", ts=Timestamp(1, "r1")).generates_timestamp()
+
+    def test_with_ret(self):
+        label = Label("m", (1,))
+        other = label.with_ret([5])
+        assert other.ret == (5,)
+        assert other.uid == label.uid
+        assert label.ret is None
+
+    def test_with_obj(self):
+        assert Label("m").with_obj("o2").obj == "o2"
+
+    def test_equality_includes_uid(self):
+        a = Label("m", (1,), uid=77)
+        b = Label("m", (1,), uid=77)
+        c = Label("m", (1,), uid=78)
+        assert a == b and a != c
+
+    def test_repr_mentions_method_and_args(self):
+        text = repr(Label("add", ("a",), ret=3, obj="o1"))
+        assert "add" in text and "'a'" in text and "o1" in text

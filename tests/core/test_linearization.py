@@ -1,0 +1,118 @@
+"""Linear-extension machinery: topological orders, merging, timestamps."""
+
+from repro.core.history import History
+from repro.core.label import Label
+from repro.core.linearization import (
+    history_timestamp,
+    induced_predecessors,
+    iter_topological_orders,
+    merge_queries,
+    ts_sort_key,
+    visible_updates,
+)
+from repro.core.timestamp import BOTTOM, Timestamp
+
+
+def labels(n):
+    return [Label(f"m{i}") for i in range(n)]
+
+
+class TestInducedPredecessors:
+    def test_direct_edges(self):
+        a, b = labels(2)
+        h = History([a, b], [(a, b)])
+        assert induced_predecessors(h, [a, b]) == {a: set(), b: {a}}
+
+    def test_order_through_dropped_label(self):
+        a, b, c = labels(3)
+        h = History([a, b, c], [(a, b), (b, c)])
+        preds = induced_predecessors(h, [a, c])
+        assert preds[c] == {a}
+
+
+class TestTopologicalOrders:
+    def test_all_orders_of_antichain(self):
+        a, b, c = labels(3)
+        orders = list(iter_topological_orders([a, b, c], {}))
+        assert len(orders) == 6
+
+    def test_respects_partial_order(self):
+        a, b, c = labels(3)
+        preds = {b: {a}}
+        orders = list(iter_topological_orders([a, b, c], preds))
+        assert len(orders) == 3
+        for order in orders:
+            assert order.index(a) < order.index(b)
+
+    def test_max_orders_cap(self):
+        nodes = labels(4)
+        orders = list(iter_topological_orders(nodes, {}, max_orders=5))
+        assert len(orders) == 5
+
+    def test_prune_cuts_branches(self):
+        a, b = labels(2)
+        seen = []
+
+        def prune(prefix, candidate):
+            seen.append((len(prefix), candidate))
+            return candidate != b or prefix  # never start with b
+
+        orders = list(iter_topological_orders([a, b], {}, prune=prune))
+        assert orders == [[a, b]]
+
+    def test_deterministic_by_uid(self):
+        nodes = labels(3)
+        first = list(iter_topological_orders(nodes, {}))
+        second = list(iter_topological_orders(nodes, {}))
+        assert first == second
+
+
+class TestMergeQueries:
+    def test_queries_placed_after_visible_updates(self):
+        u1, u2 = Label("u1"), Label("u2")
+        q = Label("q")
+        h = History([u1, u2, q], [(u1, q)])
+        full = merge_queries(h, [u1, u2], [q])
+        assert full.index(u1) < full.index(q)
+        assert set(full) == {u1, u2, q}
+
+    def test_updates_keep_given_order(self):
+        u1, u2, u3 = labels(3)
+        h = History([u1, u2, u3])
+        full = merge_queries(h, [u3, u1, u2], [])
+        assert full == [u3, u1, u2]
+
+    def test_query_before_update_that_sees_it(self):
+        q, u = Label("q"), Label("u")
+        h = History([q, u], [(q, u)])
+        full = merge_queries(h, [u], [q])
+        assert full == [q, u]
+
+
+class TestTimestampHelpers:
+    def test_ts_sort_key_bottom_first(self):
+        assert ts_sort_key(BOTTOM) < ts_sort_key(Timestamp(0, "r1"))
+
+    def test_ts_sort_key_orders_timestamps(self):
+        assert ts_sort_key(Timestamp(1, "r2")) < ts_sort_key(Timestamp(2, "r1"))
+
+    def test_history_timestamp_own(self):
+        label = Label("m", ts=Timestamp(4, "r1"))
+        h = History([label])
+        assert history_timestamp(h, label) == Timestamp(4, "r1")
+
+    def test_history_timestamp_virtual(self):
+        gen = Label("m", ts=Timestamp(4, "r1"))
+        query = Label("q")
+        h = History([gen, query], [(gen, query)])
+        assert history_timestamp(h, query) == Timestamp(4, "r1")
+
+    def test_history_timestamp_virtual_no_visible(self):
+        query = Label("q")
+        h = History([query])
+        assert history_timestamp(h, query) is BOTTOM
+
+    def test_visible_updates(self):
+        u, q = Label("u"), Label("q")
+        h = History([u, q], [(u, q)])
+        assert visible_updates(h, q, frozenset({u})) == {u}

@@ -1,0 +1,162 @@
+"""The RA-linearizability checkers on hand-built histories (Def. 3.5/3.7)."""
+
+import pytest
+
+from repro.core.history import History
+from repro.core.label import Label
+from repro.core.ralin import (
+    check_ra_linearizable,
+    check_update_order,
+    execution_order_check,
+    timestamp_order_check,
+)
+from repro.core.timestamp import Timestamp
+from repro.specs import CounterSpec, RGASpec, SetSpec
+from repro.core.sentinels import ROOT
+
+
+class TestDefinition35:
+    def test_sequential_counter_history(self):
+        inc = Label("inc")
+        read = Label("read", ret=1)
+        h = History([inc, read], [(inc, read)])
+        assert check_ra_linearizable(h, CounterSpec()).ok
+
+    def test_query_sees_subsequence(self):
+        # Two concurrent incs; a read that saw only one may return 1.
+        inc1, inc2 = Label("inc"), Label("inc")
+        read = Label("read", ret=1)
+        h = History([inc1, inc2, read], [(inc1, read)])
+        result = check_ra_linearizable(h, CounterSpec())
+        assert result.ok
+
+    def test_query_cannot_exceed_visible(self):
+        inc1, inc2 = Label("inc"), Label("inc")
+        read = Label("read", ret=2)  # saw only inc1, cannot return 2
+        h = History([inc1, inc2, read], [(inc1, read)])
+        assert not check_ra_linearizable(h, CounterSpec())
+
+    def test_reads_with_different_visible_sets(self):
+        inc1, inc2 = Label("inc"), Label("inc")
+        read1 = Label("read", ret=1)
+        read2 = Label("read", ret=2)
+        h = History(
+            [inc1, inc2, read1, read2],
+            [(inc1, read1), (inc1, read2), (inc2, read2)],
+        )
+        assert check_ra_linearizable(h, CounterSpec()).ok
+
+    def test_visibility_constrains_update_order(self):
+        # Each addAfter(◦,x) prepends, so read ⇒ b·a needs a linearized
+        # before b — impossible when visibility orders b before a.
+        a = Label("addAfter", (ROOT, "a"), ts=Timestamp(1, "r1"))
+        b = Label("addAfter", (ROOT, "b"), ts=Timestamp(2, "r1"))
+        read = Label("read", ret=("b", "a"))
+        h = History([a, b, read], [(b, a), (a, read), (b, read)])
+        assert not check_ra_linearizable(h, RGASpec())
+        h_ok = History([a, b, read], [(a, b), (a, read), (b, read)])
+        assert check_ra_linearizable(h_ok, RGASpec()).ok
+
+    def test_witness_is_reported_and_valid(self):
+        inc1, inc2 = Label("inc"), Label("inc")
+        read = Label("read", ret=2)
+        h = History([inc1, inc2, read], [(inc1, read), (inc2, read)])
+        result = check_ra_linearizable(h, CounterSpec())
+        assert result.ok
+        assert set(result.update_order) == {inc1, inc2}
+        assert len(result.linearization) == 3
+        # Witness replays successfully.
+        assert check_update_order(h, CounterSpec(), result.update_order).ok
+
+    def test_empty_history(self):
+        assert check_ra_linearizable(History([]), CounterSpec()).ok
+
+    def test_updates_must_be_admitted_even_unobserved(self):
+        # Condition (ii): the full update sequence must be in the spec.
+        bad = Label("addAfter", ("ghost", "x"), ts=Timestamp(1, "r1"))
+        h = History([bad])
+        assert not check_ra_linearizable(h, RGASpec())
+
+    def test_max_orders_gives_up(self):
+        incs = [Label("inc") for _ in range(4)]
+        read = Label("read", ret=99)  # unsatisfiable
+        h = History(incs + [read], [(i, read) for i in incs])
+        result = check_ra_linearizable(h, CounterSpec(), max_orders=2)
+        assert not result.ok and result.explored <= 2
+
+    def test_prune_with_spec_equals_unpruned(self):
+        a = Label("add", ("a",))
+        r = Label("remove", ("a",))
+        read = Label("read", ret=frozenset())
+        h = History([a, r, read], [(a, r), (a, read), (r, read)])
+        pruned = check_ra_linearizable(h, SetSpec(), prune_with_spec=True)
+        naive = check_ra_linearizable(h, SetSpec(), prune_with_spec=False)
+        assert pruned.ok == naive.ok is True
+
+
+class TestCheckUpdateOrder:
+    def test_rejects_wrong_cover(self):
+        inc = Label("inc")
+        h = History([inc])
+        assert not check_update_order(h, CounterSpec(), [])
+
+    def test_rejects_visibility_violation(self):
+        inc1, inc2 = Label("inc"), Label("inc")
+        h = History([inc1, inc2], [(inc1, inc2)])
+        assert not check_update_order(h, CounterSpec(), [inc2, inc1])
+        assert check_update_order(h, CounterSpec(), [inc1, inc2]).ok
+
+    def test_rejects_spec_violation(self):
+        bad = Label("addAfter", ("ghost", "x"), ts=Timestamp(1, "r1"))
+        h = History([bad])
+        result = check_update_order(h, RGASpec(), [bad])
+        assert not result.ok and result.culprit == bad
+
+    def test_reports_unjustified_query(self):
+        inc = Label("inc")
+        read = Label("read", ret=5)
+        h = History([inc, read], [(inc, read)])
+        result = check_update_order(h, CounterSpec(), [inc])
+        assert not result.ok and result.culprit == read
+
+    def test_mixed_roles_raise_without_rewriting(self):
+        # A label that is neither query nor update for the spec.
+        odd = Label("frobnicate")
+        h = History([odd])
+        with pytest.raises(KeyError):
+            check_ra_linearizable(h, CounterSpec())
+
+
+class TestCandidateCheckers:
+    def _three_inc_history(self):
+        incs = [Label("inc") for _ in range(3)]
+        read = Label("read", ret=3)
+        edges = [(i, read) for i in incs]
+        return History(incs + [read], edges), incs + [read]
+
+    def test_execution_order_accepts_counter(self):
+        h, order = self._three_inc_history()
+        assert execution_order_check(h, CounterSpec(), order).ok
+
+    def test_execution_order_needs_full_generation_order(self):
+        h, order = self._three_inc_history()
+        with pytest.raises(KeyError):
+            execution_order_check(h, CounterSpec(), order[:-2])
+
+    def test_timestamp_order_sorts_by_ts(self):
+        a = Label("addAfter", (ROOT, "a"), ts=Timestamp(1, "r1"))
+        b = Label("addAfter", (ROOT, "b"), ts=Timestamp(2, "r2"))
+        read = Label("read", ret=("b", "a"))
+        # generation order b, a; timestamp order a, b
+        h = History([a, b, read], [(a, read), (b, read)])
+        result = timestamp_order_check(h, RGASpec(), [b, a, read])
+        assert result.ok
+        assert result.update_order == [a, b]
+
+    def test_execution_order_fails_where_timestamp_order_succeeds(self):
+        a = Label("addAfter", (ROOT, "a"), ts=Timestamp(1, "r1"))
+        b = Label("addAfter", (ROOT, "b"), ts=Timestamp(2, "r2"))
+        read = Label("read", ret=("b", "a"))
+        h = History([a, b, read], [(a, read), (b, read)])
+        assert not execution_order_check(h, RGASpec(), [b, a, read]).ok
+        assert timestamp_order_check(h, RGASpec(), [b, a, read]).ok

@@ -1,0 +1,53 @@
+"""History / linearization rendering."""
+
+from repro.core.history import History
+from repro.core.label import Label
+from repro.core.render import (
+    render_history,
+    render_linearization,
+    transitive_reduction,
+)
+from repro.scenarios import fig8_rga
+
+
+class TestTransitiveReduction:
+    def test_chain_reduces(self):
+        a, b, c = Label("m"), Label("m"), Label("m")
+        h = History([a, b, c], [(a, b), (b, c), (a, c)])
+        assert transitive_reduction(h) == {(a, b), (b, c)}
+
+    def test_antichain_empty(self):
+        a, b = Label("m"), Label("m")
+        assert transitive_reduction(History([a, b])) == set()
+
+
+class TestRenderHistory:
+    def test_lanes_by_origin(self):
+        a = Label("inc", origin="r1")
+        b = Label("dec", origin="r2")
+        text = render_history(History([a, b]), [a, b])
+        assert "r1:" in text and "r2:" in text
+        assert "inc()" in text and "dec()" in text
+
+    def test_cross_replica_edges_listed(self):
+        a = Label("inc", origin="r1")
+        b = Label("inc", origin="r2")
+        text = render_history(History([a, b], [(a, b)]), [a, b])
+        assert "≺" in text
+
+    def test_fig8_renders(self):
+        scenario = fig8_rga()
+        text = render_history(
+            scenario.history, scenario.system.generation_order, title="Fig. 8"
+        )
+        assert text.startswith("Fig. 8:")
+        assert "addAfter" in text and "read" in text
+
+
+class TestRenderLinearization:
+    def test_chain(self):
+        a = Label("inc")
+        b = Label("read", ret=1)
+        text = render_linearization([a, b], title="witness")
+        assert text.startswith("witness:")
+        assert "inc()" in text and "⇒1" in text

@@ -1,0 +1,94 @@
+"""Query-update rewritings γ and the Def. 3.7 history rewriting."""
+
+from repro.core.history import History
+from repro.core.label import Label
+from repro.core.rewriting import (
+    IdentityRewriting,
+    RewritingMap,
+    rewrite_history,
+)
+from repro.specs import ORSetRewriting
+
+
+class TestIdentityRewriting:
+    def test_maps_to_singleton(self):
+        gamma = IdentityRewriting()
+        label = Label("m")
+        assert gamma.rewrite(label) == (label,)
+        assert gamma.qry(label) is label
+        assert gamma.upd(label) is label
+
+    def test_history_unchanged(self):
+        a, b = Label("m"), Label("m")
+        h = History([a, b], [(a, b)])
+        assert rewrite_history(h, IdentityRewriting()) == h
+
+
+class TestRewritingMap:
+    def test_caches_images(self):
+        gamma = RewritingMap(lambda l: (Label(l.method + "_x"),))
+        label = Label("m")
+        assert gamma.rewrite(label)[0] is gamma.rewrite(label)[0]
+
+
+class TestORSetRewriting:
+    def test_add_becomes_update_with_id(self):
+        gamma = ORSetRewriting()
+        add = Label("add", ("a",), ret=42)
+        (image,) = gamma.rewrite(add)
+        assert image.method == "add" and image.args == ("a", 42)
+        assert image.ret is None
+
+    def test_remove_splits_into_query_update(self):
+        gamma = ORSetRewriting()
+        observed = frozenset({("a", 1)})
+        remove = Label("remove", ("a",), ret=observed)
+        query, update = gamma.rewrite(remove)
+        assert query.method == "readIds" and query.ret == observed
+        assert update.method == "remove" and update.args == (observed,)
+        assert gamma.qry(remove) is query and gamma.upd(remove) is update
+
+    def test_read_untouched(self):
+        gamma = ORSetRewriting()
+        read = Label("read", ret=frozenset({"a"}))
+        assert gamma.rewrite(read) == (read,)
+
+
+class TestHistoryRewriting:
+    def test_pair_ordered_query_before_update(self):
+        gamma = ORSetRewriting()
+        remove = Label("remove", ("a",), ret=frozenset())
+        h = History([remove])
+        rewritten = rewrite_history(h, gamma)
+        query, update = gamma.rewrite(remove)
+        assert rewritten.sees(query, update)
+
+    def test_query_part_sees_what_original_saw(self):
+        gamma = ORSetRewriting()
+        add = Label("add", ("a",), ret=1)
+        remove = Label("remove", ("a",), ret=frozenset({("a", 1)}))
+        h = History([add, remove], [(add, remove)])
+        rewritten = rewrite_history(h, gamma)
+        (add_image,) = gamma.rewrite(add)
+        query, update = gamma.rewrite(remove)
+        assert rewritten.sees(add_image, query)
+        # Def. 3.7 orders the update part after the query part, so the add
+        # precedes the update transitively (vis' itself has no direct edge).
+        assert (add_image, update) in rewritten.closure()
+
+    def test_successor_sees_update_part(self):
+        gamma = ORSetRewriting()
+        remove = Label("remove", ("a",), ret=frozenset())
+        read = Label("read", ret=frozenset())
+        h = History([remove, read], [(remove, read)])
+        rewritten = rewrite_history(h, gamma)
+        _query, update = gamma.rewrite(remove)
+        assert rewritten.sees(update, read)
+
+    def test_label_count(self):
+        gamma = ORSetRewriting()
+        add = Label("add", ("a",), ret=1)
+        remove = Label("remove", ("a",), ret=frozenset())
+        h = History([add, remove], [(add, remove)])
+        rewritten = rewrite_history(h, gamma)
+        assert len(rewritten) == 3  # add + (readIds, remove)

@@ -1,0 +1,71 @@
+"""Session guarantees (Terry et al.) over histories."""
+
+import pytest
+
+from repro.core.history import History
+from repro.core.label import Label
+from repro.core.sessions import check_session_guarantees, sessions_of
+from repro.crdts import OpORSet
+from repro.runtime import ORSetWorkload, random_op_execution
+
+
+def lab(method, origin):
+    return Label(method, origin=origin)
+
+
+class TestSessionsOf:
+    def test_groups_by_origin(self):
+        a, b, c = lab("m", "r1"), lab("m", "r2"), lab("m", "r1")
+        assert sessions_of([a, b, c]) == {"r1": [a, c], "r2": [b]}
+
+    def test_missing_origin_raises(self):
+        with pytest.raises(ValueError):
+            sessions_of([Label("m")])
+
+
+class TestGuarantees:
+    def test_runtime_histories_satisfy_all(self):
+        system = random_op_execution(
+            OpORSet(), ORSetWorkload(), operations=12, seed=5
+        )
+        report = check_session_guarantees(
+            system.history(), system.generation_order
+        )
+        assert report.all_hold, report.violations
+
+    def test_ryw_violation_detected(self):
+        first, second = lab("m", "r1"), lab("m", "r1")
+        h = History([first, second])  # second doesn't see first
+        report = check_session_guarantees(h, [first, second])
+        assert not report.read_your_writes
+        assert any("RYW" in v for v in report.violations)
+
+    def test_monotonic_reads_violation_detected(self):
+        # second sees neither `other` nor `first`: the visible set shrank.
+        # (With session order inside a transitively-closed visibility,
+        # monotonic reads cannot be violated — the violation requires the
+        # session edge to be missing too.)
+        other = lab("m", "r2")
+        first, second = lab("m", "r1"), lab("m", "r1")
+        h = History([other, first, second], [(other, first)])
+        report = check_session_guarantees(h, [other, first, second])
+        assert not report.monotonic_reads
+
+    def test_inheritance_violation_detected(self):
+        # observer sees second but not its session predecessor first —
+        # possible only because first ⊀ second in this (broken) history.
+        first, second = lab("m", "r1"), lab("m", "r1")
+        observer = lab("m", "r2")
+        h = History([first, second, observer], [(second, observer)])
+        report = check_session_guarantees(h, [first, second, observer])
+        assert not report.session_order_inherited
+
+    def test_clean_cross_replica_history(self):
+        first, second = lab("m", "r1"), lab("m", "r1")
+        observer = lab("m", "r2")
+        h = History(
+            [first, second, observer],
+            [(first, second), (first, observer), (second, observer)],
+        )
+        report = check_session_guarantees(h, [first, second, observer])
+        assert report.all_hold

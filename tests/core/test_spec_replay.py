@@ -1,0 +1,83 @@
+"""Specification replay machinery and composed specifications."""
+
+import pytest
+
+from repro.core.label import Label
+from repro.core.spec import ComposedSpec, Role
+from repro.specs import CounterSpec, SetSpec
+
+
+class TestReplay:
+    def test_admits_simple_sequence(self):
+        spec = CounterSpec()
+        seq = [Label("inc"), Label("inc"), Label("dec")]
+        assert spec.admits(seq)
+
+    def test_query_validated_against_state(self):
+        spec = CounterSpec()
+        good = [Label("inc"), Label("read", ret=1)]
+        bad = [Label("inc"), Label("read", ret=0)]
+        assert spec.admits(good)
+        assert not spec.admits(bad)
+
+    def test_first_rejected(self):
+        spec = CounterSpec()
+        bad_read = Label("read", ret=9)
+        assert spec.first_rejected([Label("inc"), bad_read]) == bad_read
+        assert spec.first_rejected([Label("inc")]) is None
+
+    def test_replay_returns_final_states(self):
+        spec = CounterSpec()
+        states = spec.replay([Label("inc"), Label("inc")])
+        assert states == frozenset({2})
+
+    def test_empty_sequence_is_initial(self):
+        spec = SetSpec()
+        assert spec.replay([]) == frozenset({frozenset()})
+
+    def test_roles(self):
+        spec = CounterSpec()
+        assert spec.role("inc") is Role.UPDATE
+        assert spec.role("read") is Role.QUERY
+        assert spec.is_update(Label("inc"))
+        assert spec.is_query(Label("read", ret=0))
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(KeyError):
+            CounterSpec().role("frobnicate")
+
+
+class TestComposedSpec:
+    def make(self):
+        return ComposedSpec({"c": CounterSpec(), "s": SetSpec()})
+
+    def test_interleavings_admitted(self):
+        spec = self.make()
+        seq = [
+            Label("inc", obj="c"),
+            Label("add", ("a",), obj="s"),
+            Label("inc", obj="c"),
+            Label("read", obj="c", ret=2),
+            Label("read", obj="s", ret=frozenset({"a"})),
+        ]
+        assert spec.admits(seq)
+
+    def test_projection_must_be_admitted(self):
+        spec = self.make()
+        seq = [
+            Label("inc", obj="c"),
+            Label("read", obj="c", ret=7),  # wrong counter value
+        ]
+        assert not spec.admits(seq)
+
+    def test_labels_of_unknown_object_rejected(self):
+        spec = self.make()
+        assert not spec.admits([Label("inc", obj="zz")])
+
+    def test_role_dispatch_through_object(self):
+        spec = self.make()
+        assert spec.is_update(Label("add", ("a",), obj="s"))
+        assert spec.is_query(Label("read", obj="s", ret=frozenset()))
+
+    def test_name_mentions_components(self):
+        assert "Counter" in self.make().name and "Set" in self.make().name

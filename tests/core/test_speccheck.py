@@ -1,0 +1,173 @@
+"""Linting every registered specification."""
+
+import pytest
+
+from repro.core.label import Label
+from repro.core.sentinels import BEGIN, END, ROOT
+from repro.core.speccheck import lint_spec
+from repro.core.spec import Role, SequentialSpec
+from repro.specs import (
+    AddAt1Spec,
+    AddAt2Spec,
+    CounterSpec,
+    LWWRegisterSpec,
+    ORSetSpec,
+    RGASpec,
+    SetSpec,
+    WookiSpec,
+)
+
+
+def counter_case():
+    alphabet = [Label("inc"), Label("dec")]
+
+    def probes(state):
+        return [Label("read", ret=state), Label("read", ret=state + 1)]
+
+    return CounterSpec(), alphabet, probes
+
+
+def set_case():
+    alphabet = [
+        Label("add", ("a",)), Label("add", ("b",)), Label("remove", ("a",))
+    ]
+
+    def probes(state):
+        return [Label("read", ret=state), Label("read", ret={"zz"})]
+
+    return SetSpec(), alphabet, probes
+
+
+def register_case():
+    alphabet = [Label("write", ("a",)), Label("write", ("b",))]
+
+    def probes(state):
+        return [Label("read", ret=state)]
+
+    return LWWRegisterSpec(), alphabet, probes
+
+
+def orset_case():
+    alphabet = [
+        Label("add", ("a", 1)), Label("add", ("a", 2)),
+        Label("remove", (frozenset({("a", 1)}),)),
+    ]
+
+    def probes(state):
+        return [
+            Label("read", ret=frozenset(e for e, _ in state)),
+            Label("readIds", ("a",),
+                  ret=frozenset(p for p in state if p[0] == "a")),
+        ]
+
+    return ORSetSpec(), alphabet, probes
+
+
+def rga_case():
+    alphabet = [
+        Label("addAfter", (ROOT, "a")), Label("addAfter", ("a", "b")),
+        Label("remove", ("a",)),
+    ]
+
+    def probes(state):
+        sequence, tombs = state
+        visible = tuple(
+            x for x in sequence if x not in tombs and x != ROOT
+        )
+        return [Label("read", ret=visible)]
+
+    return RGASpec(), alphabet, probes
+
+
+def wooki_case():
+    alphabet = [
+        Label("addBetween", (BEGIN, "a", END)),
+        Label("addBetween", (BEGIN, "b", END)),
+        Label("remove", ("a",)),
+    ]
+
+    def probes(state):
+        sequence, tombs = state
+        visible = tuple(
+            x for x in sequence if x not in tombs and x not in (BEGIN, END)
+        )
+        return [Label("read", ret=visible)]
+
+    return WookiSpec(), alphabet, probes
+
+
+def addat_case(spec_cls):
+    alphabet = [
+        Label("addAt", ("a", 0)), Label("addAt", ("b", 1)),
+        Label("remove", ("a",)),
+    ]
+
+    def probes(state):
+        if isinstance(state, tuple) and len(state) == 2 and isinstance(
+            state[1], frozenset
+        ):
+            sequence, tombs = state
+            visible = tuple(x for x in sequence if x not in tombs)
+        else:
+            visible = tuple(state)
+        return [Label("read", ret=visible)]
+
+    return spec_cls(), alphabet, probes
+
+
+CASES = [
+    ("Counter", counter_case),
+    ("Set", set_case),
+    ("Register", register_case),
+    ("OR-Set", orset_case),
+    ("RGA", rga_case),
+    ("Wooki", wooki_case),
+    ("addAt1", lambda: addat_case(AddAt1Spec)),
+    ("addAt2", lambda: addat_case(AddAt2Spec)),
+]
+
+
+@pytest.mark.parametrize("name,case", CASES, ids=[c[0] for c in CASES])
+def test_spec_lints_clean(name, case):
+    spec, alphabet, probes = case()
+    report = lint_spec(spec, alphabet, probes)
+    assert report.ok, report.violations
+    assert report.states_explored > 1
+
+
+def test_nondeterminism_detected_for_wooki():
+    spec, alphabet, probes = wooki_case()
+    report = lint_spec(spec, alphabet, probes)
+    assert report.nondeterministic
+
+
+def test_deterministic_specs_flagged_as_such():
+    spec, alphabet, probes = counter_case()
+    report = lint_spec(spec, alphabet, probes)
+    assert not report.nondeterministic
+
+
+class ImpureQuerySpec(SequentialSpec):
+    """A broken spec whose query mutates the state."""
+
+    name = "Spec(broken)"
+
+    def initial(self):
+        return 0
+
+    def step(self, state, label):
+        if label.method == "inc":
+            return [state + 1]
+        return [state + 1]  # "query" bumps the state: impure
+
+    def role(self, method):
+        return Role.UPDATE if method == "inc" else Role.QUERY
+
+
+def test_impure_query_detected():
+    spec = ImpureQuerySpec()
+    report = lint_spec(
+        spec, [Label("inc")], lambda state: [Label("peek", ret=state)]
+    )
+    assert not report.ok
+    assert any("changed the state" in v for v in report.violations)

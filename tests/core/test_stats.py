@@ -1,0 +1,54 @@
+"""History statistics."""
+
+from repro.core.history import History
+from repro.core.label import Label
+from repro.core.stats import greedy_max_antichain, history_stats
+from repro.specs import CounterSpec
+
+
+def labels(n):
+    return [Label("inc") for _ in range(n)]
+
+
+class TestHistoryStats:
+    def test_counts(self):
+        incs = labels(3)
+        read = Label("read", ret=3)
+        h = History(incs + [read], [(i, read) for i in incs])
+        stats = history_stats(h, CounterSpec())
+        assert stats.operations == 4
+        assert stats.updates == 3 and stats.queries == 1
+        assert stats.vis_edges == 3 and stats.closure_edges == 3
+        assert stats.concurrent_pairs == 3  # the three incs pairwise
+
+    def test_density_total_order(self):
+        a, b, c = labels(3)
+        h = History([a, b, c], [(a, b), (b, c), (a, c)])
+        assert history_stats(h).closure_density == 1.0
+
+    def test_density_antichain(self):
+        h = History(labels(4))
+        stats = history_stats(h)
+        assert stats.closure_density == 0.0
+        assert stats.max_antichain == 4
+
+    def test_empty_history(self):
+        stats = history_stats(History([]))
+        assert stats.operations == 0
+        assert stats.closure_density == 1.0
+
+    def test_no_spec_means_no_split(self):
+        h = History(labels(2))
+        stats = history_stats(h)
+        assert stats.updates == 0 and stats.queries == 0
+
+
+class TestAntichain:
+    def test_chain_is_one(self):
+        a, b = labels(2)
+        assert greedy_max_antichain(History([a, b], [(a, b)])) == 1
+
+    def test_mixed(self):
+        a, b, c = labels(3)
+        h = History([a, b, c], [(a, b)])  # c concurrent with both
+        assert greedy_max_antichain(h) == 2

@@ -1,0 +1,59 @@
+"""The classic strong-linearizability-style checker."""
+
+from repro.core.history import History
+from repro.core.label import Label
+from repro.core.strong import check_strong_linearizable
+from repro.specs import CounterSpec, SetSpec
+
+
+class TestStrongChecker:
+    def test_sequential_history_linearizable(self):
+        inc = Label("inc")
+        read = Label("read", ret=1)
+        h = History([inc, read], [(inc, read)])
+        witness = check_strong_linearizable(h, CounterSpec())
+        assert witness == [inc, read]
+
+    def test_query_must_see_whole_prefix(self):
+        # Two incs, read saw only one but returns 1 — strong linearizability
+        # can still order the read between them.
+        inc1, inc2 = Label("inc"), Label("inc")
+        read = Label("read", ret=1)
+        h = History([inc1, inc2, read], [(inc1, read)])
+        assert check_strong_linearizable(h, CounterSpec()) is not None
+
+    def test_unsatisfiable_read(self):
+        inc = Label("inc")
+        read = Label("read", ret=5)
+        h = History([inc, read], [(inc, read)])
+        assert check_strong_linearizable(h, CounterSpec()) is None
+
+    def test_stale_read_ordered_early(self):
+        # A read returning 0 while an inc is concurrent: linearize read first.
+        inc = Label("inc")
+        read = Label("read", ret=0)
+        h = History([inc, read])
+        witness = check_strong_linearizable(h, CounterSpec())
+        assert witness is not None and witness.index(read) < witness.index(inc)
+
+    def test_stale_read_after_visible_update_fails(self):
+        # read saw the inc, so it cannot return 0 under the strong criterion.
+        inc = Label("inc")
+        read = Label("read", ret=0)
+        h = History([inc, read], [(inc, read)])
+        assert check_strong_linearizable(h, CounterSpec()) is None
+
+    def test_set_semantics(self):
+        add = Label("add", ("a",))
+        rem = Label("remove", ("a",))
+        read = Label("read", ret=frozenset())
+        h = History([add, rem, read], [(add, rem), (rem, read), (add, read)])
+        assert check_strong_linearizable(h, SetSpec()) is not None
+
+    def test_witness_consistent_with_visibility(self):
+        a, b = Label("inc"), Label("inc")
+        read = Label("read", ret=2)
+        h = History([a, b, read], [(a, b), (b, read), (a, read)])
+        witness = check_strong_linearizable(h, CounterSpec())
+        assert witness is not None
+        assert h.is_consistent_with(witness)

@@ -1,0 +1,152 @@
+"""Timestamps, ⊥, generators, version vectors."""
+
+import pytest
+
+from repro.core.timestamp import (
+    BOTTOM,
+    Timestamp,
+    TimestampGenerator,
+    VersionVector,
+    max_timestamp,
+)
+
+
+class TestTimestampOrder:
+    def test_counter_dominates(self):
+        assert Timestamp(1, "r2") < Timestamp(2, "r1")
+
+    def test_replica_breaks_ties(self):
+        assert Timestamp(1, "r1") < Timestamp(1, "r2")
+
+    def test_equal(self):
+        assert Timestamp(3, "r1") == Timestamp(3, "r1")
+
+    def test_not_equal_across_replicas(self):
+        assert Timestamp(3, "r1") != Timestamp(3, "r2")
+
+    def test_total_ordering_derived_ops(self):
+        a, b = Timestamp(1, "r1"), Timestamp(2, "r1")
+        assert a <= b and b >= a and b > a and not (a > b)
+
+    def test_hashable(self):
+        assert len({Timestamp(1, "r1"), Timestamp(1, "r1")}) == 1
+
+
+class TestBottom:
+    def test_bottom_below_everything(self):
+        assert BOTTOM < Timestamp(0, "r1")
+        assert BOTTOM < Timestamp(10 ** 9, "zz")
+
+    def test_timestamp_not_below_bottom(self):
+        assert not (Timestamp(1, "r1") < BOTTOM)
+
+    def test_timestamp_greater_than_bottom(self):
+        assert Timestamp(1, "r1") > BOTTOM
+
+    def test_bottom_not_less_than_itself(self):
+        assert not (BOTTOM < BOTTOM)
+
+    def test_bottom_equals_itself_only(self):
+        assert BOTTOM == BOTTOM
+        assert BOTTOM != Timestamp(0, "r1")
+
+    def test_bottom_is_singleton(self):
+        from repro.core.timestamp import _Bottom
+
+        assert _Bottom() is BOTTOM
+
+    def test_bottom_hashable(self):
+        assert len({BOTTOM, BOTTOM}) == 1
+
+
+class TestTimestampGenerator:
+    def test_fresh_increases_per_replica(self):
+        gen = TimestampGenerator()
+        first = gen.fresh("r1")
+        second = gen.fresh("r1")
+        assert first < second
+
+    def test_fresh_unique_across_replicas(self):
+        gen = TimestampGenerator()
+        assert gen.fresh("r1") != gen.fresh("r2")
+
+    def test_observe_advances_clock(self):
+        gen = TimestampGenerator()
+        gen.observe("r1", Timestamp(10, "r2"))
+        assert gen.fresh("r1") > Timestamp(10, "r2")
+
+    def test_observe_bottom_is_noop(self):
+        gen = TimestampGenerator()
+        gen.observe("r1", BOTTOM)
+        assert gen.clock("r1") == 0
+
+    def test_observe_smaller_is_noop(self):
+        gen = TimestampGenerator()
+        gen.fresh("r1")
+        gen.fresh("r1")
+        gen.observe("r1", Timestamp(1, "r2"))
+        assert gen.clock("r1") == 2
+
+    def test_shared_generator_orders_across_objects(self):
+        # The ⊗ts property: after observing another object's timestamp,
+        # fresh timestamps dominate it.
+        gen = TimestampGenerator()
+        other = gen.fresh("r2")
+        gen.observe("r1", other)
+        assert gen.fresh("r1") > other
+
+
+class TestVersionVector:
+    def test_empty_get(self):
+        assert VersionVector().get("r1") == 0
+
+    def test_bump(self):
+        vv = VersionVector().bump("r1").bump("r1").bump("r2")
+        assert vv.get("r1") == 2 and vv.get("r2") == 1
+
+    def test_of_drops_zeros(self):
+        assert VersionVector.of({"r1": 0, "r2": 3}) == VersionVector.of({"r2": 3})
+
+    def test_join_pointwise_max(self):
+        a = VersionVector.of({"r1": 2, "r2": 1})
+        b = VersionVector.of({"r1": 1, "r2": 5, "r3": 1})
+        j = a.join(b)
+        assert j.get("r1") == 2 and j.get("r2") == 5 and j.get("r3") == 1
+
+    def test_leq_reflexive(self):
+        vv = VersionVector.of({"r1": 1})
+        assert vv.leq(vv)
+
+    def test_lt_strict(self):
+        a = VersionVector.of({"r1": 1})
+        b = VersionVector.of({"r1": 2})
+        assert a.lt(b) and not b.lt(a) and not a.lt(a)
+
+    def test_concurrent(self):
+        a = VersionVector.of({"r1": 1})
+        b = VersionVector.of({"r2": 1})
+        assert a.concurrent(b) and b.concurrent(a)
+
+    def test_join_is_upper_bound(self):
+        a = VersionVector.of({"r1": 1, "r3": 2})
+        b = VersionVector.of({"r2": 4})
+        assert a.leq(a.join(b)) and b.leq(a.join(b))
+
+    def test_hashable_and_equal(self):
+        assert VersionVector.of({"r1": 1}) == VersionVector.of({"r1": 1})
+        assert len({VersionVector.of({"r1": 1}), VersionVector.of({"r1": 1})}) == 1
+
+
+class TestMaxTimestamp:
+    def test_empty_is_bottom(self):
+        assert max_timestamp([]) is BOTTOM
+
+    def test_ignores_bottoms(self):
+        assert max_timestamp([BOTTOM, Timestamp(2, "r1"), BOTTOM]) == Timestamp(2, "r1")
+
+    def test_all_bottom(self):
+        assert max_timestamp([BOTTOM, BOTTOM]) is BOTTOM
+
+    def test_picks_maximum(self):
+        tss = [Timestamp(1, "r2"), Timestamp(3, "r1"), Timestamp(2, "r9")]
+        assert max_timestamp(tss) == Timestamp(3, "r1")

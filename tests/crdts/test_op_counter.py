@@ -1,0 +1,33 @@
+"""Op-based counter (Listing 3)."""
+
+from repro.core.timestamp import BOTTOM
+from repro.crdts import OpCounter
+from repro.crdts.base import Effector
+
+
+class TestOpCounter:
+    def setup_method(self):
+        self.crdt = OpCounter()
+
+    def test_initial(self):
+        assert self.crdt.initial_state() == 0
+
+    def test_inc_effector(self):
+        result = self.crdt.generator(0, "inc", (), BOTTOM)
+        assert result.effector == Effector("inc")
+        assert self.crdt.apply_effector(0, result.effector) == 1
+
+    def test_dec_effector(self):
+        result = self.crdt.generator(0, "dec", (), BOTTOM)
+        assert self.crdt.apply_effector(5, result.effector) == 4
+
+    def test_read_is_pure(self):
+        result = self.crdt.generator(7, "read", (), BOTTOM)
+        assert result.ret == 7 and result.effector is None
+
+    def test_effectors_commute(self):
+        inc, dec = Effector("inc"), Effector("dec")
+        for state in (-2, 0, 5):
+            ab = self.crdt.apply_effector(self.crdt.apply_effector(state, inc), dec)
+            ba = self.crdt.apply_effector(self.crdt.apply_effector(state, dec), inc)
+            assert ab == ba

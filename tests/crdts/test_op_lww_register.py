@@ -1,0 +1,45 @@
+"""Op-based LWW register (Listing 4)."""
+
+from repro.core.timestamp import BOTTOM, Timestamp
+from repro.crdts import OpLWWRegister
+from repro.crdts.base import Effector
+
+
+class TestOpLWWRegister:
+    def setup_method(self):
+        self.crdt = OpLWWRegister()
+
+    def test_initial(self):
+        assert self.crdt.initial_state() == (None, BOTTOM)
+
+    def test_write_installs_value(self):
+        ts = Timestamp(1, "r1")
+        result = self.crdt.generator(self.crdt.initial_state(), "write", ("a",), ts)
+        state = self.crdt.apply_effector(self.crdt.initial_state(), result.effector)
+        assert state == ("a", ts)
+
+    def test_smaller_timestamp_loses(self):
+        newer = ("b", Timestamp(5, "r1"))
+        eff = Effector("write", ("a", Timestamp(3, "r2")))
+        assert self.crdt.apply_effector(newer, eff) == newer
+
+    def test_larger_timestamp_wins(self):
+        older = ("a", Timestamp(3, "r2"))
+        eff = Effector("write", ("b", Timestamp(5, "r1")))
+        assert self.crdt.apply_effector(older, eff) == ("b", Timestamp(5, "r1"))
+
+    def test_read(self):
+        result = self.crdt.generator(("a", Timestamp(1, "r1")), "read", (), BOTTOM)
+        assert result.ret == "a" and result.effector is None
+
+    def test_concurrent_writes_commute(self):
+        e1 = Effector("write", ("a", Timestamp(1, "r1")))
+        e2 = Effector("write", ("b", Timestamp(1, "r2")))
+        state = self.crdt.initial_state()
+        ab = self.crdt.apply_effector(self.crdt.apply_effector(state, e1), e2)
+        ba = self.crdt.apply_effector(self.crdt.apply_effector(state, e2), e1)
+        assert ab == ba == ("b", Timestamp(1, "r2"))
+
+    def test_custom_initial_value(self):
+        crdt = OpLWWRegister(initial_value="x0")
+        assert crdt.initial_state() == ("x0", BOTTOM)

@@ -1,0 +1,58 @@
+"""Op-based OR-Set (Listing 2)."""
+
+from repro.core.timestamp import BOTTOM, Timestamp
+from repro.crdts import OpORSet
+from repro.crdts.base import Effector
+
+
+class TestOpORSet:
+    def setup_method(self):
+        self.crdt = OpORSet()
+
+    def test_initial_empty(self):
+        assert self.crdt.initial_state() == frozenset()
+
+    def test_add_returns_identifier(self):
+        ts = Timestamp(1, "r1")
+        result = self.crdt.generator(frozenset(), "add", ("a",), ts)
+        assert result.ret == ts
+        state = self.crdt.apply_effector(frozenset(), result.effector)
+        assert state == frozenset({("a", ts)})
+
+    def test_remove_observes_current_pairs(self):
+        k1, k2 = Timestamp(1, "r1"), Timestamp(2, "r2")
+        state = frozenset({("a", k1), ("a", k2), ("b", k1)})
+        result = self.crdt.generator(state, "remove", ("a",), BOTTOM)
+        assert result.ret == frozenset({("a", k1), ("a", k2)})
+        after = self.crdt.apply_effector(state, result.effector)
+        assert after == frozenset({("b", k1)})
+
+    def test_remove_absent_is_noop(self):
+        result = self.crdt.generator(frozenset(), "remove", ("a",), BOTTOM)
+        assert result.ret == frozenset()
+        assert self.crdt.apply_effector(frozenset(), result.effector) == frozenset()
+
+    def test_unobserved_add_survives_remove(self):
+        # Fig. 4/5: the remove only erases observed pairs.
+        k_seen, k_conc = Timestamp(1, "r1"), Timestamp(1, "r2")
+        seen = frozenset({("a", k_seen)})
+        remove = self.crdt.generator(seen, "remove", ("a",), BOTTOM).effector
+        concurrent_add = Effector("add", ("a", k_conc))
+        state = self.crdt.apply_effector(seen, concurrent_add)
+        state = self.crdt.apply_effector(state, remove)
+        assert state == frozenset({("a", k_conc)})
+
+    def test_read(self):
+        k = Timestamp(1, "r1")
+        state = frozenset({("a", k), ("b", k)})
+        result = self.crdt.generator(state, "read", (), BOTTOM)
+        assert result.ret == frozenset({"a", "b"})
+
+    def test_concurrent_add_remove_commute(self):
+        k_seen, k_conc = Timestamp(1, "r1"), Timestamp(1, "r2")
+        base = frozenset({("a", k_seen)})
+        add = Effector("add", ("a", k_conc))
+        remove = Effector("remove", (frozenset({("a", k_seen)}),))
+        ab = self.crdt.apply_effector(self.crdt.apply_effector(base, add), remove)
+        ba = self.crdt.apply_effector(self.crdt.apply_effector(base, remove), add)
+        assert ab == ba

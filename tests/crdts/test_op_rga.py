@@ -1,0 +1,118 @@
+"""Op-based RGA (Listing 1): Ti-tree, tombstones, traversal."""
+
+import pytest
+
+from repro.core.sentinels import ROOT
+from repro.core.timestamp import BOTTOM, Timestamp
+from repro.crdts import OpRGA
+from repro.crdts.base import Effector
+from repro.crdts.opbased.rga import traverse, tree_elements
+
+
+def ts(counter, replica="r1"):
+    return Timestamp(counter, replica)
+
+
+class TestTraverse:
+    def test_empty_tree(self):
+        assert traverse(frozenset(), frozenset()) == ()
+
+    def test_single_chain(self):
+        nodes = frozenset({(ROOT, ts(1), "a"), ("a", ts(2), "b")})
+        assert traverse(nodes, frozenset()) == ("a", "b")
+
+    def test_siblings_by_descending_timestamp(self):
+        nodes = frozenset({
+            (ROOT, ts(1, "r1"), "a"),
+            (ROOT, ts(1, "r2"), "b"),  # (1,r2) > (1,r1): b first
+        })
+        assert traverse(nodes, frozenset()) == ("b", "a")
+
+    def test_fig2_shape(self):
+        # ta < tc < tb: children of ◦ ordered b, c... paper's tree has
+        # a then b,c as children of a.  Reconstruct: ◦→a, a→{b,c}.
+        nodes = frozenset({
+            (ROOT, ts(1), "a"),
+            ("a", ts(3), "b"),
+            ("a", ts(2), "c"),
+        })
+        assert traverse(nodes, frozenset()) == ("a", "b", "c")
+
+    def test_tombstoned_skipped_but_subtree_kept(self):
+        nodes = frozenset({
+            (ROOT, ts(1), "a"),
+            ("a", ts(2), "b"),
+        })
+        assert traverse(nodes, frozenset({"a"})) == ("b",)
+
+    def test_tree_elements(self):
+        nodes = frozenset({(ROOT, ts(1), "a"), ("a", ts(2), "b")})
+        assert tree_elements(nodes) == {"a", "b"}
+
+
+class TestOpRGA:
+    def setup_method(self):
+        self.crdt = OpRGA()
+
+    def test_precondition_add_after_root(self):
+        assert self.crdt.precondition(self.crdt.initial_state(), "addAfter", (ROOT, "a"))
+
+    def test_precondition_missing_anchor(self):
+        assert not self.crdt.precondition(
+            self.crdt.initial_state(), "addAfter", ("ghost", "a")
+        )
+
+    def test_precondition_tombstoned_anchor(self):
+        state = (frozenset({(ROOT, ts(1), "a")}), frozenset({"a"}))
+        assert not self.crdt.precondition(state, "addAfter", ("a", "b"))
+
+    def test_precondition_duplicate_value(self):
+        state = (frozenset({(ROOT, ts(1), "a")}), frozenset())
+        assert not self.crdt.precondition(state, "addAfter", (ROOT, "a"))
+
+    def test_precondition_remove(self):
+        state = (frozenset({(ROOT, ts(1), "a")}), frozenset())
+        assert self.crdt.precondition(state, "remove", ("a",))
+        assert not self.crdt.precondition(state, "remove", ("ghost",))
+        assert not self.crdt.precondition(state, "remove", (ROOT,))
+
+    def test_precondition_remove_twice(self):
+        state = (frozenset({(ROOT, ts(1), "a")}), frozenset({"a"}))
+        assert not self.crdt.precondition(state, "remove", ("a",))
+
+    def test_add_effector(self):
+        result = self.crdt.generator(
+            self.crdt.initial_state(), "addAfter", (ROOT, "a"), ts(1)
+        )
+        state = self.crdt.apply_effector(self.crdt.initial_state(), result.effector)
+        assert state == (frozenset({(ROOT, ts(1), "a")}), frozenset())
+
+    def test_remove_effector(self):
+        state = (frozenset({(ROOT, ts(1), "a")}), frozenset())
+        result = self.crdt.generator(state, "remove", ("a",), BOTTOM)
+        after = self.crdt.apply_effector(state, result.effector)
+        assert after[1] == frozenset({"a"})
+
+    def test_read(self):
+        state = (frozenset({(ROOT, ts(1), "a"), ("a", ts(2), "b")}), frozenset({"a"}))
+        result = self.crdt.generator(state, "read", (), BOTTOM)
+        assert result.ret == ("b",) and result.effector is None
+
+    def test_concurrent_adds_commute(self):
+        e1 = Effector("addAfter", (ROOT, ts(1, "r1"), "a"))
+        e2 = Effector("addAfter", (ROOT, ts(1, "r2"), "b"))
+        s0 = self.crdt.initial_state()
+        ab = self.crdt.apply_effector(self.crdt.apply_effector(s0, e1), e2)
+        ba = self.crdt.apply_effector(self.crdt.apply_effector(s0, e2), e1)
+        assert ab == ba
+
+    def test_add_remove_commute(self):
+        # addAfter(a,b) concurrent with remove(a): the tombstone keeps the
+        # parent available (Sec. 2.1).
+        base = (frozenset({(ROOT, ts(1), "a")}), frozenset())
+        add = Effector("addAfter", ("a", ts(2, "r2"), "b"))
+        rem = Effector("remove", ("a",))
+        ab = self.crdt.apply_effector(self.crdt.apply_effector(base, add), rem)
+        ba = self.crdt.apply_effector(self.crdt.apply_effector(base, rem), add)
+        assert ab == ba
+        assert traverse(*ab) == ("b",)

@@ -1,0 +1,66 @@
+"""RGA behind the addAt interface (Appendix C.4)."""
+
+from repro.core.sentinels import ROOT
+from repro.core.timestamp import BOTTOM, Timestamp
+from repro.crdts import OpRGAAddAt
+
+
+def ts(counter, replica="r1"):
+    return Timestamp(counter, replica)
+
+
+class TestOpRGAAddAt:
+    def setup_method(self):
+        self.crdt = OpRGAAddAt()
+
+    def test_insert_into_empty(self):
+        result = self.crdt.generator(
+            self.crdt.initial_state(), "addAt", ("a", 0), ts(1)
+        )
+        assert result.ret == ("a",)
+        assert result.effector.args[0] == ROOT
+
+    def test_insert_at_head_anchors_root(self):
+        state = (frozenset({(ROOT, ts(1), "a")}), frozenset())
+        result = self.crdt.generator(state, "addAt", ("x", 0), ts(2))
+        assert result.effector.args[0] == ROOT
+        assert result.ret == ("x", "a")
+
+    def test_insert_mid_anchors_predecessor(self):
+        state = (
+            frozenset({(ROOT, ts(2), "a"), (ROOT, ts(1), "b")}),
+            frozenset(),
+        )  # local list a·b
+        result = self.crdt.generator(state, "addAt", ("x", 1), ts(3))
+        assert result.effector.args[0] == "a"
+        assert result.ret == ("a", "x", "b")
+
+    def test_index_past_end_appends(self):
+        state = (frozenset({(ROOT, ts(1), "a")}), frozenset())
+        result = self.crdt.generator(state, "addAt", ("x", 9), ts(2))
+        assert result.effector.args[0] == "a"
+        assert result.ret == ("a", "x")
+
+    def test_index_skips_tombstones(self):
+        state = (
+            frozenset({(ROOT, ts(2), "a"), (ROOT, ts(1), "b")}),
+            frozenset({"a"}),
+        )  # local list (b,)
+        result = self.crdt.generator(state, "addAt", ("x", 1), ts(3))
+        assert result.effector.args[0] == "b"
+
+    def test_remove_returns_updated_view(self):
+        state = (
+            frozenset({(ROOT, ts(2), "a"), (ROOT, ts(1), "b")}),
+            frozenset(),
+        )
+        result = self.crdt.generator(state, "remove", ("a",), BOTTOM)
+        assert result.ret == ("b",)
+
+    def test_preconditions(self):
+        state = (frozenset({(ROOT, ts(1), "a")}), frozenset())
+        assert self.crdt.precondition(state, "addAt", ("x", 0))
+        assert not self.crdt.precondition(state, "addAt", ("a", 0))
+        assert not self.crdt.precondition(state, "addAt", ("x", -1))
+        assert self.crdt.precondition(state, "remove", ("a",))
+        assert not self.crdt.precondition(state, "remove", ("x",))

@@ -1,0 +1,54 @@
+"""Op-based 2P-Set."""
+
+import pytest
+
+from repro.core.errors import PreconditionViolation
+from repro.core.timestamp import BOTTOM
+from repro.crdts import Op2PSet
+from repro.crdts.base import Effector
+from repro.runtime import OpBasedSystem
+
+
+class TestOp2PSet:
+    def setup_method(self):
+        self.crdt = Op2PSet()
+
+    def test_add_remove_read(self):
+        state = self.crdt.initial_state()
+        state = self.crdt.apply_effector(state, Effector("add", ("a",)))
+        state = self.crdt.apply_effector(state, Effector("add", ("b",)))
+        state = self.crdt.apply_effector(state, Effector("remove", ("a",)))
+        result = self.crdt.generator(state, "read", (), BOTTOM)
+        assert result.ret == frozenset({"b"})
+
+    def test_preconditions(self):
+        empty = self.crdt.initial_state()
+        assert self.crdt.precondition(empty, "add", ("a",))
+        assert not self.crdt.precondition(empty, "remove", ("a",))
+        added = (frozenset({"a"}), frozenset())
+        assert not self.crdt.precondition(added, "add", ("a",))
+        assert self.crdt.precondition(added, "remove", ("a",))
+        removed = (frozenset({"a"}), frozenset({"a"}))
+        assert not self.crdt.precondition(removed, "remove", ("a",))
+
+    def test_effectors_commute(self):
+        add_b = Effector("add", ("b",))
+        rem_a = Effector("remove", ("a",))
+        base = (frozenset({"a"}), frozenset())
+        ab = self.crdt.apply_effector(self.crdt.apply_effector(base, add_b), rem_a)
+        ba = self.crdt.apply_effector(self.crdt.apply_effector(base, rem_a), add_b)
+        assert ab == ba
+
+    def test_end_to_end_remove_wins_over_own_add(self):
+        system = OpBasedSystem(Op2PSet(), replicas=("r1", "r2"))
+        system.invoke("r1", "add", ("a",))
+        system.deliver_all()
+        system.invoke("r2", "remove", ("a",))
+        system.deliver_all()
+        assert system.invoke("r1", "read").ret == frozenset()
+
+    def test_remove_requires_observed_add(self):
+        system = OpBasedSystem(Op2PSet(), replicas=("r1", "r2"))
+        system.invoke("r1", "add", ("a",))
+        with pytest.raises(PreconditionViolation):
+            system.invoke("r2", "remove", ("a",))  # add not delivered yet

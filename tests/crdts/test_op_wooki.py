@@ -1,0 +1,115 @@
+"""Op-based Wooki (Listing 5): W-strings and integrateIns."""
+
+from repro.core.sentinels import BEGIN, END
+from repro.core.timestamp import BOTTOM, Timestamp
+from repro.crdts import OpWooki
+from repro.crdts.opbased.wooki import WChar, integrate_ins, values_of
+
+
+def ts(counter, replica="r1"):
+    return Timestamp(counter, replica)
+
+
+def wchar(counter, replica, value, degree, visible=True):
+    return WChar(ts(counter, replica), value, degree, visible)
+
+
+class TestIntegrateIns:
+    def setup_method(self):
+        self.crdt = OpWooki()
+        self.initial = self.crdt.initial_state()
+
+    def test_insert_into_empty(self):
+        w = wchar(1, "r1", "a", 1)
+        result = integrate_ins(self.initial, w, BEGIN, END)
+        assert values_of(result) == ("a",)
+
+    def test_concurrent_inserts_ordered_by_id(self):
+        wa = wchar(1, "r1", "a", 1)
+        wb = wchar(1, "r2", "b", 1)
+        one = integrate_ins(integrate_ins(self.initial, wa, BEGIN, END), wb, BEGIN, END)
+        two = integrate_ins(integrate_ins(self.initial, wb, BEGIN, END), wa, BEGIN, END)
+        assert one == two  # convergence regardless of arrival order
+        assert values_of(one) in (("a", "b"), ("b", "a"))
+
+    def test_degree_fence_placement(self):
+        # a inserted between sentinels (degree 1); x inserted between a and
+        # END (degree 2).  A concurrent degree-1 insert b first settles
+        # against the degree-1 fence {a} (b after a by id), then against
+        # the inner degree-2 window {x} (b before x by id): a·b·x.
+        wa = wchar(1, "r1", "a", 1)
+        wx = wchar(2, "r1", "x", 2)
+        state = integrate_ins(self.initial, wa, BEGIN, END)
+        state = integrate_ins(state, wx, wa.wid, END)
+        wb = wchar(1, "r2", "b", 1)
+        merged = integrate_ins(state, wb, BEGIN, END)
+        assert values_of(merged) == ("a", "b", "x")
+
+    def test_convergence_three_concurrent(self):
+        chars = [wchar(1, f"r{i}", f"v{i}", 1) for i in range(3)]
+        import itertools
+
+        results = set()
+        for perm in itertools.permutations(chars):
+            state = self.initial
+            for c in perm:
+                state = integrate_ins(state, c, BEGIN, END)
+            results.add(state)
+        assert len(results) == 1
+
+
+class TestOpWooki:
+    def setup_method(self):
+        self.crdt = OpWooki()
+
+    def _with_a(self):
+        state = self.crdt.initial_state()
+        result = self.crdt.generator(state, "addBetween", (BEGIN, "a", END), ts(1))
+        return self.crdt.apply_effector(state, result.effector)
+
+    def test_add_between(self):
+        state = self._with_a()
+        assert values_of(state) == ("a",)
+
+    def test_degree_computed_from_neighbours(self):
+        state = self._with_a()
+        result = self.crdt.generator(state, "addBetween", ("a", "x", END), ts(2))
+        w = result.effector.args[0]
+        assert w.degree == 2
+
+    def test_remove_hides(self):
+        state = self._with_a()
+        result = self.crdt.generator(state, "remove", ("a",), BOTTOM)
+        after = self.crdt.apply_effector(state, result.effector)
+        assert values_of(after) == ()
+        assert len(after) == 3  # char retained, flag flipped
+
+    def test_read(self):
+        state = self._with_a()
+        assert self.crdt.generator(state, "read", (), BOTTOM).ret == ("a",)
+
+    def test_preconditions(self):
+        state = self._with_a()
+        ok = self.crdt.precondition
+        assert ok(state, "addBetween", (BEGIN, "x", "a"))
+        assert ok(state, "addBetween", ("a", "x", END))
+        assert not ok(state, "addBetween", ("a", "x", BEGIN))   # before begin
+        assert not ok(state, "addBetween", (END, "x", "a"))     # after end
+        assert not ok(state, "addBetween", (BEGIN, "a", END))   # duplicate
+        assert not ok(state, "addBetween", ("ghost", "x", END))
+        assert ok(state, "remove", ("a",))
+        assert not ok(state, "remove", ("ghost",))
+        assert not ok(state, "remove", (BEGIN,))
+
+    def test_remove_invisible_rejected(self):
+        state = self._with_a()
+        result = self.crdt.generator(state, "remove", ("a",), BOTTOM)
+        state = self.crdt.apply_effector(state, result.effector)
+        assert not self.crdt.precondition(state, "remove", ("a",))
+
+    def test_anchor_order_precondition(self):
+        state = self._with_a()
+        result = self.crdt.generator(state, "addBetween", ("a", "b", END), ts(2))
+        state = self.crdt.apply_effector(state, result.effector)
+        # a precedes b: inserting "between b and a" is rejected.
+        assert not self.crdt.precondition(state, "addBetween", ("b", "x", "a"))

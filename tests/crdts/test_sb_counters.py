@@ -1,0 +1,89 @@
+"""State-based G-Counter and PN-Counter (Listing 9)."""
+
+from repro.core.freeze import FrozenDict
+from repro.core.label import Label
+from repro.core.timestamp import BOTTOM
+from repro.crdts import SBGCounter, SBPNCounter
+
+
+class TestSBPNCounter:
+    def setup_method(self):
+        self.crdt = SBPNCounter()
+
+    def _run(self, state, method, replica="r1", args=()):
+        return self.crdt.apply(state, method, args, BOTTOM, replica)
+
+    def test_initial(self):
+        assert self.crdt.initial_state() == (FrozenDict(), FrozenDict())
+
+    def test_inc_dec_read(self):
+        state = self.crdt.initial_state()
+        _, state = self._run(state, "inc")
+        _, state = self._run(state, "inc", replica="r2")
+        _, state = self._run(state, "dec")
+        ret, _ = self._run(state, "read")
+        assert ret == 1
+
+    def test_merge_pointwise_max(self):
+        s0 = self.crdt.initial_state()
+        _, s1 = self._run(s0, "inc", replica="r1")
+        _, s1 = self._run(s1, "inc", replica="r1")
+        _, s2 = self._run(s0, "inc", replica="r2")
+        merged = self.crdt.merge(s1, s2)
+        assert self.crdt.apply(merged, "read", (), BOTTOM, "r1")[0] == 3
+
+    def test_merge_idempotent(self):
+        s0 = self.crdt.initial_state()
+        _, s1 = self._run(s0, "inc")
+        assert self.crdt.merge(s1, s1) == s1
+
+    def test_merge_commutative(self):
+        s0 = self.crdt.initial_state()
+        _, s1 = self._run(s0, "inc", replica="r1")
+        _, s2 = self._run(s0, "dec", replica="r2")
+        assert self.crdt.merge(s1, s2) == self.crdt.merge(s2, s1)
+
+    def test_compare_lattice_order(self):
+        s0 = self.crdt.initial_state()
+        _, s1 = self._run(s0, "inc")
+        assert self.crdt.compare(s0, s1)
+        assert not self.crdt.compare(s1, s0)
+
+    def test_effector_args_and_apply_local(self):
+        label = Label("inc", origin="r1")
+        arg = self.crdt.effector_args(label)
+        assert arg == ("inc", "r1")
+        state = self.crdt.apply_local(self.crdt.initial_state(), arg)
+        assert state[0].get("r1") == 1
+
+    def test_query_has_no_effector_args(self):
+        assert self.crdt.effector_args(Label("read", ret=0)) is None
+
+    def test_predicate_p(self):
+        s0 = self.crdt.initial_state()
+        arg = ("inc", "r1")
+        assert self.crdt.predicate_p(s0, arg)
+        assert not self.crdt.predicate_p(self.crdt.apply_local(s0, arg), arg)
+
+
+class TestSBGCounter:
+    def setup_method(self):
+        self.crdt = SBGCounter()
+
+    def test_inc_and_read(self):
+        state = self.crdt.initial_state()
+        _, state = self.crdt.apply(state, "inc", (), BOTTOM, "r1")
+        _, state = self.crdt.apply(state, "inc", (), BOTTOM, "r2")
+        assert self.crdt.apply(state, "read", (), BOTTOM, "r1")[0] == 2
+
+    def test_merge(self):
+        s0 = self.crdt.initial_state()
+        _, s1 = self.crdt.apply(s0, "inc", (), BOTTOM, "r1")
+        _, s2 = self.crdt.apply(s0, "inc", (), BOTTOM, "r2")
+        merged = self.crdt.merge(s1, s2)
+        assert sum(merged.values()) == 2
+
+    def test_compare(self):
+        s0 = self.crdt.initial_state()
+        _, s1 = self.crdt.apply(s0, "inc", (), BOTTOM, "r1")
+        assert self.crdt.compare(s0, s1) and not self.crdt.compare(s1, s0)

@@ -1,0 +1,84 @@
+"""State-based LWW-Element-Set (Listing 8)."""
+
+from repro.core.label import Label
+from repro.core.timestamp import Timestamp
+from repro.crdts import SBLWWElementSet
+from repro.crdts.statebased import lww_contents
+
+
+def ts(counter, replica="r1"):
+    return Timestamp(counter, replica)
+
+
+class TestSBLWWElementSet:
+    def setup_method(self):
+        self.crdt = SBLWWElementSet()
+
+    def test_add_then_read(self):
+        state = self.crdt.initial_state()
+        _, state = self.crdt.apply(state, "add", ("a",), ts(1), "r1")
+        ret, _ = self.crdt.apply(state, "read", (), None, "r1")
+        assert ret == frozenset({"a"})
+
+    def test_newer_remove_wins(self):
+        state = (frozenset({("a", ts(1))}), frozenset({("a", ts(2))}))
+        assert lww_contents(state) == frozenset()
+
+    def test_newer_add_wins(self):
+        state = (frozenset({("a", ts(3))}), frozenset({("a", ts(2))}))
+        assert lww_contents(state) == frozenset({"a"})
+
+    def test_remove_of_never_added_invisible(self):
+        state = (frozenset(), frozenset({("a", ts(1))}))
+        assert lww_contents(state) == frozenset()
+
+    def test_stale_add_does_not_resurrect(self):
+        # add@1, remove@2, then a *different* older add@1(r0) arrives late.
+        state = (
+            frozenset({("a", ts(1, "r1")), ("a", ts(1, "r0"))}),
+            frozenset({("a", ts(2, "r1"))}),
+        )
+        assert lww_contents(state) == frozenset()
+
+    def test_merge_union(self):
+        s1 = (frozenset({("a", ts(1))}), frozenset())
+        s2 = (frozenset(), frozenset({("a", ts(2))}))
+        assert self.crdt.merge(s1, s2) == (
+            frozenset({("a", ts(1))}),
+            frozenset({("a", ts(2))}),
+        )
+
+    def test_merge_lattice_laws(self):
+        s1 = (frozenset({("a", ts(1))}), frozenset())
+        s2 = (frozenset({("b", ts(2))}), frozenset({("a", ts(3))}))
+        assert self.crdt.merge(s1, s2) == self.crdt.merge(s2, s1)
+        assert self.crdt.merge(s1, s1) == s1
+
+    def test_compare(self):
+        s1 = (frozenset({("a", ts(1))}), frozenset())
+        s2 = self.crdt.merge(s1, (frozenset(), frozenset({("b", ts(2))})))
+        assert self.crdt.compare(s1, s2) and not self.crdt.compare(s2, s1)
+
+    def test_effector_args_unique_by_timestamp(self):
+        add = Label("add", ("a",), ts=ts(1), origin="r1")
+        rem = Label("remove", ("a",), ts=ts(2), origin="r1")
+        assert self.crdt.effector_args(add) == ("add", "a", ts(1))
+        assert self.crdt.effector_args(rem) == ("remove", "a", ts(2))
+        assert self.crdt.arg_lt(
+            self.crdt.effector_args(add), self.crdt.effector_args(rem)
+        )
+
+    def test_apply_local(self):
+        state = self.crdt.initial_state()
+        state = self.crdt.apply_local(state, ("add", "a", ts(1)))
+        state = self.crdt.apply_local(state, ("remove", "a", ts(2)))
+        assert lww_contents(state) == frozenset()
+
+    def test_predicate_p(self):
+        state = (frozenset({("a", ts(2))}), frozenset())
+        assert not self.crdt.predicate_p(state, ("add", "b", ts(1)))
+        assert self.crdt.predicate_p(state, ("add", "b", ts(3)))
+
+    def test_timestamps_in_state(self):
+        state = (frozenset({("a", ts(1))}), frozenset({("b", ts(2))}))
+        assert sorted(self.crdt.timestamps_in_state(state)) == [ts(1), ts(2)]

@@ -1,0 +1,86 @@
+"""State-based multi-value register (Listing 7)."""
+
+from repro.core.label import Label
+from repro.core.timestamp import BOTTOM, VersionVector
+from repro.crdts import SBMVRegister
+
+
+class TestSBMVRegister:
+    def setup_method(self):
+        self.crdt = SBMVRegister()
+
+    def _write(self, state, value, replica):
+        return self.crdt.apply(state, "write", (value,), BOTTOM, replica)
+
+    def test_write_returns_fresh_vector(self):
+        vv, state = self._write(self.crdt.initial_state(), "a", "r1")
+        assert vv == VersionVector.of({"r1": 1})
+        assert state == frozenset({("a", vv)})
+
+    def test_sequential_writes_dominate(self):
+        _, s1 = self._write(self.crdt.initial_state(), "a", "r1")
+        vv2, s2 = self._write(s1, "b", "r1")
+        assert s2 == frozenset({("b", vv2)})
+        assert vv2 == VersionVector.of({"r1": 2})
+
+    def test_concurrent_writes_coexist_after_merge(self):
+        s0 = self.crdt.initial_state()
+        _, s1 = self._write(s0, "a", "r1")
+        _, s2 = self._write(s0, "b", "r2")
+        merged = self.crdt.merge(s1, s2)
+        ret, _ = self.crdt.apply(merged, "read", (), BOTTOM, "r1")
+        assert ret == frozenset({"a", "b"})
+
+    def test_write_after_merge_dominates_both(self):
+        s0 = self.crdt.initial_state()
+        _, s1 = self._write(s0, "a", "r1")
+        _, s2 = self._write(s0, "b", "r2")
+        merged = self.crdt.merge(s1, s2)
+        vv3, s3 = self._write(merged, "c", "r1")
+        assert s3 == frozenset({("c", vv3)})
+        assert vv3 == VersionVector.of({"r1": 2, "r2": 1})
+
+    def test_merge_drops_dominated(self):
+        s0 = self.crdt.initial_state()
+        _, s1 = self._write(s0, "a", "r1")
+        _, s2 = self._write(s1, "b", "r1")
+        assert self.crdt.merge(s1, s2) == s2
+
+    def test_merge_idempotent_commutative(self):
+        s0 = self.crdt.initial_state()
+        _, s1 = self._write(s0, "a", "r1")
+        _, s2 = self._write(s0, "b", "r2")
+        assert self.crdt.merge(s1, s1) == s1
+        assert self.crdt.merge(s1, s2) == self.crdt.merge(s2, s1)
+
+    def test_compare(self):
+        s0 = self.crdt.initial_state()
+        _, s1 = self._write(s0, "a", "r1")
+        _, s2 = self._write(s1, "b", "r1")
+        assert self.crdt.compare(s1, s2)
+        assert not self.crdt.compare(s2, s1)
+
+    def test_effector_args_from_return(self):
+        vv, _state = self._write(self.crdt.initial_state(), "a", "r1")
+        label = Label("write", ("a",), ret=vv, origin="r1")
+        assert self.crdt.effector_args(label) == ("a", vv)
+
+    def test_apply_local_matches_write_effect(self):
+        s0 = self.crdt.initial_state()
+        vv, s1 = self._write(s0, "a", "r1")
+        assert self.crdt.apply_local(s0, ("a", vv)) == s1
+
+    def test_arg_order(self):
+        a = ("a", VersionVector.of({"r1": 1}))
+        b = ("b", VersionVector.of({"r1": 2}))
+        c = ("c", VersionVector.of({"r2": 1}))
+        assert self.crdt.arg_lt(a, b)
+        assert not self.crdt.arg_lt(b, a)
+        assert not self.crdt.arg_lt(a, c) and not self.crdt.arg_lt(c, a)
+
+    def test_predicate_p(self):
+        vv1 = VersionVector.of({"r1": 1})
+        vv2 = VersionVector.of({"r1": 2})
+        state = frozenset({("a", vv2)})
+        assert not self.crdt.predicate_p(state, ("x", vv1))
+        assert self.crdt.predicate_p(state, ("x", vv2.bump("r2")))

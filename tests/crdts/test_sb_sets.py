@@ -1,0 +1,80 @@
+"""State-based G-Set and 2P-Set (Listing 10)."""
+
+from repro.core.label import Label
+from repro.core.timestamp import BOTTOM
+from repro.crdts import SB2PSet, SBGSet
+
+
+class TestSBGSet:
+    def setup_method(self):
+        self.crdt = SBGSet()
+
+    def test_add_read(self):
+        _, state = self.crdt.apply(
+            self.crdt.initial_state(), "add", ("a",), BOTTOM, "r1"
+        )
+        assert self.crdt.apply(state, "read", (), BOTTOM, "r1")[0] == {"a"}
+
+    def test_merge_union(self):
+        assert self.crdt.merge(frozenset({"a"}), frozenset({"b"})) == {"a", "b"}
+
+    def test_local_effector_idempotent(self):
+        arg = self.crdt.effector_args(Label("add", ("a",)))
+        once = self.crdt.apply_local(frozenset(), arg)
+        assert self.crdt.apply_local(once, arg) == once
+
+    def test_predicate_p(self):
+        arg = ("add", "a")
+        assert self.crdt.predicate_p(frozenset(), arg)
+        assert not self.crdt.predicate_p(frozenset({"a"}), arg)
+
+
+class TestSB2PSet:
+    def setup_method(self):
+        self.crdt = SB2PSet()
+
+    def test_add_remove_read(self):
+        state = self.crdt.initial_state()
+        _, state = self.crdt.apply(state, "add", ("a",), BOTTOM, "r1")
+        _, state = self.crdt.apply(state, "add", ("b",), BOTTOM, "r1")
+        _, state = self.crdt.apply(state, "remove", ("a",), BOTTOM, "r1")
+        assert self.crdt.apply(state, "read", (), BOTTOM, "r1")[0] == {"b"}
+
+    def test_remove_is_permanent(self):
+        state = (frozenset({"a"}), frozenset({"a"}))
+        # re-adding has no observable effect (a stays tombstoned)
+        _, after = self.crdt.apply(state, "add", ("a",), BOTTOM, "r1")
+        assert self.crdt.apply(after, "read", (), BOTTOM, "r1")[0] == frozenset()
+
+    def test_remove_precondition(self):
+        empty = self.crdt.initial_state()
+        assert not self.crdt.precondition(empty, "remove", ("a",))
+        added = (frozenset({"a"}), frozenset())
+        assert self.crdt.precondition(added, "remove", ("a",))
+        removed = (frozenset({"a"}), frozenset({"a"}))
+        assert not self.crdt.precondition(removed, "remove", ("a",))
+
+    def test_merge_union_both_components(self):
+        s1 = (frozenset({"a"}), frozenset())
+        s2 = (frozenset({"b"}), frozenset({"a"}))
+        assert self.crdt.merge(s1, s2) == (frozenset({"a", "b"}), frozenset({"a"}))
+
+    def test_compare(self):
+        s1 = (frozenset({"a"}), frozenset())
+        s2 = (frozenset({"a", "b"}), frozenset({"a"}))
+        assert self.crdt.compare(s1, s2) and not self.crdt.compare(s2, s1)
+
+    def test_local_effectors_idempotent(self):
+        add = self.crdt.effector_args(Label("add", ("a",)))
+        rem = self.crdt.effector_args(Label("remove", ("a",)))
+        state = self.crdt.initial_state()
+        once = self.crdt.apply_local(state, add)
+        assert self.crdt.apply_local(once, add) == once
+        removed = self.crdt.apply_local(once, rem)
+        assert self.crdt.apply_local(removed, rem) == removed
+
+    def test_predicate_p(self):
+        state = (frozenset({"a"}), frozenset())
+        assert not self.crdt.predicate_p(state, ("add", "a"))
+        assert self.crdt.predicate_p(state, ("add", "b"))
+        assert self.crdt.predicate_p(state, ("remove", "a"))

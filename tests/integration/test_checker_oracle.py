@@ -1,0 +1,115 @@
+"""Cross-validation of the RA-linearizability checker against a naive oracle.
+
+The production checker searches over linear extensions of the visibility
+closure *restricted to updates* (with pruning).  The oracle below is
+deliberately dumb and independent: enumerate **every permutation of all
+labels**, keep those consistent with visibility, and check Def. 3.5's three
+conditions literally.  On random small histories both must agree — any
+divergence is a checker bug.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.history import History
+from repro.core.label import Label
+from repro.core.ralin import check_ra_linearizable
+from repro.specs import CounterSpec, SetSpec
+
+
+def oracle_ra_linearizable(history, spec) -> bool:
+    """Literal Def. 3.5 over all label permutations."""
+    labels = sorted(history.labels, key=lambda l: l.uid)
+    updates = [l for l in labels if spec.is_update(l)]
+    queries = [l for l in labels if spec.is_query(l)]
+    vis = history.effective()
+
+    for seq in itertools.permutations(labels):
+        position = {label: i for i, label in enumerate(seq)}
+        if any(position[a] > position[b] for a, b in vis):
+            continue  # (i) violated
+        update_seq = [l for l in seq if l in set(updates)]
+        if not spec.admits(update_seq):
+            continue  # (ii) violated
+        ok = True
+        for query in queries:
+            visible = history.visible_to(query)
+            sub = [u for u in update_seq if u in visible]
+            frontier = spec.replay(sub)
+            if not frontier or not spec.step_frontier(frontier, query):
+                ok = False  # (iii) violated
+                break
+        if ok:
+            return True
+    return False
+
+
+def random_counter_history(rng: random.Random):
+    n_updates = rng.randint(1, 4)
+    updates = [
+        Label(rng.choice(["inc", "dec"])) for _ in range(n_updates)
+    ]
+    n_queries = rng.randint(0, 2)
+    queries = [
+        Label("read", ret=rng.randint(-2, 3)) for _ in range(n_queries)
+    ]
+    labels = updates + queries
+    edges = []
+    for i, src in enumerate(labels):
+        for dst in labels[i + 1:]:
+            if rng.random() < 0.4:
+                edges.append((src, dst))
+    return History(labels, edges)
+
+
+def random_set_history(rng: random.Random):
+    values = ["a", "b"]
+    n_updates = rng.randint(1, 4)
+    updates = [
+        Label(rng.choice(["add", "remove"]), (rng.choice(values),))
+        for _ in range(n_updates)
+    ]
+    n_queries = rng.randint(0, 2)
+    queries = [
+        Label("read", ret=frozenset(rng.sample(values, rng.randint(0, 2))))
+        for _ in range(n_queries)
+    ]
+    labels = updates + queries
+    edges = []
+    for i, src in enumerate(labels):
+        for dst in labels[i + 1:]:
+            if rng.random() < 0.4:
+                edges.append((src, dst))
+    return History(labels, edges)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_counter_checker_matches_oracle(seed):
+    rng = random.Random(seed)
+    history = random_counter_history(rng)
+    spec = CounterSpec()
+    assert check_ra_linearizable(history, spec).ok == oracle_ra_linearizable(
+        history, spec
+    )
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_set_checker_matches_oracle(seed):
+    rng = random.Random(1000 + seed)
+    history = random_set_history(rng)
+    spec = SetSpec()
+    assert check_ra_linearizable(history, spec).ok == oracle_ra_linearizable(
+        history, spec
+    )
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_pruning_does_not_change_verdict(seed):
+    rng = random.Random(7000 + seed)
+    history = random_set_history(rng)
+    spec = SetSpec()
+    pruned = check_ra_linearizable(history, spec, prune_with_spec=True)
+    naive = check_ra_linearizable(history, spec, prune_with_spec=False)
+    assert pruned.ok == naive.ok

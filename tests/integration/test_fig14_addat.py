@@ -1,0 +1,59 @@
+"""Fig. 14 / Appendix C: the API matters — addAt specs."""
+
+from repro.core.ralin import check_ra_linearizable, timestamp_order_check
+from repro.scenarios import fig14_addat
+from repro.specs import AddAt1Spec, AddAt2Spec, AddAt3Spec
+
+
+class TestFig14:
+    def setup_method(self):
+        self.scenario = fig14_addat()
+
+    def test_final_read_is_d_e_c(self):
+        assert self.scenario.labels["read"].ret == ("d", "e", "c")
+
+    def test_timestamp_order_matches_figure(self):
+        labels = self.scenario.labels
+        assert (
+            labels["addAt(a,0)"].ts
+            < labels["addAt(b,0)"].ts
+            < labels["addAt(c,1)"].ts
+            < labels["addAt(d,0)"].ts
+            < labels["addAt(e,2)"].ts
+        )
+
+    def test_not_ra_linearizable_wrt_addat1(self):
+        result = check_ra_linearizable(self.scenario.history, AddAt1Spec())
+        assert not result.ok
+
+    def test_not_ra_linearizable_wrt_addat2(self):
+        result = check_ra_linearizable(self.scenario.history, AddAt2Spec())
+        assert not result.ok
+
+    def test_ra_linearizable_wrt_addat3(self):
+        result = check_ra_linearizable(self.scenario.history, AddAt3Spec())
+        assert result.ok
+
+    def test_lemma_c1_candidate_count(self):
+        # The visibility partial order admits exactly the ten linear
+        # extensions Lemma C.1 enumerates (all rejected).
+        result = check_ra_linearizable(
+            self.scenario.history, AddAt1Spec(), prune_with_spec=False
+        )
+        assert not result.ok
+        assert result.explored == 10
+
+    def test_lemma_c2_timestamp_order(self):
+        result = timestamp_order_check(
+            self.scenario.history, AddAt3Spec(),
+            self.scenario.system.generation_order,
+        )
+        assert result.ok
+
+    def test_returns_expose_local_views(self):
+        labels = self.scenario.labels
+        assert labels["addAt(c,1)"].ret == ("a", "c")
+        assert labels["addAt(d,0)"].ret == ("d", "b", "a")
+        assert labels["addAt(e,2)"].ret == ("d", "b", "e")
+        assert labels["remove(a)"].ret == ("d", "b")
+        assert labels["remove(b)"].ret == ("a",)

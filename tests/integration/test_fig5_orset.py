@@ -1,0 +1,51 @@
+"""Fig. 5: OR-Set separates RA-linearizability from strong linearizability."""
+
+from repro.core.ralin import check_ra_linearizable, execution_order_check
+from repro.core.strong import check_strong_linearizable
+from repro.scenarios import fig5a_orset
+from repro.specs import ORSetRewriting, ORSetSpec, SetSpec, plain_set_view
+
+
+class TestFig5:
+    def setup_method(self):
+        self.scenario = fig5a_orset()
+
+    def test_both_reads_return_both_elements(self):
+        assert self.scenario.labels["read@r1"].ret == frozenset({"a", "b"})
+        assert self.scenario.labels["read@r2"].ret == frozenset({"a", "b"})
+
+    def test_not_strongly_linearizable_wrt_set(self):
+        witness = check_strong_linearizable(
+            self.scenario.history, SetSpec(), gamma=plain_set_view()
+        )
+        assert witness is None
+
+    def test_ra_linearizable_after_rewriting(self):
+        result = check_ra_linearizable(
+            self.scenario.history, ORSetSpec(), gamma=ORSetRewriting()
+        )
+        assert result.ok
+
+    def test_execution_order_linearization_works(self):
+        result = execution_order_check(
+            self.scenario.history,
+            ORSetSpec(),
+            self.scenario.system.generation_order,
+            ORSetRewriting(),
+        )
+        assert result.ok
+
+    def test_removes_observed_only_local_pairs(self):
+        remove_a = self.scenario.labels["remove(a)"]
+        add_a_r1 = self.scenario.labels["add(a)@r1"]
+        assert remove_a.ret == frozenset({("a", add_a_r1.ret)})
+
+    def test_rewritten_history_has_split_removes(self):
+        from repro.core.rewriting import rewrite_history
+
+        gamma = ORSetRewriting()
+        rewritten = rewrite_history(self.scenario.history, gamma)
+        methods = sorted(l.method for l in rewritten.labels)
+        assert methods.count("readIds") == 2
+        assert methods.count("remove") == 2
+        assert methods.count("add") == 4

@@ -1,0 +1,58 @@
+"""Fig. 8: execution-order vs timestamp-order linearizations for RGA."""
+
+from repro.core.linearization import history_timestamp
+from repro.core.ralin import (
+    check_ra_linearizable,
+    execution_order_check,
+    timestamp_order_check,
+)
+from repro.scenarios import fig8_rga
+from repro.specs import RGASpec
+
+
+class TestFig8:
+    def setup_method(self):
+        self.scenario = fig8_rga()
+        self.labels = self.scenario.labels
+
+    def test_timestamps_ordered_as_in_figure(self):
+        assert self.labels["ℓ1"].ts < self.labels["ℓ2"].ts < self.labels["ℓ3"].ts
+
+    def test_read_returns_b_a(self):
+        assert self.labels["ℓ4"].ret == ("b", "a")
+
+    def test_generation_order_starts_with_l2(self):
+        gen = self.scenario.system.generation_order
+        assert gen.index(self.labels["ℓ2"]) < gen.index(self.labels["ℓ1"])
+
+    def test_execution_order_fails(self):
+        result = execution_order_check(
+            self.scenario.history, RGASpec(),
+            self.scenario.system.generation_order,
+        )
+        assert not result.ok
+
+    def test_timestamp_order_succeeds(self):
+        result = timestamp_order_check(
+            self.scenario.history, RGASpec(),
+            self.scenario.system.generation_order,
+        )
+        assert result.ok
+        assert result.update_order == [
+            self.labels["ℓ1"], self.labels["ℓ2"], self.labels["ℓ3"]
+        ]
+
+    def test_read_virtual_timestamp_is_tsb(self):
+        virtual = history_timestamp(self.scenario.history, self.labels["ℓ4"])
+        assert virtual == self.labels["ℓ2"].ts
+
+    def test_read_linearized_before_l3(self):
+        result = timestamp_order_check(
+            self.scenario.history, RGASpec(),
+            self.scenario.system.generation_order,
+        )
+        full = result.linearization
+        assert full.index(self.labels["ℓ4"]) < full.index(self.labels["ℓ3"])
+
+    def test_history_is_ra_linearizable(self):
+        assert check_ra_linearizable(self.scenario.history, RGASpec()).ok

@@ -1,0 +1,76 @@
+"""Negative testing of the checkers: wrong observations must be rejected.
+
+For every data type, take a real execution, tamper with one read's return
+value, and confirm the RA-linearizability checker rejects the doctored
+history — the checker is not vacuously accepting.
+"""
+
+import pytest
+
+from repro.core.history import History
+from repro.core.ralin import check_ra_linearizable
+from repro.proofs.registry import ALL_ENTRIES
+from repro.runtime import random_op_execution, random_state_execution
+
+
+def doctored(history: History, victim, fake_ret) -> History:
+    replacement = victim.with_ret(fake_ret)
+    mapping = {victim: replacement}
+    labels = [mapping.get(l, l) for l in history.labels]
+    edges = [
+        (mapping.get(a, a), mapping.get(b, b)) for a, b in history.closure()
+    ]
+    return History(labels, edges)
+
+
+FAKES = {
+    "Counter": 999,
+    "PN-Counter": 999,
+    "G-Counter": 999,
+    "LWW-Register": "؞no-such-value",
+    "LWW-Register (SB)": "؞no-such-value",
+    "Multi-Value Reg.": frozenset({"؞no-such-value"}),
+    "LWW-Element Set": frozenset({"؞ghost"}),
+    "2P-Set": frozenset({"؞ghost"}),
+    "2P-Set (op)": frozenset({"؞ghost"}),
+    "G-Set": frozenset({"؞ghost"}),
+    "OR-Set": frozenset({"؞ghost"}),
+    "RGA": ("؞ghost",),
+    "RGA-addAt": ("؞ghost",),
+    "Wooki": ("؞ghost",),
+}
+
+
+@pytest.mark.parametrize("entry", ALL_ENTRIES, ids=[e.name for e in ALL_ENTRIES])
+def test_tampered_read_rejected(entry):
+    if entry.kind == "OB":
+        system = random_op_execution(
+            entry.make_crdt(), entry.make_workload(), operations=6, seed=31
+        )
+    else:
+        system = random_state_execution(
+            entry.make_crdt(), entry.make_workload(), operations=6, seed=31
+        )
+    history = system.history()
+    reads = [l for l in system.generation_order if l.method == "read"]
+    assert reads, "workload produced no reads"
+    bad = doctored(history, reads[-1], FAKES[entry.name])
+    result = check_ra_linearizable(
+        bad, entry.make_spec(), entry.make_gamma()
+    )
+    assert not result.ok, f"{entry.name}: doctored read accepted"
+
+
+@pytest.mark.parametrize(
+    "entry",
+    [e for e in ALL_ENTRIES if e.name in ("Counter", "OR-Set", "RGA")],
+    ids=lambda e: e.name,
+)
+def test_untampered_baseline_accepted(entry):
+    system = random_op_execution(
+        entry.make_crdt(), entry.make_workload(), operations=6, seed=31
+    )
+    result = check_ra_linearizable(
+        system.history(), entry.make_spec(), entry.make_gamma()
+    )
+    assert result.ok

@@ -1,0 +1,146 @@
+"""One executable assertion per named claim of the paper.
+
+A consolidated index: each test is named after the theorem/lemma/figure it
+checks and contains (or references) its executable counterpart.  Detailed
+diagnostics live in the per-figure test modules; this file is the
+at-a-glance contract with the paper.
+"""
+
+from repro.core.causal import check_causal_convergence
+from repro.core.ralin import (
+    check_ra_linearizable,
+    execution_order_check,
+    timestamp_order_check,
+)
+from repro.core.spec import ComposedSpec
+from repro.core.strong import check_strong_linearizable
+from repro.proofs import FIGURE_12_ENTRIES, verify_entry
+from repro.runtime.composition import check_composed_ra_linearizable
+from repro.scenarios import (
+    fig5a_orset,
+    fig8_rga,
+    fig9_two_orsets,
+    fig10_two_rgas,
+    fig14_addat,
+)
+from repro.specs import (
+    AddAt1Spec,
+    AddAt2Spec,
+    AddAt3Spec,
+    ORSetRewriting,
+    ORSetSpec,
+    RGASpec,
+    SetSpec,
+    plain_set_view,
+)
+
+
+def test_fig5a_orset_is_not_linearizable():
+    """Sec. 2.2: OR-Set defeats standard linearizability over Spec(Set)."""
+    scenario = fig5a_orset()
+    assert check_strong_linearizable(
+        scenario.history, SetSpec(), gamma=plain_set_view()
+    ) is None
+
+
+def test_definition_37_orset_is_ra_linearizable():
+    """Def. 3.7 + Example 3.6: OR-Set RA-linearizable after γ."""
+    scenario = fig5a_orset()
+    assert check_ra_linearizable(
+        scenario.history, ORSetSpec(), gamma=ORSetRewriting()
+    ).ok
+
+
+def test_theorem_44_execution_order_objects():
+    """Thm 4.4: Commutativity + Refinement ⇒ execution-order linearizations.
+
+    Checked as: every EO entry of Fig. 12 passes Commutativity, Refinement,
+    and the execution-order candidate on randomized executions.
+    """
+    for entry in FIGURE_12_ENTRIES:
+        if entry.lin_class != "EO":
+            continue
+        result = verify_entry(entry, executions=2, operations=8)
+        assert result.verified, (entry.name, result.failures)
+
+
+def test_theorem_46_timestamp_order_objects():
+    """Thm 4.6: Commutativity + Refinement_ts ⇒ timestamp-order
+    linearizations — all TO entries of Fig. 12 verify."""
+    for entry in FIGURE_12_ENTRIES:
+        if entry.lin_class != "TO":
+            continue
+        result = verify_entry(entry, executions=2, operations=8)
+        assert result.verified, (entry.name, result.failures)
+
+
+def test_fig8_separates_eo_from_to():
+    """Sec. 4.2: the Fig. 8 history rejects EO and accepts TO."""
+    scenario = fig8_rga()
+    order = scenario.system.generation_order
+    assert not execution_order_check(scenario.history, RGASpec(), order).ok
+    assert timestamp_order_check(scenario.history, RGASpec(), order).ok
+
+
+def test_section_51_composition_not_compositional_per_choice():
+    """Sec. 5.1 (Fig. 9): specific per-object linearizations may not merge
+    — see tests/runtime/test_composition.py for the detailed combine check;
+    here: the composed history itself is still RA-linearizable."""
+    scenario = fig9_two_orsets()
+    assert check_composed_ra_linearizable(
+        scenario.history,
+        {"o1": ORSetSpec(), "o2": ORSetSpec()},
+        {"o1": ORSetRewriting(), "o2": ORSetRewriting()},
+    ).ok
+
+
+def test_theorem_53_eo_composition():
+    """Thm 5.3 is exercised exhaustively in
+    tests/integration/test_exhaustive_composition.py; spot-check here."""
+    scenario = fig9_two_orsets()
+    assert check_composed_ra_linearizable(
+        scenario.history,
+        {"o1": ORSetSpec(), "o2": ORSetSpec()},
+        {"o1": ORSetRewriting(), "o2": ORSetRewriting()},
+    ).ok
+
+
+def test_theorem_55_shared_timestamp_composition():
+    """Thm 5.5: ⊗ fails for TO objects, ⊗ts succeeds (Fig. 10/11)."""
+    specs = {"o1": RGASpec(), "o2": RGASpec()}
+    broken = fig10_two_rgas(shared_timestamps=False)
+    fixed = fig10_two_rgas(shared_timestamps=True)
+    assert not check_composed_ra_linearizable(broken.history, specs).ok
+    assert check_composed_ra_linearizable(fixed.history, specs).ok
+
+
+def test_figure_12_all_rows_verify():
+    """Fig. 12: all nine CRDTs RA-linearizable under the stated classes."""
+    for entry in FIGURE_12_ENTRIES:
+        result = verify_entry(entry, executions=2, operations=8)
+        assert result.verified, (entry.name, result.failures)
+
+
+def test_lemma_c1_addat_not_ra_linearizable():
+    """Lemma C.1: the Fig. 14 history fails Spec(addAt1) and Spec(addAt2),
+    with exactly ten candidate linearizations."""
+    scenario = fig14_addat()
+    result1 = check_ra_linearizable(
+        scenario.history, AddAt1Spec(), prune_with_spec=False
+    )
+    assert not result1.ok and result1.explored == 10
+    assert not check_ra_linearizable(scenario.history, AddAt2Spec()).ok
+
+
+def test_lemma_c2_addat3_ra_linearizable():
+    """Lemma C.2: RGA-addAt is RA-linearizable w.r.t. Spec(addAt3)."""
+    scenario = fig14_addat()
+    assert check_ra_linearizable(scenario.history, AddAt3Spec()).ok
+
+
+def test_section_7_causal_convergence_strictly_weaker():
+    """Sec. 7: RA-lin ⊆ causal convergence, strictly (Fig. 10 separates)."""
+    scenario = fig10_two_rgas(shared_timestamps=False)
+    spec = ComposedSpec({"o1": RGASpec(), "o2": RGASpec()})
+    assert check_causal_convergence(scenario.history, spec).ok
+    assert not check_ra_linearizable(scenario.history, spec).ok

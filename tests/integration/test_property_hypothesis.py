@@ -1,0 +1,302 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.freeze import freeze
+from repro.core.history import History
+from repro.core.label import Label
+from repro.core.linearization import iter_topological_orders
+from repro.core.sentinels import BEGIN, END, ROOT
+from repro.core.timestamp import Timestamp, VersionVector
+from repro.crdts import OpORSet, OpRGA, SBLWWElementSet, SBPNCounter
+from repro.crdts.base import Effector
+from repro.crdts.opbased.rga import traverse
+from repro.crdts.opbased.wooki import WChar, integrate_ins
+from repro.specs import CounterSpec, SetSpec
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+replicas = st.sampled_from(["r1", "r2", "r3"])
+timestamps = st.builds(Timestamp, st.integers(1, 9), replicas)
+version_vectors = st.dictionaries(replicas, st.integers(1, 5), max_size=3).map(
+    VersionVector.of
+)
+elements = st.sampled_from(["a", "b", "c", "d"])
+
+orset_states = st.frozensets(
+    st.tuples(elements, timestamps), max_size=5
+)
+
+lww_records = st.frozensets(st.tuples(elements, timestamps), max_size=4)
+lww_states = st.tuples(lww_records, lww_records)
+
+pn_vectors = st.dictionaries(replicas, st.integers(1, 5), max_size=3).map(
+    lambda d: freeze(d)
+)
+pn_states = st.tuples(pn_vectors, pn_vectors)
+
+
+# ---------------------------------------------------------------------------
+# Version vectors form a join semilattice
+# ---------------------------------------------------------------------------
+
+
+class TestVersionVectorLattice:
+    @given(version_vectors, version_vectors)
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(version_vectors, version_vectors, version_vectors)
+    def test_join_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(version_vectors)
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(version_vectors, version_vectors)
+    def test_join_is_least_upper_bound(self, a, b):
+        j = a.join(b)
+        assert a.leq(j) and b.leq(j)
+
+    @given(version_vectors, version_vectors)
+    def test_order_antisymmetric(self, a, b):
+        if a.leq(b) and b.leq(a):
+            assert a == b
+
+
+# ---------------------------------------------------------------------------
+# OR-Set effectors commute when concurrent (remove unaware of the add)
+# ---------------------------------------------------------------------------
+
+
+class TestORSetEffectorAlgebra:
+    @given(orset_states, st.tuples(elements, timestamps),
+           st.frozensets(st.tuples(elements, timestamps), max_size=3))
+    def test_concurrent_add_remove_commute(self, state, pair, observed):
+        crdt = OpORSet()
+        add = Effector("add", pair)
+        remove = Effector("remove", (observed - {pair},))
+        ab = crdt.apply_effector(crdt.apply_effector(state, add), remove)
+        ba = crdt.apply_effector(crdt.apply_effector(state, remove), add)
+        assert ab == ba
+
+    @given(orset_states, st.tuples(elements, timestamps),
+           st.tuples(elements, timestamps))
+    def test_adds_commute(self, state, p1, p2):
+        crdt = OpORSet()
+        a1, a2 = Effector("add", p1), Effector("add", p2)
+        assert crdt.apply_effector(crdt.apply_effector(state, a1), a2) == \
+            crdt.apply_effector(crdt.apply_effector(state, a2), a1)
+
+    @given(orset_states,
+           st.frozensets(st.tuples(elements, timestamps), max_size=3),
+           st.frozensets(st.tuples(elements, timestamps), max_size=3))
+    def test_removes_commute(self, state, r1, r2):
+        crdt = OpORSet()
+        e1, e2 = Effector("remove", (r1,)), Effector("remove", (r2,))
+        assert crdt.apply_effector(crdt.apply_effector(state, e1), e2) == \
+            crdt.apply_effector(crdt.apply_effector(state, e2), e1)
+
+
+# ---------------------------------------------------------------------------
+# State-based merges are least upper bounds
+# ---------------------------------------------------------------------------
+
+
+class TestStateBasedLattices:
+    @given(lww_states, lww_states)
+    def test_lww_merge_commutative(self, s1, s2):
+        crdt = SBLWWElementSet()
+        assert crdt.merge(s1, s2) == crdt.merge(s2, s1)
+
+    @given(lww_states, lww_states, lww_states)
+    def test_lww_merge_associative(self, s1, s2, s3):
+        crdt = SBLWWElementSet()
+        assert crdt.merge(crdt.merge(s1, s2), s3) == crdt.merge(
+            s1, crdt.merge(s2, s3)
+        )
+
+    @given(lww_states)
+    def test_lww_merge_idempotent(self, s):
+        assert SBLWWElementSet().merge(s, s) == s
+
+    @given(lww_states, lww_states)
+    def test_lww_compare_merge(self, s1, s2):
+        crdt = SBLWWElementSet()
+        merged = crdt.merge(s1, s2)
+        assert crdt.compare(s1, merged) and crdt.compare(s2, merged)
+
+    @given(pn_states, pn_states)
+    def test_pn_merge_commutative(self, s1, s2):
+        crdt = SBPNCounter()
+        assert crdt.merge(s1, s2) == crdt.merge(s2, s1)
+
+    @given(pn_states, pn_states, pn_states)
+    def test_pn_merge_associative(self, s1, s2, s3):
+        crdt = SBPNCounter()
+        assert crdt.merge(crdt.merge(s1, s2), s3) == crdt.merge(
+            s1, crdt.merge(s2, s3)
+        )
+
+    @given(pn_states)
+    def test_pn_merge_idempotent(self, s):
+        assert SBPNCounter().merge(s, s) == s
+
+
+# ---------------------------------------------------------------------------
+# RGA traversal invariants
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def rga_trees(draw):
+    """Random well-formed Ti-trees built by valid insertion sequences."""
+    crdt = OpRGA()
+    state = crdt.initial_state()
+    count = draw(st.integers(0, 6))
+    counter = itertools.count(1)
+    for i in range(count):
+        nodes, tombs = state
+        anchors = [ROOT] + sorted(e for _, _, e in nodes)
+        anchor = draw(st.sampled_from(anchors))
+        ts = Timestamp(next(counter), draw(replicas))
+        state = crdt.apply_effector(
+            state, Effector("addAfter", (anchor, ts, f"v{i}"))
+        )
+    nodes, _ = state
+    elems = sorted(e for _, _, e in nodes)
+    tomb_subset = draw(st.sets(st.sampled_from(elems), max_size=3)) if elems else set()
+    return (nodes, frozenset(tomb_subset))
+
+
+class TestRGATraversal:
+    @given(rga_trees())
+    def test_traverse_covers_live_elements(self, state):
+        nodes, tombs = state
+        result = traverse(nodes, tombs)
+        live = {e for _, _, e in nodes} - set(tombs)
+        assert set(result) == live
+        assert len(result) == len(set(result))
+
+    @given(rga_trees())
+    def test_tombstones_never_reported(self, state):
+        nodes, tombs = state
+        assert not set(traverse(nodes, tombs)) & set(tombs)
+
+    @given(rga_trees())
+    def test_traverse_deterministic(self, state):
+        assert traverse(*state) == traverse(*state)
+
+
+# ---------------------------------------------------------------------------
+# Wooki integration converges under permutation of concurrent inserts
+# ---------------------------------------------------------------------------
+
+
+class TestWookiConvergence:
+    @settings(max_examples=30)
+    @given(st.lists(
+        st.tuples(st.integers(1, 5), replicas), min_size=1, max_size=4,
+        unique=True,
+    ))
+    def test_top_level_inserts_converge(self, ids):
+        chars = [
+            WChar(Timestamp(c, r), f"v{c}{r}", 1, True) for c, r in ids
+        ]
+        initial = (
+            WChar(BEGIN, BEGIN, 0, True),
+            WChar(END, END, 0, True),
+        )
+        results = set()
+        for perm in itertools.permutations(chars):
+            state = initial
+            for char in perm:
+                state = integrate_ins(state, char, BEGIN, END)
+            results.add(state)
+        assert len(results) == 1
+
+
+# ---------------------------------------------------------------------------
+# Specification replay and linear extensions
+# ---------------------------------------------------------------------------
+
+
+nested_values = st.recursive(
+    st.none() | st.booleans() | st.integers(-5, 5) | st.text(max_size=3),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=2), children, max_size=3),
+    max_leaves=8,
+)
+
+
+class TestFreezeProperties:
+    @given(nested_values)
+    def test_freeze_idempotent(self, value):
+        once = freeze(value)
+        assert freeze(once) == once
+
+    @given(nested_values)
+    def test_freeze_hashable(self, value):
+        hash(freeze(value))
+
+    @given(nested_values)
+    def test_freeze_equal_inputs_equal_outputs(self, value):
+        assert freeze(value) == freeze(value)
+
+
+class TestEncodingProperties:
+    @given(nested_values.map(freeze))
+    def test_encode_decode_round_trip(self, value):
+        from repro.core.encoding import decode, encode
+
+        assert decode(encode(value)) == value
+
+    @given(st.builds(Timestamp, st.integers(0, 99), replicas))
+    def test_timestamp_round_trip(self, ts):
+        from repro.core.encoding import decode, encode
+
+        assert decode(encode(ts)) == ts
+
+
+class TestSpecProperties:
+    @given(st.lists(st.sampled_from(["inc", "dec"]), max_size=8))
+    def test_counter_replay_matches_arithmetic(self, methods):
+        spec = CounterSpec()
+        seq = [Label(m) for m in methods]
+        expected = methods.count("inc") - methods.count("dec")
+        assert spec.replay(seq) == frozenset({expected})
+
+    @given(st.lists(st.tuples(st.sampled_from(["add", "remove"]), elements),
+                    max_size=8))
+    def test_set_replay_matches_fold(self, ops):
+        spec = SetSpec()
+        seq = [Label(m, (e,)) for m, e in ops]
+        expected = set()
+        for m, e in ops:
+            (expected.add if m == "add" else expected.discard)(e)
+        assert spec.replay(seq) == frozenset({frozenset(expected)})
+
+    @given(st.integers(1, 5))
+    def test_topological_order_count_of_antichain(self, n):
+        import math
+
+        nodes = [Label("m") for _ in range(n)]
+        orders = list(iter_topological_orders(nodes, {}))
+        assert len(orders) == math.factorial(n)
+        for order in orders:
+            assert sorted(order, key=lambda l: l.uid) == sorted(
+                nodes, key=lambda l: l.uid
+            )
+
+    @given(st.integers(2, 5))
+    def test_chain_has_single_extension(self, n):
+        nodes = [Label("m") for _ in range(n)]
+        preds = {nodes[i]: {nodes[i - 1]} for i in range(1, n)}
+        orders = list(iter_topological_orders(nodes, preds))
+        assert orders == [nodes]

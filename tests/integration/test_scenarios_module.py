@@ -1,0 +1,56 @@
+"""The scenarios package: figure builders are complete and well-formed."""
+
+import pytest
+
+from repro.scenarios import (
+    Scenario,
+    fig2_rga_conflict,
+    fig5a_orset,
+    fig8_rga,
+    fig9_two_orsets,
+    fig10_two_rgas,
+    fig14_addat,
+    section33_programs,
+)
+
+BUILDERS = [
+    ("fig2", fig2_rga_conflict),
+    ("fig5a", fig5a_orset),
+    ("fig8", fig8_rga),
+    ("fig9", fig9_two_orsets),
+    ("fig10", lambda: fig10_two_rgas(False)),
+    ("fig10ts", lambda: fig10_two_rgas(True)),
+    ("fig14", fig14_addat),
+]
+
+
+@pytest.mark.parametrize("name,builder", BUILDERS, ids=[b[0] for b in BUILDERS])
+def test_scenario_well_formed(name, builder):
+    scenario = builder()
+    assert isinstance(scenario, Scenario)
+    assert scenario.labels
+    for key, label in scenario.labels.items():
+        assert label in scenario.history.labels, key
+    # history property is re-derived from the live system
+    assert len(scenario.history) == len(scenario.system.generation_order)
+
+
+@pytest.mark.parametrize("name,builder", BUILDERS, ids=[b[0] for b in BUILDERS])
+def test_scenarios_are_deterministic(name, builder):
+    one, two = builder(), builder()
+    assert [l.method for l in one.system.generation_order] == [
+        l.method for l in two.system.generation_order
+    ]
+    assert [l.ret for l in one.system.generation_order] == [
+        l.ret for l in two.system.generation_order
+    ]
+
+
+def test_section33_programs_shape():
+    programs, postcondition = section33_programs()
+    assert set(programs) == {"r1", "r2"}
+    assert len(programs["r1"]) == 3 and len(programs["r2"]) == 2
+    assert postcondition({"r1": [None, None, frozenset()],
+                          "r2": [None, frozenset()]})
+    assert not postcondition({"r1": [None, None, frozenset({"a"})],
+                              "r2": [None, frozenset()]})

@@ -1,0 +1,96 @@
+"""Larger-scale soak runs: more replicas, more operations, more seeds.
+
+The per-figure tests pin exact behaviours; these runs push volume through
+the whole stack (workloads → runtime → candidate checkers → convergence)
+at sizes the brute-force checker could not handle, relying on the
+polynomial EO/TO candidate constructions.
+"""
+
+import pytest
+
+from repro.core.convergence import check_convergence
+from repro.core.ralin import execution_order_check, timestamp_order_check
+from repro.core.sessions import check_session_guarantees
+from repro.core.stats import history_stats
+from repro.proofs.registry import entry_by_name
+from repro.runtime import random_op_execution, random_state_execution
+
+SOAK = [
+    ("OR-Set", 40, 5),
+    ("RGA", 40, 5),
+    # Wooki's *nondeterministic* spec has exponentially many reachable
+    # states in the insert count; ~15 updates is the tractable frontier
+    # (past it, replay raises the frontier-limit guard instead of OOMing).
+    ("Wooki", 15, 3),
+    ("LWW-Element Set", 40, 5),
+    ("Multi-Value Reg.", 40, 5),
+]
+
+
+@pytest.mark.parametrize("name,operations,replicas", SOAK,
+                         ids=[s[0] for s in SOAK])
+def test_soak(name, operations, replicas):
+    entry = entry_by_name(name)
+    names = tuple(f"r{i}" for i in range(1, replicas + 1))
+    if entry.kind == "OB":
+        system = random_op_execution(
+            entry.make_crdt(), entry.make_workload(),
+            replicas=names, operations=operations, seed=operations,
+        )
+    else:
+        system = random_state_execution(
+            entry.make_crdt(), entry.make_workload(),
+            replicas=names, operations=operations, seed=operations,
+        )
+    history = system.history()
+
+    checker = (
+        execution_order_check if entry.lin_class == "EO"
+        else timestamp_order_check
+    )
+    outcome = checker(
+        history, entry.make_spec(), system.generation_order,
+        entry.make_gamma(),
+    )
+    assert outcome.ok, outcome.reason
+
+    ok, offenders = check_convergence(system.replica_views())
+    assert ok, offenders
+
+    sessions = check_session_guarantees(history, system.generation_order)
+    assert sessions.all_hold
+
+    stats = history_stats(history)
+    assert stats.operations >= operations
+    assert stats.concurrent_pairs > 0
+
+
+def test_wooki_frontier_guard_raises_instead_of_oom():
+    # Past ~15 inserts the nondeterministic Wooki spec frontier explodes;
+    # the replay guard must turn that into a clear error.
+    from repro.core.errors import SpecViolation
+
+    entry = entry_by_name("Wooki")
+    system = random_op_execution(
+        entry.make_crdt(), entry.make_workload(),
+        replicas=("r1", "r2", "r3", "r4"), operations=25, seed=25,
+    )
+    with pytest.raises(SpecViolation, match="frontier exceeded"):
+        execution_order_check(
+            system.history(), entry.make_spec(), system.generation_order
+        )
+
+
+def test_soak_checker_scales_past_brute_force():
+    # 60 updates: the candidate check stays fast where the brute-force
+    # search space would be astronomically large.
+    entry = entry_by_name("OR-Set")
+    system = random_op_execution(
+        entry.make_crdt(), entry.make_workload(),
+        replicas=("r1", "r2", "r3", "r4"), operations=60, seed=9,
+    )
+    outcome = execution_order_check(
+        system.history(), entry.make_spec(), system.generation_order,
+        entry.make_gamma(),
+    )
+    assert outcome.ok

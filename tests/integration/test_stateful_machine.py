@@ -1,0 +1,107 @@
+"""Hypothesis stateful testing of the op-based runtime.
+
+A rule-based state machine drives an OR-Set system with arbitrary
+interleavings of invocations and causal deliveries; class invariants assert
+the runtime's structural guarantees after *every* step:
+
+* visibility stays acyclic (History construction validates it);
+* causal delivery: everything a replica has seen that is visible to a seen
+  label is itself seen (downward closure);
+* timestamps are consistent with visibility;
+* read-your-writes holds;
+* any two replicas with equal label sets have equal states.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.convergence import check_convergence
+from repro.core.sessions import check_session_guarantees
+from repro.crdts import OpORSet
+from repro.runtime import OpBasedSystem
+
+REPLICAS = ("r1", "r2")
+VALUES = ("a", "b")
+
+
+class ORSetMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.system = OpBasedSystem(OpORSet(), replicas=REPLICAS)
+
+    @rule(replica=st.sampled_from(REPLICAS), value=st.sampled_from(VALUES))
+    def add(self, replica, value):
+        self.system.invoke(replica, "add", (value,))
+
+    @rule(replica=st.sampled_from(REPLICAS), value=st.sampled_from(VALUES))
+    def remove(self, replica, value):
+        self.system.invoke(replica, "remove", (value,))
+
+    @rule(replica=st.sampled_from(REPLICAS))
+    def read(self, replica):
+        label = self.system.invoke(replica, "read")
+        # read must reflect exactly the replica's current state.
+        expected = frozenset(e for e, _ in self.system.state(replica))
+        assert label.ret == expected
+
+    @rule(replica=st.sampled_from(REPLICAS), pick=st.integers(0, 10 ** 6))
+    def deliver(self, replica, pick):
+        pending = self.system.deliverable(replica)
+        if pending:
+            self.system.deliver(replica, pending[pick % len(pending)])
+
+    @invariant()
+    def visibility_is_acyclic(self):
+        if not hasattr(self, "system"):
+            return
+        self.system.history()  # History.__init__ validates acyclicity
+
+    @invariant()
+    def seen_sets_are_causally_closed(self):
+        if not hasattr(self, "system"):
+            return
+        history = self.system.history()
+        for replica in REPLICAS:
+            seen = self.system.seen(replica)
+            for label in seen:
+                missing = history.visible_to(label) - seen
+                assert not missing, (
+                    f"{replica} saw {label!r} but not {missing!r}"
+                )
+
+    @invariant()
+    def timestamps_follow_visibility(self):
+        if not hasattr(self, "system"):
+            return
+        history = self.system.history()
+        for src, dst in history.closure():
+            if src.generates_timestamp() and dst.generates_timestamp():
+                assert src.ts < dst.ts
+
+    @invariant()
+    def session_guarantees_hold(self):
+        if not hasattr(self, "system"):
+            return
+        report = check_session_guarantees(
+            self.system.history(), self.system.generation_order
+        )
+        assert report.all_hold, report.violations
+
+    @invariant()
+    def equal_views_equal_states(self):
+        if not hasattr(self, "system"):
+            return
+        ok, offenders = check_convergence(self.system.replica_views())
+        assert ok, offenders
+
+
+ORSetMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=12, deadline=None
+)
+TestORSetMachine = ORSetMachine.TestCase

@@ -1,0 +1,89 @@
+"""Commutativity checking (Sec. 4.1)."""
+
+from repro.core.sentinels import ROOT
+from repro.crdts import OpCounter, OpLWWRegister, OpORSet, OpRGA, OpWooki
+from repro.crdts.base import Effector, GeneratorResult, OpBasedCRDT
+from repro.core.spec import Role
+from repro.proofs import check_commutativity, sampled_states
+from repro.runtime import (
+    CounterWorkload,
+    ORSetWorkload,
+    OpBasedSystem,
+    RGAWorkload,
+    WookiWorkload,
+    random_op_execution,
+)
+
+
+class BrokenMaxRegister(OpBasedCRDT):
+    """A deliberately non-commutative 'register': effectors overwrite
+    unconditionally, so concurrent writes race (no timestamps)."""
+
+    type_name = "Broken-Register"
+    methods = {"write": Role.UPDATE, "read": Role.QUERY}
+
+    def initial_state(self):
+        return None
+
+    def generator(self, state, method, args, ts):
+        if method == "write":
+            return GeneratorResult(None, Effector("write", args))
+        return GeneratorResult(state, None)
+
+    def apply_effector(self, state, effector):
+        (value,) = effector.args
+        return value
+
+
+class TestCheckCommutativity:
+    def test_counter_clean(self):
+        system = random_op_execution(
+            OpCounter(), CounterWorkload(), operations=10, seed=0
+        )
+        assert check_commutativity(system) == []
+
+    def test_orset_clean(self):
+        system = random_op_execution(
+            OpORSet(), ORSetWorkload(), operations=12, seed=1
+        )
+        assert check_commutativity(system) == []
+
+    def test_rga_clean(self):
+        system = random_op_execution(
+            OpRGA(), RGAWorkload(), operations=12, seed=2
+        )
+        assert check_commutativity(system) == []
+
+    def test_wooki_clean(self):
+        system = random_op_execution(
+            OpWooki(), WookiWorkload(), operations=12, seed=3
+        )
+        assert check_commutativity(system) == []
+
+    def test_broken_crdt_detected(self):
+        system = OpBasedSystem(BrokenMaxRegister(), replicas=("r1", "r2"))
+        system.invoke("r1", "write", ("a",))
+        system.invoke("r2", "write", ("b",))
+        system.deliver_all()
+        violations = check_commutativity(system)
+        assert violations
+        text = str(violations[0])
+        assert "do not commute" in text
+
+    def test_sequential_execution_trivially_clean(self):
+        # No concurrency → nothing to check.
+        system = OpBasedSystem(BrokenMaxRegister(), replicas=("r1", "r2"))
+        system.invoke("r1", "write", ("a",))
+        system.deliver_all()
+        system.invoke("r2", "write", ("b",))
+        system.deliver_all()
+        assert check_commutativity(system) == []
+
+
+class TestSampledStates:
+    def test_includes_initial_and_final(self):
+        system = OpBasedSystem(OpCounter(), replicas=("r1", "r2"))
+        system.invoke("r1", "inc")
+        system.deliver_all()
+        states = sampled_states(system)
+        assert 0 in states and 1 in states

@@ -1,0 +1,51 @@
+"""Exhaustive small-scope verification."""
+
+import pytest
+
+from repro.proofs.exhaustive import (
+    ExhaustiveResult,
+    exhaustive_verify,
+    standard_programs,
+)
+from repro.proofs.mutants import LastDeliveryWinsRegister
+from repro.proofs.registry import ALL_ENTRIES, entry_by_name
+
+OB_ENTRIES = [e for e in ALL_ENTRIES if e.kind == "OB"]
+
+
+@pytest.mark.parametrize("entry", OB_ENTRIES, ids=[e.name for e in OB_ENTRIES])
+def test_standard_programs_fully_verified(entry):
+    result = exhaustive_verify(entry, standard_programs(entry))
+    assert result.ok, result.failures
+    assert result.configurations >= 280
+
+
+def test_state_based_entries_rejected():
+    with pytest.raises(ValueError):
+        exhaustive_verify(entry_by_name("PN-Counter"), {"r1": []})
+
+
+def test_max_configurations_bound():
+    entry = entry_by_name("Counter")
+    result = exhaustive_verify(
+        entry, standard_programs(entry), max_configurations=10
+    )
+    assert result.configurations == 10
+
+
+def test_mutant_caught_exhaustively():
+    from dataclasses import replace
+
+    base = entry_by_name("LWW-Register")
+    mutant = replace(base, make_crdt=LastDeliveryWinsRegister)
+    result = exhaustive_verify(mutant, standard_programs(base))
+    assert not result.ok
+    assert result.failures
+
+
+def test_failure_reporting_capped():
+    result = ExhaustiveResult("x")
+    for i in range(50):
+        result.record(f"failure {i}")
+    assert not result.ok
+    assert len(result.failures) == 10

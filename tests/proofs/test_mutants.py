@@ -1,0 +1,61 @@
+"""The harness rejects broken CRDT implementations (mutation testing)."""
+
+import pytest
+
+from repro.proofs.mutants import (
+    AscendingRGA,
+    DroppingRGA,
+    EagerRemoveORSet,
+    KeepAllMVRegister,
+    LastDeliveryWinsRegister,
+    SummingPNCounter,
+    mutant_catalogue,
+    verify_mutant,
+)
+
+CATALOGUE = mutant_catalogue()
+
+
+@pytest.mark.parametrize(
+    "name,make_crdt,base", CATALOGUE, ids=[row[0] for row in CATALOGUE]
+)
+def test_mutant_detected(name, make_crdt, base):
+    result = verify_mutant(make_crdt, base)
+    assert not result.verified, f"mutant {name} slipped through"
+    assert result.failures
+
+
+class TestSpecificDiagnoses:
+    def test_last_delivery_wins_breaks_commutativity(self):
+        result = verify_mutant(LastDeliveryWinsRegister, "LWW-Register")
+        assert not result.commutativity_ok
+
+    def test_eager_remove_breaks_convergence(self):
+        result = verify_mutant(EagerRemoveORSet, "OR-Set")
+        assert not result.convergence_ok
+
+    def test_ascending_rga_breaks_refinement_but_not_convergence(self):
+        # The mutant is still convergent — only the *specification* link
+        # breaks, which is exactly what RA-linearizability adds over SEC.
+        result = verify_mutant(AscendingRGA, "RGA")
+        assert result.convergence_ok
+        assert not result.refinement_ok
+        assert not result.ralin_ok
+
+    def test_dropping_rga_breaks_refinement(self):
+        result = verify_mutant(DroppingRGA, "RGA")
+        assert not result.refinement_ok
+
+    def test_summing_pn_counter_breaks_lattice_properties(self):
+        result = verify_mutant(SummingPNCounter, "PN-Counter")
+        assert not result.commutativity_ok  # Prop2/Prop3/Prop4 via props
+
+    def test_keep_all_mvr_breaks_ralin(self):
+        result = verify_mutant(KeepAllMVRegister, "Multi-Value Reg.")
+        assert not result.ralin_ok
+
+
+def test_catalogue_covers_both_kinds():
+    bases = {base for _, _, base in CATALOGUE}
+    assert {"LWW-Register", "OR-Set", "RGA"} <= bases          # op-based
+    assert {"PN-Counter", "Multi-Value Reg."} <= bases          # state-based

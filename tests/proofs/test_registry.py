@@ -1,0 +1,70 @@
+"""The Fig. 12 catalogue."""
+
+import pytest
+
+from repro.core.spec import SequentialSpec
+from repro.crdts.base import OpBasedCRDT, StateBasedCRDT
+from repro.proofs import ALL_ENTRIES, FIGURE_12_ENTRIES, entry_by_name
+from repro.runtime.workloads import Workload
+
+
+class TestCatalogueShape:
+    def test_figure_12_has_nine_rows(self):
+        assert len(FIGURE_12_ENTRIES) == 9
+
+    def test_figure_12_names_match_paper(self):
+        names = {e.name for e in FIGURE_12_ENTRIES}
+        assert names == {
+            "Counter", "PN-Counter", "LWW-Register", "Multi-Value Reg.",
+            "LWW-Element Set", "2P-Set", "OR-Set", "RGA", "Wooki",
+        }
+
+    def test_classes_match_figure_12(self):
+        expected = {
+            "Counter": ("OB", "EO"),
+            "PN-Counter": ("SB", "EO"),
+            "LWW-Register": ("OB", "TO"),
+            "Multi-Value Reg.": ("SB", "EO"),
+            "LWW-Element Set": ("SB", "TO"),
+            "2P-Set": ("SB", "EO"),
+            "OR-Set": ("OB", "EO"),
+            "RGA": ("OB", "TO"),
+            "Wooki": ("OB", "EO"),
+        }
+        for entry in FIGURE_12_ENTRIES:
+            assert (entry.kind, entry.lin_class) == expected[entry.name]
+
+    def test_entry_by_name(self):
+        assert entry_by_name("RGA").lin_class == "TO"
+        with pytest.raises(KeyError):
+            entry_by_name("nonexistent")
+
+    def test_extras_flagged(self):
+        extras = [e for e in ALL_ENTRIES if not e.in_figure_12]
+        assert {e.name for e in extras} == {
+            "G-Counter", "G-Set", "RGA-addAt", "2P-Set (op)",
+            "LWW-Register (SB)",
+        }
+
+
+@pytest.mark.parametrize("entry", ALL_ENTRIES, ids=[e.name for e in ALL_ENTRIES])
+class TestEntriesWellFormed:
+    def test_factories(self, entry):
+        crdt = entry.make_crdt()
+        if entry.kind == "OB":
+            assert isinstance(crdt, OpBasedCRDT)
+        else:
+            assert isinstance(crdt, StateBasedCRDT)
+        assert isinstance(entry.make_spec(), SequentialSpec)
+        assert isinstance(entry.make_workload(), Workload)
+
+    def test_abs_maps_initial_states(self, entry):
+        crdt = entry.make_crdt()
+        spec = entry.make_spec()
+        assert entry.abs_fn(crdt.initial_state()) == spec.initial()
+
+    def test_to_entries_have_timestamp_extractor(self, entry):
+        if entry.lin_class == "TO":
+            assert entry.state_timestamps is not None
+            crdt = entry.make_crdt()
+            assert list(entry.state_timestamps(crdt.initial_state())) == []

@@ -1,0 +1,46 @@
+"""The end-to-end verification harness and the Fig. 12 table."""
+
+import pytest
+
+from repro.proofs import (
+    ALL_ENTRIES,
+    FIGURE_12_ENTRIES,
+    VerificationResult,
+    entry_by_name,
+    format_table,
+    verify_entry,
+)
+
+
+@pytest.mark.parametrize(
+    "entry", ALL_ENTRIES, ids=[e.name for e in ALL_ENTRIES]
+)
+def test_every_catalogue_entry_verifies(entry):
+    result = verify_entry(entry, executions=3, operations=8)
+    assert result.verified, result.failures
+    assert result.executions == 3
+    assert result.operations >= 8 * 3
+
+
+def test_result_aggregation():
+    result = verify_entry(entry_by_name("Counter"), executions=2, operations=5)
+    assert result.commutativity_ok and result.refinement_ok
+    assert result.convergence_ok and result.ralin_ok
+    assert not result.failures
+
+
+def test_format_table_shape():
+    results = [
+        VerificationResult("Counter", "OB", "EO", executions=3, operations=24),
+        VerificationResult("RGA", "OB", "TO", executions=3, operations=24,
+                           ralin_ok=False),
+    ]
+    text = format_table(results, title="Fig. 12")
+    lines = text.splitlines()
+    assert lines[0] == "Fig. 12"
+    assert "Counter" in text and "RGA" in text
+    assert "yes" in text and "NO" in text
+
+
+def test_figure_12_catalogue_covers_paper_rows():
+    assert {e.name for e in FIGURE_12_ENTRIES} >= {"OR-Set", "RGA", "Wooki"}

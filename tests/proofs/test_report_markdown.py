@@ -1,0 +1,18 @@
+"""Markdown rendering of the verification table."""
+
+from repro.proofs import VerificationResult
+from repro.proofs.report import format_markdown
+
+
+def test_markdown_table():
+    results = [
+        VerificationResult("Counter", "OB", "EO", executions=3, operations=30),
+        VerificationResult("RGA", "OB", "TO", executions=3, operations=30,
+                           refinement_ok=False),
+    ]
+    text = format_markdown(results)
+    lines = text.splitlines()
+    assert lines[0].startswith("| CRDT |")
+    assert lines[1].startswith("|---")
+    assert "| Counter | OB | EO | yes | 3 | 30 |" in text
+    assert "**NO**" in text

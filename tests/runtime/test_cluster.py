@@ -1,0 +1,112 @@
+"""The Cluster facade: handles, partitions, healing, checking."""
+
+import pytest
+
+from repro.core.errors import SchedulingError
+from repro.crdts import OpCounter, OpORSet, OpRGA
+from repro.runtime import Cluster
+from repro.specs import ORSetRewriting, ORSetSpec
+
+
+class TestHandles:
+    def test_method_proxying(self):
+        cluster = Cluster(OpCounter(), replicas=("a", "b"))
+        cluster["a"].inc()
+        assert cluster["a"].read() == 1
+        assert cluster["b"].read() == 1  # auto-delivered
+
+    def test_unknown_replica(self):
+        cluster = Cluster(OpCounter(), replicas=("a",))
+        with pytest.raises(KeyError):
+            cluster["zz"]
+
+    def test_state_access(self):
+        cluster = Cluster(OpCounter(), replicas=("a",))
+        cluster["a"].inc()
+        assert cluster["a"].state() == 1
+
+    def test_handle_repr(self):
+        cluster = Cluster(OpCounter(), replicas=("a",))
+        assert "a" in repr(cluster["a"])
+
+    def test_multi_object(self):
+        cluster = Cluster(
+            {"c1": OpCounter(), "c2": OpCounter()}, replicas=("a",)
+        )
+        cluster["a"].inc(obj="c1")
+        assert cluster["a"].read(obj="c1") == 1
+        assert cluster["a"].read(obj="c2") == 0
+
+
+class TestPartitions:
+    def test_partition_blocks_delivery(self):
+        cluster = Cluster(OpCounter(), replicas=("a", "b"))
+        cluster.partition(["a"], ["b"])
+        cluster["a"].inc()
+        assert cluster["b"].read() == 0
+
+    def test_heal_flushes(self):
+        cluster = Cluster(OpCounter(), replicas=("a", "b"))
+        cluster.partition(["a"], ["b"])
+        cluster["a"].inc()
+        cluster["b"].inc()
+        cluster.heal()
+        assert cluster["a"].read() == 2
+        assert cluster["b"].read() == 2
+
+    def test_unlisted_replicas_are_isolated(self):
+        cluster = Cluster(OpCounter(), replicas=("a", "b", "c"))
+        cluster.partition(["a", "b"])
+        cluster["a"].inc()
+        assert cluster["b"].read() == 1
+        assert cluster["c"].read() == 0
+
+    def test_overlapping_blocks_rejected(self):
+        cluster = Cluster(OpCounter(), replicas=("a", "b"))
+        with pytest.raises(SchedulingError):
+            cluster.partition(["a", "b"], ["b"])
+
+    def test_unknown_member_rejected(self):
+        cluster = Cluster(OpCounter(), replicas=("a",))
+        with pytest.raises(SchedulingError):
+            cluster.partition(["zz"])
+
+    def test_connected(self):
+        cluster = Cluster(OpCounter(), replicas=("a", "b", "c"))
+        cluster.partition(["a", "b"])
+        assert cluster.connected("a", "b")
+        assert not cluster.connected("a", "c")
+
+
+class TestEndToEnd:
+    def test_partitioned_orset_anomaly_then_check(self):
+        # The shopping-cart anomaly through the friendly API.
+        cluster = Cluster(OpORSet(), replicas=("us", "eu"))
+        cluster["us"].add("book")
+        cluster.partition(["us"], ["eu"])
+        cluster["eu"].remove("book")
+        cluster["us"].add("pen")
+        cluster.heal()
+        assert cluster["us"].read() == frozenset({"pen"})
+        assert cluster.converged()
+        assert cluster.check(ORSetSpec(), ORSetRewriting()).ok
+
+    def test_rga_editing_across_partition(self):
+        from repro.core.sentinels import ROOT
+        from repro.specs import RGASpec
+
+        cluster = Cluster(OpRGA(), replicas=("a", "b"))
+        cluster["a"].addAfter(ROOT, "h")
+        cluster.partition(["a"], ["b"])
+        cluster["a"].addAfter("h", "i")
+        cluster["b"].addAfter("h", "o")
+        cluster.heal()
+        assert cluster["a"].read() == cluster["b"].read()
+        assert cluster.check(RGASpec()).ok
+
+    def test_manual_delivery_mode(self):
+        cluster = Cluster(OpCounter(), replicas=("a", "b"), auto_deliver=False)
+        cluster["a"].inc()
+        assert cluster["b"].read() == 0
+        cluster.sync()
+        assert cluster["b"].read() == 1

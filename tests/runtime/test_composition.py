@@ -1,0 +1,134 @@
+"""Object composition ⊗ / ⊗ts (Sec. 5)."""
+
+from repro.core.label import Label
+from repro.core.sentinels import ROOT
+from repro.crdts import OpCounter, OpORSet, OpRGA
+from repro.runtime import (
+    OpBasedSystem,
+    check_composed_ra_linearizable,
+    combine_per_object,
+    composed,
+    composed_spec,
+    composed_ts,
+)
+from repro.scenarios import fig9_two_orsets, fig10_two_rgas
+from repro.specs import CounterSpec, ORSetRewriting, ORSetSpec, RGASpec
+
+
+class TestComposedSystems:
+    def test_objects_isolated_state(self):
+        system = composed({"a": OpCounter(), "b": OpCounter()})
+        system.invoke("r1", "inc", (), obj="a")
+        assert system.state("r1", "a") == 1
+        assert system.state("r1", "b") == 0
+
+    def test_global_visibility_across_objects(self):
+        system = composed({"a": OpCounter(), "b": OpCounter()})
+        first = system.invoke("r1", "inc", (), obj="a")
+        second = system.invoke("r1", "inc", (), obj="b")
+        assert system.history().sees(first, second)
+
+    def test_causal_delivery_per_object_only(self):
+        system = composed(
+            {"a": OpCounter(), "b": OpCounter()}, replicas=("r1", "r2")
+        )
+        on_a = system.invoke("r1", "inc", (), obj="a")
+        on_b = system.invoke("r1", "inc", (), obj="b")
+        # b's op can be delivered before a's: causal delivery is per object.
+        assert on_b in system.deliverable("r2")
+        system.deliver("r2", on_b)
+        assert system.state("r2", "b") == 1 and system.state("r2", "a") == 0
+
+
+class TestComposedChecking:
+    def test_composed_counter_history(self):
+        system = composed_ts({"a": OpCounter(), "b": OpCounter()})
+        system.invoke("r1", "inc", (), obj="a")
+        system.invoke("r1", "inc", (), obj="b")
+        system.deliver_all()
+        system.invoke("r2", "read", (), obj="a")
+        system.invoke("r2", "read", (), obj="b")
+        result = check_composed_ra_linearizable(
+            system.history(), {"a": CounterSpec(), "b": CounterSpec()}
+        )
+        assert result.ok
+
+    def test_fig9_global_ra_linearizable(self):
+        scenario = fig9_two_orsets()
+        result = check_composed_ra_linearizable(
+            scenario.history,
+            {"o1": ORSetSpec(), "o2": ORSetSpec()},
+            {"o1": ORSetRewriting(), "o2": ORSetRewriting()},
+        )
+        assert result.ok
+
+    def test_fig9_specific_per_object_choice_fails(self):
+        from repro.core.rewriting import rewrite_history
+        from repro.runtime.composition import per_object_rewriting
+
+        scenario = fig9_two_orsets()
+        gammas = {"o1": ORSetRewriting(), "o2": ORSetRewriting()}
+        rewritten = rewrite_history(
+            scenario.history, per_object_rewriting(gammas)
+        )
+        g1, g2 = gammas["o1"], gammas["o2"]
+        bad = {
+            "o1": [g1.upd(scenario.labels["o1.add(c)"]),
+                   g1.upd(scenario.labels["o1.add(d)"])],
+            "o2": [g2.upd(scenario.labels["o2.add(a)"]),
+                   g2.upd(scenario.labels["o2.add(b)"])],
+        }
+        assert combine_per_object(rewritten, bad) is None
+        good = {
+            "o1": [g1.upd(scenario.labels["o1.add(d)"]),
+                   g1.upd(scenario.labels["o1.add(c)"])],
+            "o2": bad["o2"],
+        }
+        merged = combine_per_object(rewritten, good)
+        assert merged is not None
+        assert [l.method for l in merged] == ["add"] * 4
+
+    def test_fig10_independent_timestamps_not_linearizable(self):
+        scenario = fig10_two_rgas(shared_timestamps=False)
+        assert scenario.labels["o2.read"].ret == ("e", "d", "c")
+        assert scenario.labels["o1.read"].ret == ("b", "a")
+        result = check_composed_ra_linearizable(
+            scenario.history, {"o1": RGASpec(), "o2": RGASpec()}
+        )
+        assert not result.ok
+
+    def test_fig10_shared_timestamps_linearizable(self):
+        scenario = fig10_two_rgas(shared_timestamps=True)
+        result = check_composed_ra_linearizable(
+            scenario.history, {"o1": RGASpec(), "o2": RGASpec()}
+        )
+        assert result.ok
+
+    def test_fig10_pattern_unreachable_under_shared_clock(self):
+        # Under ⊗ts the delivery of e bumps the shared clock, so a's
+        # timestamp dominates e's — the paper's impossible pattern.
+        scenario = fig10_two_rgas(shared_timestamps=True)
+        a = scenario.labels["o1.addAfter(◦,a)"]
+        e = scenario.labels["o2.addAfter(◦,e)"]
+        assert e.ts < a.ts
+        bad = fig10_two_rgas(shared_timestamps=False)
+        a2, e2 = bad.labels["o1.addAfter(◦,a)"], bad.labels["o2.addAfter(◦,e)"]
+        assert a2.ts < e2.ts
+
+
+class TestCombinePerObject:
+    def test_single_object_passthrough(self):
+        a, b = Label("inc", obj="o"), Label("inc", obj="o")
+        from repro.core.history import History
+
+        h = History([a, b], [(a, b)])
+        assert combine_per_object(h, {"o": [a, b]}) == [a, b]
+
+    def test_respects_visibility(self):
+        a = Label("inc", obj="o1")
+        b = Label("inc", obj="o2")
+        from repro.core.history import History
+
+        h = History([a, b], [(a, b)])
+        merged = combine_per_object(h, {"o1": [a], "o2": [b]})
+        assert merged == [a, b]

@@ -1,0 +1,55 @@
+"""Fig. 13: the worked example of the op-based semantics on RGA."""
+
+from repro.core.sentinels import ROOT
+from repro.crdts import OpRGA
+from repro.crdts.opbased.rga import traverse
+from repro.runtime import OpBasedSystem
+
+
+class TestFig13:
+    def build(self):
+        system = OpBasedSystem(OpRGA(), replicas=("r1", "r2"))
+        a = system.invoke("r1", "addAfter", (ROOT, "a"))
+        b = system.invoke("r2", "addAfter", (ROOT, "b"))
+        system.deliver("r1", b)
+        system.deliver("r2", a)
+        c = system.invoke("r1", "addAfter", ("b", "c"))
+        d = system.invoke("r2", "addAfter", ("b", "d"))
+        return system, a, b, c, d
+
+    def test_13a_before_delivery_of_d(self):
+        system, a, b, c, d = self.build()
+        # r1 has seen a, b, c but not d.
+        assert system.seen("r1") == {a, b, c}
+        nodes, tombs = system.state("r1")
+        assert ("b", c.ts, "c") in nodes or (b.args[1], c.ts, "c") in nodes
+        assert tombs == frozenset()
+        h = system.history()
+        assert h.sees(a, c) and h.sees(b, c) and h.sees(b, d)
+        assert h.concurrent(c, d)
+
+    def test_13b_after_delivery_of_d(self):
+        system, a, b, c, d = self.build()
+        before = system.history()
+        system.deliver("r1", d)
+        # Delivery extends L but not vis (vis grows only at generators).
+        assert system.seen("r1") == {a, b, c, d}
+        assert system.history() == before
+
+    def test_13c_remove_extends_visibility(self):
+        system, a, b, c, d = self.build()
+        system.deliver("r1", d)
+        rem = system.invoke("r1", "remove", ("b",))
+        _nodes, tombs = system.state("r1")
+        assert tombs == frozenset({"b"})
+        h = system.history()
+        for earlier in (a, b, c, d):
+            assert h.sees(earlier, rem)
+
+    def test_final_convergence(self):
+        system, a, b, c, d = self.build()
+        system.deliver("r1", d)
+        system.invoke("r1", "remove", ("b",))
+        system.deliver_all()
+        assert system.state("r1") == system.state("r2")
+        assert traverse(*system.state("r1")) == traverse(*system.state("r2"))

@@ -1,0 +1,71 @@
+"""Recording and replaying op-based executions."""
+
+from repro.crdts import OpORSet, OpRGA
+from repro.runtime import (
+    ORSetWorkload,
+    RGAWorkload,
+    dumps,
+    loads,
+    random_op_execution,
+    record_schedule,
+    replay_schedule,
+)
+from repro.runtime.composition import composed
+from repro.crdts import OpCounter
+
+
+class TestRecordReplay:
+    def test_replay_reproduces_states(self):
+        original = random_op_execution(
+            OpORSet(), ORSetWorkload(), operations=10, seed=13
+        )
+        schedule = record_schedule(original)
+        replayed = replay_schedule(OpORSet(), schedule)
+        for replica in original.replicas:
+            assert original.state(replica) == replayed.state(replica)
+
+    def test_replay_reproduces_returns_and_timestamps(self):
+        original = random_op_execution(
+            OpRGA(), RGAWorkload(), operations=8, seed=21
+        )
+        replayed = replay_schedule(OpRGA(), record_schedule(original))
+        for old, new in zip(
+            original.generation_order, replayed.generation_order
+        ):
+            assert old.method == new.method
+            assert old.args == new.args
+            assert old.ret == new.ret
+            assert old.ts == new.ts
+            assert old.origin == new.origin
+
+    def test_replay_reproduces_history_shape(self):
+        original = random_op_execution(
+            OpORSet(), ORSetWorkload(), operations=8, seed=5
+        )
+        replayed = replay_schedule(OpORSet(), record_schedule(original))
+        assert len(original.history()) == len(replayed.history())
+        assert len(original.history().closure()) == len(
+            replayed.history().closure()
+        )
+
+    def test_json_round_trip(self):
+        original = random_op_execution(
+            OpORSet(), ORSetWorkload(), operations=6, seed=2
+        )
+        schedule = loads(dumps(record_schedule(original)))
+        replayed = replay_schedule(OpORSet(), schedule)
+        for replica in original.replicas:
+            assert original.state(replica) == replayed.state(replica)
+
+    def test_multi_object_schedule(self):
+        system = composed(
+            {"a": OpCounter(), "b": OpCounter()}, replicas=("r1", "r2")
+        )
+        system.invoke("r1", "inc", (), obj="a")
+        system.invoke("r2", "inc", (), obj="b")
+        system.deliver_all()
+        replayed = replay_schedule(
+            {"a": OpCounter(), "b": OpCounter()}, record_schedule(system)
+        )
+        assert replayed.state("r1", "a") == 1
+        assert replayed.state("r2", "b") == 1

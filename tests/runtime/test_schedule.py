@@ -1,0 +1,125 @@
+"""Schedulers: randomized drivers and the exhaustive explorer."""
+
+from repro.core.convergence import check_convergence
+from repro.crdts import OpCounter, OpORSet, SBPNCounter
+from repro.runtime import (
+    CounterWorkload,
+    ORSetWorkload,
+    OpBasedSystem,
+    explore_op_programs,
+    random_op_execution,
+    random_state_execution,
+)
+
+
+class TestRandomOpExecution:
+    def test_reaches_quiescence_and_reads(self):
+        system = random_op_execution(
+            OpCounter(), CounterWorkload(), operations=8, seed=1
+        )
+        assert system.pending_count() == 0
+        reads = [l for l in system.generation_order if l.method == "read"]
+        assert len(reads) >= len(system.replicas)
+
+    def test_deterministic_for_seed(self):
+        one = random_op_execution(OpCounter(), CounterWorkload(), seed=7)
+        two = random_op_execution(OpCounter(), CounterWorkload(), seed=7)
+        assert [l.method for l in one.generation_order] == [
+            l.method for l in two.generation_order
+        ]
+
+    def test_converges(self):
+        system = random_op_execution(
+            OpORSet(), ORSetWorkload(), operations=12, seed=3
+        )
+        ok, _ = check_convergence(system.replica_views())
+        assert ok
+
+    def test_operation_count(self):
+        system = random_op_execution(
+            OpCounter(), CounterWorkload(), operations=6, seed=2,
+            final_reads=False,
+        )
+        assert len(system.generation_order) == 6
+
+
+class TestRandomStateExecution:
+    def test_runs_and_converges(self):
+        system = random_state_execution(
+            SBPNCounter(), CounterWorkload(), operations=10, seed=5
+        )
+        ok, _ = check_convergence(system.replica_views())
+        assert ok
+
+    def test_messages_were_exchanged(self):
+        system = random_state_execution(
+            SBPNCounter(), CounterWorkload(), operations=10, seed=5
+        )
+        assert system.messages
+
+
+class TestExhaustiveExplorer:
+    def test_visits_all_interleavings_of_two_ops(self):
+        programs = {
+            "r1": [("inc", ())],
+            "r2": [("inc", ())],
+        }
+        counts = []
+
+        def visit(system, returns):
+            counts.append(
+                tuple(system.state(r) for r in ("r1", "r2"))
+            )
+
+        visited = explore_op_programs(
+            lambda: OpBasedSystem(OpCounter(), replicas=("r1", "r2")),
+            programs,
+            visit,
+        )
+        assert visited == len(counts) > 1
+        # Quiescent configurations all converge to 2.
+        assert set(counts) == {(2, 2)}
+
+    def test_returns_passed_in_program_order(self):
+        programs = {"r1": [("inc", ()), ("read", ())]}
+        seen = []
+
+        def visit(system, returns):
+            seen.append(tuple(returns["r1"]))
+
+        explore_op_programs(
+            lambda: OpBasedSystem(OpCounter(), replicas=("r1",)),
+            programs,
+            visit,
+        )
+        assert set(seen) == {(None, 1)}
+
+    def test_read_outcomes_depend_on_interleaving(self):
+        programs = {
+            "r1": [("inc", ())],
+            "r2": [("read", ())],
+        }
+        outcomes = set()
+
+        def visit(system, returns):
+            outcomes.add(returns["r2"][0])
+
+        explore_op_programs(
+            lambda: OpBasedSystem(OpCounter(), replicas=("r1", "r2")),
+            programs,
+            visit,
+        )
+        assert outcomes == {0, 1}
+
+    def test_max_configurations_bound(self):
+        programs = {
+            "r1": [("inc", ()), ("inc", ())],
+            "r2": [("inc", ()), ("inc", ())],
+        }
+        visited = explore_op_programs(
+            lambda: OpBasedSystem(OpCounter(), replicas=("r1", "r2")),
+            programs,
+            lambda s, r: None,
+            max_configurations=3,
+        )
+        assert visited == 3

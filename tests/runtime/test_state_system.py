@@ -1,0 +1,98 @@
+"""The state-based operational semantics (Appendix D.2)."""
+
+import pytest
+
+from repro.core.errors import PreconditionViolation
+from repro.crdts import SB2PSet, SBLWWElementSet, SBMVRegister, SBPNCounter
+from repro.runtime import StateBasedSystem
+
+
+class TestOperation:
+    def test_local_update(self):
+        system = StateBasedSystem(SBPNCounter(), replicas=("r1", "r2"))
+        system.invoke("r1", "inc")
+        assert system.invoke("r1", "read").ret == 1
+        assert system.invoke("r2", "read").ret == 0
+
+    def test_visibility_program_order(self):
+        system = StateBasedSystem(SBPNCounter(), replicas=("r1",))
+        a = system.invoke("r1", "inc")
+        b = system.invoke("r1", "inc")
+        assert system.history().sees(a, b)
+
+    def test_precondition_enforced(self):
+        system = StateBasedSystem(SB2PSet(), replicas=("r1",))
+        with pytest.raises(PreconditionViolation):
+            system.invoke("r1", "remove", ("ghost",))
+
+    def test_events_logged(self):
+        system = StateBasedSystem(SBPNCounter(), replicas=("r1",))
+        system.invoke("r1", "inc")
+        (event,) = system.events
+        kind, replica, _label, pre, post = event
+        assert kind == "op" and replica == "r1"
+        assert pre != post
+
+
+class TestGenerateApply:
+    def test_gossip_transfers_state(self):
+        system = StateBasedSystem(SBPNCounter(), replicas=("r1", "r2"))
+        system.invoke("r1", "inc")
+        system.gossip("r1", "r2")
+        assert system.invoke("r2", "read").ret == 1
+
+    def test_message_applied_twice_is_idempotent(self):
+        system = StateBasedSystem(SBPNCounter(), replicas=("r1", "r2"))
+        system.invoke("r1", "inc")
+        message = system.send("r1")
+        system.receive("r2", message)
+        system.receive("r2", message)
+        assert system.invoke("r2", "read").ret == 1
+
+    def test_old_message_reordered(self):
+        system = StateBasedSystem(SBPNCounter(), replicas=("r1", "r2"))
+        system.invoke("r1", "inc")
+        old = system.send("r1")
+        system.invoke("r1", "inc")
+        new = system.send("r1")
+        system.receive("r2", new)
+        system.receive("r2", old)  # stale message arrives later
+        assert system.invoke("r2", "read").ret == 2
+
+    def test_message_carries_labels(self):
+        system = StateBasedSystem(SBPNCounter(), replicas=("r1", "r2"))
+        inc = system.invoke("r1", "inc")
+        system.gossip("r1", "r2")
+        later = system.invoke("r2", "inc")
+        assert system.history().sees(inc, later)
+
+    def test_sync_all_converges(self):
+        system = StateBasedSystem(SBMVRegister(), replicas=("r1", "r2", "r3"))
+        system.invoke("r1", "write", ("a",))
+        system.invoke("r2", "write", ("b",))
+        system.sync_all()
+        reads = {system.invoke(r, "read").ret for r in ("r1", "r2", "r3")}
+        assert reads == {frozenset({"a", "b"})}
+
+    def test_lost_message_no_effect(self):
+        system = StateBasedSystem(SBPNCounter(), replicas=("r1", "r2"))
+        system.invoke("r1", "inc")
+        system.send("r1")  # never received
+        assert system.invoke("r2", "read").ret == 0
+
+
+class TestTimestampsAcrossMerges:
+    def test_lamport_clock_advanced_by_merge(self):
+        system = StateBasedSystem(SBLWWElementSet(), replicas=("r1", "r2"))
+        add = system.invoke("r1", "add", ("a",))
+        system.gossip("r1", "r2")
+        remove = system.invoke("r2", "remove", ("a",))
+        assert add.ts < remove.ts
+
+    def test_lww_remove_wins_after_gossip(self):
+        system = StateBasedSystem(SBLWWElementSet(), replicas=("r1", "r2"))
+        system.invoke("r1", "add", ("a",))
+        system.gossip("r1", "r2")
+        system.invoke("r2", "remove", ("a",))
+        system.sync_all()
+        assert system.invoke("r1", "read").ret == frozenset()

@@ -1,0 +1,171 @@
+"""The op-based operational semantics (Fig. 7)."""
+
+import pytest
+
+from repro.core.errors import PreconditionViolation, SchedulingError
+from repro.core.sentinels import ROOT
+from repro.core.timestamp import BOTTOM
+from repro.crdts import OpCounter, OpORSet, OpRGA
+from repro.runtime import OpBasedSystem
+
+
+class TestInvoke:
+    def test_effector_applied_at_origin_immediately(self):
+        system = OpBasedSystem(OpCounter(), replicas=("r1", "r2"))
+        system.invoke("r1", "inc")
+        assert system.state("r1") == 1
+        assert system.state("r2") == 0
+
+    def test_label_carries_return_value(self):
+        system = OpBasedSystem(OpCounter(), replicas=("r1",))
+        system.invoke("r1", "inc")
+        label = system.invoke("r1", "read")
+        assert label.ret == 1
+
+    def test_visibility_records_local_history(self):
+        system = OpBasedSystem(OpCounter(), replicas=("r1", "r2"))
+        first = system.invoke("r1", "inc")
+        second = system.invoke("r1", "inc")
+        other = system.invoke("r2", "inc")
+        h = system.history()
+        assert h.sees(first, second)
+        assert h.concurrent(second, other)
+
+    def test_precondition_enforced(self):
+        system = OpBasedSystem(OpRGA(), replicas=("r1",))
+        with pytest.raises(PreconditionViolation):
+            system.invoke("r1", "addAfter", ("ghost", "a"))
+
+    def test_timestamps_exceed_visible(self):
+        system = OpBasedSystem(OpRGA(), replicas=("r1", "r2"))
+        first = system.invoke("r1", "addAfter", (ROOT, "a"))
+        system.deliver_all()
+        second = system.invoke("r2", "addAfter", ("a", "b"))
+        assert first.ts < second.ts
+
+    def test_queries_get_bottom_timestamp(self):
+        system = OpBasedSystem(OpRGA(), replicas=("r1",))
+        system.invoke("r1", "addAfter", (ROOT, "a"))
+        read = system.invoke("r1", "read")
+        assert read.ts is BOTTOM
+
+    def test_unknown_object_rejected(self):
+        system = OpBasedSystem(OpCounter(), replicas=("r1",))
+        with pytest.raises(SchedulingError):
+            system.invoke("r1", "inc", (), obj="nope")
+
+    def test_multi_object_requires_name(self):
+        system = OpBasedSystem(
+            {"a": OpCounter(), "b": OpCounter()}, replicas=("r1",)
+        )
+        with pytest.raises(SchedulingError):
+            system.invoke("r1", "inc")
+
+
+class TestDelivery:
+    def test_deliver_applies_effector(self):
+        system = OpBasedSystem(OpCounter(), replicas=("r1", "r2"))
+        label = system.invoke("r1", "inc")
+        system.deliver("r2", label)
+        assert system.state("r2") == 1
+
+    def test_deliver_twice_rejected(self):
+        system = OpBasedSystem(OpCounter(), replicas=("r1", "r2"))
+        label = system.invoke("r1", "inc")
+        system.deliver("r2", label)
+        with pytest.raises(SchedulingError):
+            system.deliver("r2", label)
+
+    def test_deliver_at_origin_rejected(self):
+        system = OpBasedSystem(OpCounter(), replicas=("r1", "r2"))
+        label = system.invoke("r1", "inc")
+        with pytest.raises(SchedulingError):
+            system.deliver("r1", label)
+
+    def test_causal_delivery_enforced(self):
+        system = OpBasedSystem(OpRGA(), replicas=("r1", "r2"))
+        first = system.invoke("r1", "addAfter", (ROOT, "a"))
+        second = system.invoke("r1", "addAfter", ("a", "b"))
+        assert second not in system.deliverable("r2")
+        with pytest.raises(SchedulingError):
+            system.deliver("r2", second)
+        system.deliver("r2", first)
+        system.deliver("r2", second)
+        assert system.state("r2") == system.state("r1")
+
+    def test_deliver_all_reaches_quiescence(self):
+        system = OpBasedSystem(OpCounter(), replicas=("r1", "r2", "r3"))
+        for _ in range(3):
+            system.invoke("r1", "inc")
+            system.invoke("r2", "dec")
+        system.deliver_all()
+        assert system.pending_count() == 0
+        states = {system.state(r) for r in ("r1", "r2", "r3")}
+        assert states == {0}
+
+    def test_query_effectors_are_delivered_for_visibility(self):
+        # Queries produce identity effectors; delivering them propagates
+        # their place in the visibility order (Fig. 7 semantics).
+        system = OpBasedSystem(OpCounter(), replicas=("r1", "r2"))
+        system.invoke("r1", "inc")
+        read = system.invoke("r1", "read")
+        system.deliver_all()
+        later = system.invoke("r2", "inc")
+        assert system.history().sees(read, later)
+
+    def test_sync_single_replica(self):
+        system = OpBasedSystem(OpCounter(), replicas=("r1", "r2", "r3"))
+        system.invoke("r1", "inc")
+        system.sync("r2")
+        assert system.state("r2") == 1
+        assert system.state("r3") == 0
+
+
+class TestObservation:
+    def test_history_labels_complete(self):
+        system = OpBasedSystem(OpCounter(), replicas=("r1", "r2"))
+        labels = [system.invoke("r1", "inc"), system.invoke("r2", "read")]
+        assert set(system.history().labels) == set(labels)
+
+    def test_generation_order(self):
+        system = OpBasedSystem(OpCounter(), replicas=("r1", "r2"))
+        a = system.invoke("r1", "inc")
+        b = system.invoke("r2", "inc")
+        assert system.generation_order == [a, b]
+
+    def test_replica_views_for_convergence(self):
+        system = OpBasedSystem(OpCounter(), replicas=("r1", "r2"))
+        system.invoke("r1", "inc")
+        system.deliver_all()
+        views = system.replica_views()
+        assert views["r1"][0] == views["r2"][0]
+        assert views["r1"][1] == views["r2"][1] == 1
+
+    def test_effector_of(self):
+        system = OpBasedSystem(OpCounter(), replicas=("r1",))
+        inc = system.invoke("r1", "inc")
+        read = system.invoke("r1", "read")
+        assert system.effector_of(inc) is not None
+        assert system.effector_of(read) is None
+
+
+class TestSharedTimestamps:
+    def test_shared_clock_spans_objects(self):
+        system = OpBasedSystem(
+            {"o1": OpRGA(), "o2": OpRGA()},
+            replicas=("r1",),
+            shared_timestamps=True,
+        )
+        first = system.invoke("r1", "addAfter", (ROOT, "a"), obj="o1")
+        second = system.invoke("r1", "addAfter", (ROOT, "b"), obj="o2")
+        assert first.ts < second.ts
+
+    def test_independent_clocks_may_collide(self):
+        system = OpBasedSystem(
+            {"o1": OpRGA(), "o2": OpRGA()},
+            replicas=("r1",),
+            shared_timestamps=False,
+        )
+        first = system.invoke("r1", "addAfter", (ROOT, "a"), obj="o1")
+        second = system.invoke("r1", "addAfter", (ROOT, "b"), obj="o2")
+        assert first.ts == second.ts  # same (counter, replica) pair

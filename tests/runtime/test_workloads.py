@@ -1,0 +1,61 @@
+"""Workload generators: every proposal must satisfy the preconditions."""
+
+import random
+
+import pytest
+
+from repro.core.errors import PreconditionViolation
+from repro.proofs.registry import ALL_ENTRIES
+from repro.runtime import OpBasedSystem, StateBasedSystem
+
+
+@pytest.mark.parametrize(
+    "entry", ALL_ENTRIES, ids=[e.name for e in ALL_ENTRIES]
+)
+def test_proposals_always_satisfy_preconditions(entry):
+    rng = random.Random(42)
+    crdt = entry.make_crdt()
+    workload = entry.make_workload()
+    if entry.kind == "OB":
+        system = OpBasedSystem(crdt, replicas=("r1", "r2"))
+    else:
+        system = StateBasedSystem(crdt, replicas=("r1", "r2"))
+    issued = 0
+    for _ in range(200):
+        replica = rng.choice(("r1", "r2"))
+        proposal = workload.propose(system.state(replica), rng)
+        if proposal is None:
+            continue
+        method, args = proposal
+        system.invoke(replica, method, args)
+        issued += 1
+        if entry.kind == "OB" and rng.random() < 0.3:
+            for label in system.deliverable(replica):
+                system.deliver(replica, label)
+        if entry.kind == "SB" and rng.random() < 0.3:
+            other = "r2" if replica == "r1" else "r1"
+            system.gossip(replica, other)
+    assert issued > 50
+
+
+@pytest.mark.parametrize(
+    "entry", ALL_ENTRIES, ids=[e.name for e in ALL_ENTRIES]
+)
+def test_workload_produces_reads_and_updates(entry):
+    rng = random.Random(7)
+    crdt = entry.make_crdt()
+    workload = entry.make_workload()
+    if entry.kind == "OB":
+        system = OpBasedSystem(crdt, replicas=("r1",))
+    else:
+        system = StateBasedSystem(crdt, replicas=("r1",))
+    methods = set()
+    for _ in range(150):
+        proposal = workload.propose(system.state("r1"), rng)
+        if proposal is None:
+            continue
+        method, args = proposal
+        methods.add(method)
+        system.invoke("r1", method, args)
+    assert "read" in methods
+    assert len(methods) >= 2

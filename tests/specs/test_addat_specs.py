@@ -1,0 +1,134 @@
+"""The three addAt list specifications — Appendix C."""
+
+from repro.core.label import Label
+from repro.specs import AddAt1Spec, AddAt2Spec, AddAt3Spec
+
+
+class TestAddAt1:
+    def setup_method(self):
+        self.spec = AddAt1Spec()
+
+    def test_insert_at_index(self):
+        (state,) = self.spec.step((), Label("addAt", ("a", 0)))
+        assert state == ("a",)
+        (state,) = self.spec.step(("a", "b"), Label("addAt", ("x", 1)))
+        assert state == ("a", "x", "b")
+
+    def test_index_past_end_appends(self):
+        (state,) = self.spec.step(("a",), Label("addAt", ("x", 9)))
+        assert state == ("a", "x")
+
+    def test_duplicate_rejected(self):
+        assert not self.spec.step(("a",), Label("addAt", ("a", 0)))
+
+    def test_remove_physical(self):
+        (state,) = self.spec.step(("a", "b"), Label("remove", ("a",)))
+        assert state == ("b",)
+
+    def test_remove_missing_rejected(self):
+        assert not self.spec.step((), Label("remove", ("a",)))
+
+    def test_read(self):
+        assert self.spec.step(("a",), Label("read", ret=("a",)))
+        assert not self.spec.step(("a",), Label("read", ret=()))
+
+
+class TestAddAt2:
+    def setup_method(self):
+        self.spec = AddAt2Spec()
+
+    def test_insert_counts_live_elements(self):
+        state = (("a", "b"), frozenset({"a"}))  # live list is (b,)
+        results = list(self.spec.step(state, Label("addAt", ("x", 1))))
+        sequences = {seq for seq, _ in results}
+        assert sequences == {("a", "b", "x")}
+
+    def test_nondeterminism_around_tombstones(self):
+        state = (("a", "b"), frozenset({"a"}))  # live (b,)
+        results = list(self.spec.step(state, Label("addAt", ("x", 0))))
+        sequences = {seq for seq, _ in results}
+        # x can go before or after the tombstoned a (live index 0 both ways).
+        assert sequences == {("x", "a", "b"), ("a", "x", "b")}
+
+    def test_live_index_past_end_appends(self):
+        state = (("a",), frozenset())
+        results = list(self.spec.step(state, Label("addAt", ("x", 5))))
+        assert (("a", "x"), frozenset()) in results
+
+    def test_remove_tombstones(self):
+        state = (("a",), frozenset())
+        (result,) = self.spec.step(state, Label("remove", ("a",)))
+        assert result == (("a",), frozenset({"a"}))
+
+    def test_read_hides_tombstones(self):
+        state = (("a", "b"), frozenset({"a"}))
+        assert self.spec.step(state, Label("read", ret=("b",)))
+
+    def test_lemma_c1_inclusion(self):
+        # When each value is removed at most once, sequences admitted by
+        # Spec(addAt2) are admitted by Spec(addAt1) (Lemma C.1's argument).
+        seq = [
+            Label("addAt", ("a", 0)),
+            Label("addAt", ("b", 0)),
+            Label("remove", ("b",)),
+            Label("addAt", ("c", 1)),
+            Label("read", ret=("a", "c")),
+        ]
+        assert AddAt2Spec().admits(seq) == AddAt1Spec().admits(seq) is True
+
+
+class TestAddAt3:
+    def setup_method(self):
+        self.spec = AddAt3Spec()
+
+    def test_insert_with_full_view(self):
+        state = (("a", "b"), frozenset())
+        label = Label("addAt", ("x", 1), ret=("a", "x", "b"))
+        (result,) = self.spec.step(state, label)
+        assert result[0] == ("a", "x", "b")
+
+    def test_insert_with_partial_view(self):
+        # Origin saw only (b,) out of (a, b): inserting x at 1 anchors at b.
+        state = (("a", "b"), frozenset())
+        label = Label("addAt", ("x", 1), ret=("b", "x"))
+        (result,) = self.spec.step(state, label)
+        assert result[0] == ("a", "b", "x")
+
+    def test_view_must_be_subsequence(self):
+        state = (("a", "b"), frozenset())
+        label = Label("addAt", ("x", 1), ret=("z", "x"))
+        assert not self.spec.step(state, label)
+
+    def test_index_mismatch_rejected(self):
+        state = (("a", "b"), frozenset())
+        label = Label("addAt", ("x", 2), ret=("a", "x", "b"))
+        assert not self.spec.step(state, label)
+
+    def test_index_past_view_end(self):
+        state = (("a", "b"), frozenset())
+        label = Label("addAt", ("x", 9), ret=("a", "b", "x"))
+        (result,) = self.spec.step(state, label)
+        assert result[0] == ("a", "b", "x")
+
+    def test_empty_view_head_insert(self):
+        label = Label("addAt", ("a", 0), ret=("a",))
+        (result,) = self.spec.step(((), frozenset()), label)
+        assert result[0] == ("a",)
+
+    def test_head_insert_on_nonempty(self):
+        state = (("a",), frozenset())
+        label = Label("addAt", ("x", 0), ret=("x", "a"))
+        (result,) = self.spec.step(state, label)
+        assert result[0] == ("x", "a")
+
+    def test_remove_returns_view_without_value(self):
+        state = (("a", "b"), frozenset())
+        good = Label("remove", ("a",), ret=("b",))
+        bad = Label("remove", ("a",), ret=("a", "b"))
+        (result,) = self.spec.step(state, good)
+        assert result == (("a", "b"), frozenset({"a"}))
+        assert not self.spec.step(state, bad)
+
+    def test_read(self):
+        state = (("a", "b"), frozenset({"b"}))
+        assert self.spec.step(state, Label("read", ret=("a",)))

@@ -1,0 +1,35 @@
+"""Spec(Counter) — Example 3.2."""
+
+from repro.core.label import Label
+from repro.specs import CounterSpec
+
+
+class TestCounterSpec:
+    def setup_method(self):
+        self.spec = CounterSpec()
+
+    def test_initial_zero(self):
+        assert self.spec.initial() == 0
+
+    def test_inc(self):
+        assert list(self.spec.step(0, Label("inc"))) == [1]
+
+    def test_dec(self):
+        assert list(self.spec.step(0, Label("dec"))) == [-1]
+
+    def test_dec_below_zero_allowed(self):
+        assert self.spec.admits([Label("dec"), Label("read", ret=-1)])
+
+    def test_read_matches(self):
+        assert list(self.spec.step(5, Label("read", ret=5))) == [5]
+
+    def test_read_mismatch_rejected(self):
+        assert list(self.spec.step(5, Label("read", ret=4))) == []
+
+    def test_inc_dec_cancel(self):
+        seq = [Label("inc"), Label("dec"), Label("read", ret=0)]
+        assert self.spec.admits(seq)
+
+    def test_long_sequence(self):
+        seq = [Label("inc") for _ in range(10)] + [Label("read", ret=10)]
+        assert self.spec.admits(seq)

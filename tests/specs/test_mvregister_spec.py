@@ -1,0 +1,78 @@
+"""Spec(MV-Reg) and its rewriting — Appendix D.3/E.1."""
+
+from repro.core.label import Label
+from repro.core.timestamp import VersionVector
+from repro.specs import MVRegisterRewriting, MVRegisterSpec
+
+
+def vv(**entries):
+    return VersionVector.of(entries)
+
+
+class TestMVRegisterSpec:
+    def setup_method(self):
+        self.spec = MVRegisterSpec()
+
+    def test_write_on_empty(self):
+        label = Label("write", ("a", vv(r1=1)))
+        assert list(self.spec.step(frozenset(), label)) == [
+            frozenset({("a", vv(r1=1))})
+        ]
+
+    def test_write_evicts_dominated(self):
+        state = frozenset({("a", vv(r1=1))})
+        label = Label("write", ("b", vv(r1=2)))
+        assert list(self.spec.step(state, label)) == [
+            frozenset({("b", vv(r1=2))})
+        ]
+
+    def test_concurrent_writes_coexist(self):
+        state = frozenset({("a", vv(r1=1))})
+        label = Label("write", ("b", vv(r2=1)))
+        (result,) = self.spec.step(state, label)
+        assert result == frozenset({("a", vv(r1=1)), ("b", vv(r2=1))})
+
+    def test_dominated_write_rejected(self):
+        state = frozenset({("a", vv(r1=2))})
+        label = Label("write", ("b", vv(r1=1)))
+        assert not self.spec.step(state, label)
+
+    def test_equal_id_write_rejected(self):
+        state = frozenset({("a", vv(r1=1))})
+        label = Label("write", ("b", vv(r1=1)))
+        assert not self.spec.step(state, label)
+
+    def test_read_returns_all_values(self):
+        state = frozenset({("a", vv(r1=1)), ("b", vv(r2=1))})
+        assert self.spec.step(state, Label("read", ret={"a", "b"}))
+        assert not self.spec.step(state, Label("read", ret={"a"}))
+
+    def test_multi_value_then_overwrite(self):
+        seq = [
+            Label("write", ("a", vv(r1=1))),
+            Label("write", ("b", vv(r2=1))),
+            Label("read", ret={"a", "b"}),
+            Label("write", ("c", vv(r1=2, r2=2))),
+            Label("read", ret={"c"}),
+        ]
+        assert MVRegisterSpec().admits(seq)
+
+
+class TestMVRegisterRewriting:
+    def test_write_folds_version_vector(self):
+        gamma = MVRegisterRewriting()
+        write = Label("write", ("a",), ret=vv(r1=1))
+        (image,) = gamma.rewrite(write)
+        assert image.method == "write"
+        assert image.args == ("a", vv(r1=1))
+        assert image.ret is None
+
+    def test_read_untouched(self):
+        gamma = MVRegisterRewriting()
+        read = Label("read", ret=frozenset({"a"}))
+        assert gamma.rewrite(read) == (read,)
+
+    def test_cached(self):
+        gamma = MVRegisterRewriting()
+        write = Label("write", ("a",), ret=vv(r1=1))
+        assert gamma.rewrite(write)[0] is gamma.rewrite(write)[0]

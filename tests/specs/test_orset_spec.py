@@ -1,0 +1,55 @@
+"""Spec(OR-Set) — Example 3.4."""
+
+from repro.core.label import Label
+from repro.specs import ORSetSpec
+
+
+class TestORSetSpec:
+    def setup_method(self):
+        self.spec = ORSetSpec()
+
+    def test_add_with_fresh_id(self):
+        result = list(self.spec.step(frozenset(), Label("add", ("a", 1))))
+        assert result == [frozenset({("a", 1)})]
+
+    def test_add_duplicate_pair_rejected(self):
+        state = frozenset({("a", 1)})
+        assert not self.spec.step(state, Label("add", ("a", 1)))
+
+    def test_add_same_element_new_id(self):
+        state = frozenset({("a", 1)})
+        result = list(self.spec.step(state, Label("add", ("a", 2))))
+        assert result == [frozenset({("a", 1), ("a", 2)})]
+
+    def test_remove_erases_only_given_pairs(self):
+        state = frozenset({("a", 1), ("a", 2)})
+        label = Label("remove", (frozenset({("a", 1)}),))
+        assert list(self.spec.step(state, label)) == [frozenset({("a", 2)})]
+
+    def test_remove_empty_set_noop(self):
+        state = frozenset({("a", 1)})
+        assert list(self.spec.step(state, Label("remove", (frozenset(),)))) == [
+            state
+        ]
+
+    def test_readids_returns_pairs_of_element(self):
+        state = frozenset({("a", 1), ("b", 2), ("a", 3)})
+        good = Label("readIds", ("a",), ret=frozenset({("a", 1), ("a", 3)}))
+        bad = Label("readIds", ("a",), ret=frozenset({("a", 1)}))
+        assert self.spec.step(state, good)
+        assert not self.spec.step(state, bad)
+
+    def test_read_projects_elements(self):
+        state = frozenset({("a", 1), ("b", 2)})
+        assert self.spec.step(state, Label("read", ret={"a", "b"}))
+        assert not self.spec.step(state, Label("read", ret={"a"}))
+
+    def test_add_survives_unrelated_remove(self):
+        # The Fig. 4 "add wins" scenario at the spec level.
+        seq = [
+            Label("add", ("a", 1)),
+            Label("add", ("a", 2)),
+            Label("remove", (frozenset({("a", 1)}),)),
+            Label("read", ret={"a"}),
+        ]
+        assert self.spec.admits(seq)

@@ -1,0 +1,35 @@
+"""Spec(Reg) — Appendix B.2."""
+
+from repro.core.label import Label
+from repro.specs import LWWRegisterSpec
+
+
+class TestLWWRegisterSpec:
+    def test_initial_default_none(self):
+        assert LWWRegisterSpec().initial() is None
+
+    def test_initial_custom(self):
+        assert LWWRegisterSpec(initial_value="x0").initial() == "x0"
+
+    def test_write_replaces(self):
+        spec = LWWRegisterSpec()
+        assert list(spec.step(None, Label("write", ("a",)))) == ["a"]
+        assert list(spec.step("a", Label("write", ("b",)))) == ["b"]
+
+    def test_read_matches(self):
+        spec = LWWRegisterSpec()
+        assert spec.step("a", Label("read", ret="a"))
+        assert not spec.step("a", Label("read", ret="b"))
+
+    def test_last_write_wins_in_sequence(self):
+        spec = LWWRegisterSpec()
+        seq = [
+            Label("write", ("a",)),
+            Label("write", ("b",)),
+            Label("read", ret="b"),
+        ]
+        assert spec.admits(seq)
+
+    def test_read_initial(self):
+        spec = LWWRegisterSpec(initial_value="x0")
+        assert spec.admits([Label("read", ret="x0")])

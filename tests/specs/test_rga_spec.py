@@ -1,0 +1,66 @@
+"""Spec(RGA) — Example 3.3."""
+
+from repro.core.label import Label
+from repro.core.sentinels import ROOT
+from repro.specs import RGASpec
+
+
+class TestRGASpec:
+    def setup_method(self):
+        self.spec = RGASpec()
+
+    def test_initial(self):
+        assert self.spec.initial() == ((ROOT,), frozenset())
+
+    def test_add_after_root(self):
+        (state,) = self.spec.step(
+            self.spec.initial(), Label("addAfter", (ROOT, "a"))
+        )
+        assert state == ((ROOT, "a"), frozenset())
+
+    def test_add_after_element(self):
+        state = ((ROOT, "a", "b"), frozenset())
+        (result,) = self.spec.step(state, Label("addAfter", ("a", "x")))
+        assert result[0] == (ROOT, "a", "x", "b")
+
+    def test_add_missing_anchor_rejected(self):
+        assert not self.spec.step(
+            self.spec.initial(), Label("addAfter", ("ghost", "a"))
+        )
+
+    def test_add_duplicate_value_rejected(self):
+        state = ((ROOT, "a"), frozenset())
+        assert not self.spec.step(state, Label("addAfter", (ROOT, "a")))
+
+    def test_add_after_tombstoned_anchor_allowed(self):
+        # The spec keeps removed elements in l; adding after them is legal
+        # (a concurrent remove may linearize earlier).
+        state = ((ROOT, "a"), frozenset({"a"}))
+        (result,) = self.spec.step(state, Label("addAfter", ("a", "b")))
+        assert result == ((ROOT, "a", "b"), frozenset({"a"}))
+
+    def test_remove(self):
+        state = ((ROOT, "a"), frozenset())
+        (result,) = self.spec.step(state, Label("remove", ("a",)))
+        assert result == ((ROOT, "a"), frozenset({"a"}))
+
+    def test_remove_root_rejected(self):
+        assert not self.spec.step(self.spec.initial(), Label("remove", (ROOT,)))
+
+    def test_remove_missing_rejected(self):
+        assert not self.spec.step(self.spec.initial(), Label("remove", ("a",)))
+
+    def test_read_hides_tombstones_and_root(self):
+        state = ((ROOT, "a", "b"), frozenset({"a"}))
+        assert self.spec.step(state, Label("read", ret=("b",)))
+        assert not self.spec.step(state, Label("read", ret=("a", "b")))
+
+    def test_example_33_sequence(self):
+        # addAfter(◦,a) · addAfter(a,c) · addAfter(a,b) ⇒ read a·b·c
+        seq = [
+            Label("addAfter", (ROOT, "a")),
+            Label("addAfter", ("a", "c")),
+            Label("addAfter", ("a", "b")),
+            Label("read", ret=("a", "b", "c")),
+        ]
+        assert self.spec.admits(seq)

@@ -1,0 +1,50 @@
+"""Sequence helpers used by the list specifications."""
+
+import pytest
+
+from repro.specs.sequences import insert_after, insert_at, is_subsequence, without
+
+
+class TestIsSubsequence:
+    def test_empty_always(self):
+        assert is_subsequence((), ("a", "b"))
+        assert is_subsequence((), ())
+
+    def test_identity(self):
+        assert is_subsequence(("a", "b"), ("a", "b"))
+
+    def test_gaps(self):
+        assert is_subsequence(("a", "c"), ("a", "b", "c"))
+
+    def test_order_matters(self):
+        assert not is_subsequence(("c", "a"), ("a", "b", "c"))
+
+    def test_missing_element(self):
+        assert not is_subsequence(("z",), ("a", "b"))
+
+
+class TestWithout:
+    def test_removes_all_occurrences(self):
+        assert without(("a", "b", "a"), {"a"}) == ("b",)
+
+    def test_empty_removed(self):
+        assert without(("a",), set()) == ("a",)
+
+
+class TestInsertAfter:
+    def test_inserts(self):
+        assert insert_after(("a", "b"), "a", "x") == ("a", "x", "b")
+
+    def test_at_end(self):
+        assert insert_after(("a",), "a", "x") == ("a", "x")
+
+    def test_missing_anchor_raises(self):
+        with pytest.raises(ValueError):
+            insert_after(("a",), "z", "x")
+
+
+class TestInsertAt:
+    def test_positions(self):
+        assert insert_at(("a", "b"), 0, "x") == ("x", "a", "b")
+        assert insert_at(("a", "b"), 1, "x") == ("a", "x", "b")
+        assert insert_at(("a", "b"), 2, "x") == ("a", "b", "x")

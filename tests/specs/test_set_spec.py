@@ -1,0 +1,48 @@
+"""Plain Spec(Set)."""
+
+from repro.core.label import Label
+from repro.specs import SetSpec
+
+
+class TestSetSpec:
+    def setup_method(self):
+        self.spec = SetSpec()
+
+    def test_initial_empty(self):
+        assert self.spec.initial() == frozenset()
+
+    def test_add(self):
+        assert list(self.spec.step(frozenset(), Label("add", ("a",)))) == [
+            frozenset({"a"})
+        ]
+
+    def test_add_idempotent_on_state(self):
+        state = frozenset({"a"})
+        assert list(self.spec.step(state, Label("add", ("a",)))) == [state]
+
+    def test_remove(self):
+        state = frozenset({"a", "b"})
+        assert list(self.spec.step(state, Label("remove", ("a",)))) == [
+            frozenset({"b"})
+        ]
+
+    def test_remove_absent_is_noop(self):
+        assert list(self.spec.step(frozenset(), Label("remove", ("a",)))) == [
+            frozenset()
+        ]
+
+    def test_read_matches(self):
+        state = frozenset({"a"})
+        assert self.spec.step(state, Label("read", ret={"a"}))
+
+    def test_read_mismatch(self):
+        assert not self.spec.step(frozenset({"a"}), Label("read", ret=set()))
+
+    def test_add_remove_add(self):
+        seq = [
+            Label("add", ("a",)),
+            Label("remove", ("a",)),
+            Label("add", ("a",)),
+            Label("read", ret={"a"}),
+        ]
+        assert self.spec.admits(seq)

@@ -1,0 +1,69 @@
+"""Spec(Wooki) — Appendix B.3 (nondeterministic addBetween)."""
+
+from repro.core.label import Label
+from repro.core.sentinels import BEGIN, END
+from repro.specs import WookiSpec
+
+
+class TestWookiSpec:
+    def setup_method(self):
+        self.spec = WookiSpec()
+
+    def test_initial(self):
+        assert self.spec.initial() == ((BEGIN, END), frozenset())
+
+    def test_insert_between_sentinels(self):
+        results = list(
+            self.spec.step(self.spec.initial(), Label("addBetween", (BEGIN, "a", END)))
+        )
+        assert results == [((BEGIN, "a", END), frozenset())]
+
+    def test_nondeterministic_positions(self):
+        state = ((BEGIN, "a", "b", "c", END), frozenset())
+        results = list(
+            self.spec.step(state, Label("addBetween", ("a", "x", END)))
+        )
+        sequences = {seq for seq, _ in results}
+        assert sequences == {
+            (BEGIN, "a", "x", "b", "c", END),
+            (BEGIN, "a", "b", "x", "c", END),
+            (BEGIN, "a", "b", "c", "x", END),
+        }
+
+    def test_adjacent_anchors_single_position(self):
+        state = ((BEGIN, "a", "b", END), frozenset())
+        results = list(
+            self.spec.step(state, Label("addBetween", ("a", "x", "b")))
+        )
+        assert len(results) == 1
+        assert results[0][0] == (BEGIN, "a", "x", "b", END)
+
+    def test_before_begin_rejected(self):
+        state = ((BEGIN, "a", END), frozenset())
+        assert not self.spec.step(state, Label("addBetween", ("a", "x", BEGIN)))
+
+    def test_after_end_rejected(self):
+        state = ((BEGIN, "a", END), frozenset())
+        assert not self.spec.step(state, Label("addBetween", (END, "x", "a")))
+
+    def test_reversed_anchors_rejected(self):
+        state = ((BEGIN, "a", "b", END), frozenset())
+        assert not self.spec.step(state, Label("addBetween", ("b", "x", "a")))
+
+    def test_duplicate_value_rejected(self):
+        state = ((BEGIN, "a", END), frozenset())
+        assert not self.spec.step(state, Label("addBetween", (BEGIN, "a", END)))
+
+    def test_remove_and_read(self):
+        state = ((BEGIN, "a", "b", END), frozenset())
+        (removed,) = self.spec.step(state, Label("remove", ("a",)))
+        assert removed == ((BEGIN, "a", "b", END), frozenset({"a"}))
+        assert self.spec.step(removed, Label("read", ret=("b",)))
+
+    def test_remove_sentinel_rejected(self):
+        assert not self.spec.step(self.spec.initial(), Label("remove", (BEGIN,)))
+
+    def test_insert_between_removed_anchors_allowed(self):
+        state = ((BEGIN, "a", "b", END), frozenset({"a", "b"}))
+        results = list(self.spec.step(state, Label("addBetween", ("a", "x", "b"))))
+        assert results

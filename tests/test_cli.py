@@ -1,0 +1,44 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import SCENARIOS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_defaults(self):
+        args = build_parser().parse_args(["table"])
+        assert args.executions == 5 and args.operations == 10
+
+    def test_scenario_choices(self):
+        args = build_parser().parse_args(["scenario", "fig8"])
+        assert args.name == "fig8"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "nope"])
+
+
+class TestCommands:
+    def test_figures_succeeds(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5a" in out and "fig14" in out
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenario_renders(self, capsys, name):
+        assert main(["scenario", name]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith(f"{name}:")
+
+    def test_table_small(self, capsys):
+        assert main(["table", "--executions", "1", "--operations", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "RGA" in out and "yes" in out
+
+    def test_mutants(self, capsys):
+        assert main(["mutants"]) == 0
+        out = capsys.readouterr().out
+        assert "CAUGHT" in out and "MISSED" not in out

@@ -1,0 +1,48 @@
+"""Every example script runs cleanly (guards against bit-rot).
+
+The heavy scripts get trimmed via environment-free subprocess runs; each
+must exit 0 and print its headline evidence.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", "RA-linearizable"),
+    ("collaborative_editing.py", "timestamp-order RA-linearization: OK"),
+    ("shopping_cart.py", "impossible"),
+    ("composed_objects.py", "composed history RA-linearizable: True"),
+    ("client_verification.py", "HOLDS"),
+    ("state_based_gossip.py", "fold oracle : OK"),
+    ("custom_crdt.py", "enable wins"),
+    ("debugging_workflow.py", "caught"),
+    ("regional_metrics.py", "RA-linearizable"),
+]
+
+
+@pytest.mark.parametrize("script,needle", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, needle):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert needle in result.stdout
+
+
+def test_verify_figure12_script():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "verify_figure12.py"), "2", "6"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "RGA" in result.stdout and "yes" in result.stdout
