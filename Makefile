@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures table mutants exhaustive examples all
+.PHONY: install test bench bench-explore figures table mutants exhaustive examples all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -12,6 +12,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Naive vs. fast exploration engine; refreshes BENCH_explore.json.
+# Add -m slow for the 3-replica scopes (minutes).
+bench-explore:
+	$(PYTHON) -m pytest benchmarks/test_bench_explore_engine.py --benchmark-only -s
 
 figures:
 	$(PYTHON) -m repro figures

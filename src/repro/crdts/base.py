@@ -22,6 +22,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, FrozenSet, Mapping, Optional, Tuple
 
+from ..core.freeze import freeze
 from ..core.label import Label
 from ..core.spec import Role
 
@@ -55,10 +56,27 @@ class OpBasedCRDT(ABC):
     methods: Mapping[str, Role] = {}
     #: Methods whose generator samples a timestamp.
     timestamped_methods: FrozenSet[str] = frozenset()
+    #: Whether replica states are immutable values that may be *shared*
+    #: between configuration snapshots.  All in-tree CRDTs use persistent
+    #: tuples / frozensets / FrozenDicts, so sharing is safe; a CRDT with
+    #: mutable states must set this to False, and the exploration engine
+    #: falls back to ``copy.deepcopy`` branching for it.
+    snapshot_safe: bool = True
 
     @abstractmethod
     def initial_state(self) -> Any:
         """The initial replica state σ₀."""
+
+    def fingerprint(self, state: Any) -> Any:
+        """A hashable canonical form of ``state`` (the Fingerprintable hook).
+
+        Two states with equal fingerprints must be observably equal: the
+        exploration engine merges configurations whose fingerprints agree.
+        The default deep-freezes the state with :func:`repro.core.freeze`;
+        override for states with non-canonical representations (e.g. caches
+        or insertion-ordered containers that do not affect behaviour).
+        """
+        return freeze(state)
 
     def precondition(self, state: Any, method: str, args: Tuple) -> bool:
         """Generator precondition (Listing 1/5 ``precondition`` clauses)."""
@@ -97,10 +115,19 @@ class StateBasedCRDT(ABC):
     methods: Mapping[str, Role] = {}
     timestamped_methods: FrozenSet[str] = frozenset()
     effector_class: EffectorClass = EffectorClass.UNIQUE
+    #: See :attr:`OpBasedCRDT.snapshot_safe`.
+    snapshot_safe: bool = True
 
     @abstractmethod
     def initial_state(self) -> Any:
         """The initial replica state σ₀."""
+
+    def fingerprint(self, state: Any) -> Any:
+        """A hashable canonical form of ``state``.
+
+        See :meth:`OpBasedCRDT.fingerprint`.
+        """
+        return freeze(state)
 
     def precondition(self, state: Any, method: str, args: Tuple) -> bool:
         return True

@@ -20,6 +20,11 @@ from typing import Dict, List, Optional
 
 from ..core.convergence import check_convergence
 from ..core.ralin import execution_order_check, timestamp_order_check
+from ..runtime.explore_engine import ExploreStats
+from ..runtime.explore_naive import (
+    explore_op_programs_naive,
+    explore_state_programs_naive,
+)
 from ..runtime.schedule import Program, explore_op_programs
 from ..runtime.system import OpBasedSystem
 from .registry import CRDTEntry
@@ -33,6 +38,9 @@ class ExhaustiveResult:
     configurations: int = 0
     ok: bool = True
     failures: List[str] = field(default_factory=list)
+    #: Exploration counters (dedup hits, prunes, wall time, …); None when
+    #: the naive baseline engine ran.
+    stats: Optional[ExploreStats] = None
 
     def record(self, message: str) -> None:
         self.ok = False
@@ -44,18 +52,27 @@ def exhaustive_verify(
     entry: CRDTEntry,
     programs: Dict[str, Program],
     max_configurations: Optional[int] = None,
+    engine: str = "fast",
+    reduction: Optional[bool] = None,
 ) -> ExhaustiveResult:
     """Check every interleaving of ``programs`` against the entry's class.
 
     Only op-based entries are supported (the state-based semantics has an
     unbounded message alphabet; its coverage story is the property checks
     of Appendix D instead).
+
+    ``engine`` selects ``"fast"`` (the default: sleep sets + dedup +
+    copy-on-write snapshots) or ``"naive"`` (the raw-interleaving
+    baseline, for differential testing and benchmarking).  ``reduction``
+    overrides the entry's escape hatch (``CRDTEntry.reduction``).
     """
     if entry.kind != "OB":
         raise ValueError(
             f"{entry.name} is state-based; exhaustive exploration covers "
             "op-based entries only"
         )
+    if engine not in ("fast", "naive"):
+        raise ValueError(f"unknown engine {engine!r}: use 'fast' or 'naive'")
     result = ExhaustiveResult(entry.name)
     checker = (
         execution_order_check if entry.lin_class == "EO"
@@ -80,10 +97,19 @@ def exhaustive_verify(
     def make_system() -> OpBasedSystem:
         return OpBasedSystem(entry.make_crdt(), replicas=sorted(programs))
 
-    result.configurations = explore_op_programs(
-        make_system, programs, visit,
-        max_configurations=max_configurations,
-    )
+    if engine == "naive":
+        result.configurations = explore_op_programs_naive(
+            make_system, programs, visit,
+            max_configurations=max_configurations,
+        )
+    else:
+        result.stats = ExploreStats()
+        result.configurations = explore_op_programs(
+            make_system, programs, visit,
+            max_configurations=max_configurations,
+            reduction=entry.reduction if reduction is None else reduction,
+            stats=result.stats,
+        )
     return result
 
 
@@ -92,18 +118,23 @@ def exhaustive_verify_state(
     programs: Dict[str, Program],
     max_gossips: int = 3,
     max_configurations: Optional[int] = None,
+    engine: str = "fast",
+    reduction: Optional[bool] = None,
 ) -> ExhaustiveResult:
     """Bounded exhaustive verification of a state-based entry.
 
     Explores every interleaving of the programs with up to ``max_gossips``
     gossip steps (see :mod:`repro.runtime.state_explore`) and checks the
-    EO/TO candidate linearization plus convergence on each.
+    EO/TO candidate linearization plus convergence on each.  ``engine``
+    and ``reduction`` behave as in :func:`exhaustive_verify`.
     """
     from ..runtime.state_explore import explore_state_programs
     from ..runtime.state_system import StateBasedSystem
 
     if entry.kind != "SB":
         raise ValueError(f"{entry.name} is op-based; use exhaustive_verify")
+    if engine not in ("fast", "naive"):
+        raise ValueError(f"unknown engine {engine!r}: use 'fast' or 'naive'")
     result = ExhaustiveResult(entry.name)
     checker = (
         execution_order_check if entry.lin_class == "EO"
@@ -128,10 +159,19 @@ def exhaustive_verify_state(
     def make_system() -> StateBasedSystem:
         return StateBasedSystem(entry.make_crdt(), replicas=sorted(programs))
 
-    result.configurations = explore_state_programs(
-        make_system, programs, visit,
-        max_gossips=max_gossips, max_configurations=max_configurations,
-    )
+    if engine == "naive":
+        result.configurations = explore_state_programs_naive(
+            make_system, programs, visit,
+            max_gossips=max_gossips, max_configurations=max_configurations,
+        )
+    else:
+        result.stats = ExploreStats()
+        result.configurations = explore_state_programs(
+            make_system, programs, visit,
+            max_gossips=max_gossips, max_configurations=max_configurations,
+            reduction=entry.reduction if reduction is None else reduction,
+            stats=result.stats,
+        )
     return result
 
 

@@ -10,6 +10,16 @@ from .composition import (
     composed_ts,
     per_object_rewriting,
 )
+from .explore_engine import (
+    ExploreStats,
+    explore_state_programs,
+    op_config_key,
+    state_config_key,
+)
+from .explore_naive import (
+    explore_op_programs_naive,
+    explore_state_programs_naive,
+)
 from .recording import dumps, loads, record_schedule, replay_schedule
 from .schedule import (
     explore_op_programs,
@@ -67,7 +77,13 @@ __all__ = [
     "TwoPSetWorkload",
     "Workload",
     "WookiWorkload",
+    "ExploreStats",
     "explore_op_programs",
+    "explore_op_programs_naive",
+    "explore_state_programs",
+    "explore_state_programs_naive",
+    "op_config_key",
     "random_op_execution",
     "random_state_execution",
+    "state_config_key",
 ]

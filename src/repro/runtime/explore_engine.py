@@ -1,0 +1,700 @@
+"""The fast exploration engine behind the exhaustive small-scope checkers.
+
+The naive explorers (:mod:`repro.runtime.explore_naive`) enumerate raw
+interleavings and branch by deep-copying the whole system — cost explodes
+factorially in the number of operations and deliveries.  This engine ports
+both :func:`explore_op_programs` and :func:`explore_state_programs` onto a
+single DFS core with three stacked optimizations:
+
+1. **Commutativity-based sleep sets (DPOR).**  The paper's Commutativity
+   property (Fig. 11, checked by :mod:`repro.proofs.commutativity`) proves
+   that concurrent effectors commute, which is exactly the soundness
+   condition for partial-order reduction: of two independent transitions,
+   only one order per Mazurkiewicz trace needs exploring.  Actions at
+   *distinct* replicas are independent structurally (they touch disjoint
+   replica-local data); same-replica delivery pairs are declared
+   independent only after a **dynamic commutativity probe** — the two
+   effectors are applied in both orders to the replica's current state and
+   compared — so a CRDT whose commutativity fails (e.g. a mutant) is
+   automatically explored without reduction on exactly the branches where
+   it matters.  ``reduction=False`` switches sleep sets off entirely.
+
+2. **Visited-configuration deduplication.**  Each configuration gets a
+   canonical fingerprint — program counters, per-replica CRDT state
+   fingerprints (the :meth:`~repro.crdts.base.OpBasedCRDT.fingerprint`
+   hook, default ``freeze``-based), label data in generation order,
+   seen-sets and visibility over *logical* label ids, return values, and
+   logical clocks.  Converging branches (e.g. delivery diamonds) are
+   explored once.  Fingerprints are exact: two configurations merge only
+   when observably equal, so deduplication is sound for arbitrary (even
+   broken) CRDTs.
+
+3. **Copy-on-write branching.**  Instead of ``copy.deepcopy`` per branch,
+   the engine uses the O(|configuration|) ``snapshot``/``restore``
+   protocol of :class:`~repro.runtime.system.OpBasedSystem` and
+   :class:`~repro.runtime.state_system.StateBasedSystem`, which shares the
+   immutable CRDT states between snapshots.  CRDTs with mutable states opt
+   out via ``snapshot_safe = False`` and get the deepcopy fallback.
+
+Correctness is guarded by a differential oracle (see
+``tests/runtime/test_explore_engine.py``): on every registry entry's
+standard programs the engine visits the same *set* of final
+configurations — same histories up to label-identity equivalence — as the
+naive explorer.
+
+The engine reports an :class:`ExploreStats` record (configurations,
+dedup hits, sleep-set prunes, peak DFS frontier, wall time) that
+:class:`repro.proofs.exhaustive.ExhaustiveResult` surfaces.
+"""
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.errors import PreconditionViolation
+from .state_system import StateBasedSystem
+from .system import OpBasedSystem
+
+#: A straight-line per-replica program: ``(method, args)`` steps, or
+#: ``(method, args, obj)`` when the system hosts several objects.
+Program = List[Tuple[Any, ...]]
+
+#: A transition: ``("inv", replica, program index)``,
+#: ``("del", replica, logical label id)`` or ``("gos", source, target)``.
+Transition = Tuple[Any, ...]
+
+#: A logical label id ``(origin replica, per-origin sequence number)`` —
+#: stable across branches, unlike ``Label.uid`` which is freshly drawn on
+#: every re-execution of the same program step.
+Lid = Tuple[str, int]
+
+
+@dataclass
+class ExploreStats:
+    """Counters describing one exploration run."""
+
+    #: Final configurations reported to ``visit`` (distinct under dedup).
+    configurations: int = 0
+    #: Interior + final configurations expanded by the DFS.
+    states_visited: int = 0
+    #: Subtrees skipped because their fingerprint was already explored.
+    states_deduped: int = 0
+    #: Transitions skipped by the sleep-set reduction.
+    branches_pruned: int = 0
+    #: Dynamic effector/merge commutativity probes performed.
+    commute_checks: int = 0
+    #: Snapshot tokens taken (copy-on-write branching).
+    snapshots: int = 0
+    #: Whole-system deepcopies (fallback for ``snapshot_safe=False``).
+    deepcopies: int = 0
+    #: Maximum DFS stack depth (outstanding snapshots).
+    peak_frontier: int = 0
+    #: Wall-clock seconds spent exploring.
+    wall_time: float = 0.0
+    #: True when ``max_configurations`` stopped the search.
+    capped: bool = False
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of expansions avoided by deduplication."""
+        total = self.states_visited + self.states_deduped
+        return self.states_deduped / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "configurations": self.configurations,
+            "states_visited": self.states_visited,
+            "states_deduped": self.states_deduped,
+            "branches_pruned": self.branches_pruned,
+            "commute_checks": self.commute_checks,
+            "snapshots": self.snapshots,
+            "deepcopies": self.deepcopies,
+            "peak_frontier": self.peak_frontier,
+            "wall_time": self.wall_time,
+            "capped": self.capped,
+            "dedup_ratio": self.dedup_ratio,
+        }
+
+
+class _SearchCapped(Exception):
+    """Raised internally to stop the whole search at the exact cap."""
+
+
+def _logical_ids(generation_order: Sequence) -> Dict[int, Lid]:
+    """Map ``Label.uid`` to the branch-stable ``(origin, seq)`` id.
+
+    Each replica executes its program in order, so the k-th label generated
+    at a replica denotes the same program step in every branch.
+    """
+    lids: Dict[int, Lid] = {}
+    per_origin: Dict[Any, int] = {}
+    for label in generation_order:
+        seq = per_origin.get(label.origin, 0)
+        per_origin[label.origin] = seq + 1
+        lids[label.uid] = (label.origin, seq)
+    return lids
+
+
+# ----------------------------------------------------------------------
+# Domains: the op-based and state-based semantics behind a common DFS
+# ----------------------------------------------------------------------
+
+
+class _OpDomain:
+    """Op-based semantics: invoke / causal-delivery transitions."""
+
+    def __init__(
+        self,
+        system: OpBasedSystem,
+        programs: Dict[str, Program],
+        require_quiescence: bool,
+        reduction: bool,
+        stats: ExploreStats,
+    ) -> None:
+        self.system = system
+        self.programs = programs
+        self.replicas = list(programs)
+        self.require_quiescence = require_quiescence
+        self.reduction = reduction
+        self.stats = stats
+        self.use_snapshots = system.snapshot_safe
+        self.counters: Dict[str, int] = {r: 0 for r in programs}
+        self.returns: Dict[str, List[Any]] = {r: [] for r in programs}
+        self._lid_to_label: Dict[Lid, Any] = {}
+        # Per-state fingerprint cache: id(state) -> (state, fingerprint).
+        # Holding the state reference pins the id against reuse.
+        self._state_fps: Dict[int, Tuple[Any, Any]] = {}
+
+    # -- transitions ----------------------------------------------------
+
+    def transitions(self) -> List[Transition]:
+        trans: List[Transition] = []
+        for replica in self.replicas:
+            if self.counters[replica] < len(self.programs[replica]):
+                trans.append(("inv", replica, self.counters[replica]))
+        lids = _logical_ids(self.system.generation_order)
+        self._lid_to_label = {
+            lids[l.uid]: l for l in self.system.generation_order
+        }
+        for replica in self.replicas:
+            for label in self.system.deliverable(replica):
+                trans.append(("del", replica, lids[label.uid]))
+        return trans
+
+    def should_visit(self, transitions: List[Transition]) -> bool:
+        if not transitions:
+            return True
+        if self.require_quiescence:
+            return False
+        return all(
+            self.counters[r] == len(p) for r, p in self.programs.items()
+        )
+
+    def apply(self, transition: Transition) -> bool:
+        kind, replica, payload = transition
+        if kind == "inv":
+            step_spec = self.programs[replica][payload]
+            method, args = step_spec[0], step_spec[1]
+            obj = step_spec[2] if len(step_spec) > 2 else None
+            try:
+                label = self.system.invoke(replica, method, args, obj=obj)
+            except PreconditionViolation:
+                return False  # this interleaving cannot run the op yet
+            self.counters[replica] += 1
+            self.returns[replica].append(label.ret)
+            return True
+        label = self._lid_to_label[payload]
+        self.system.deliver(replica, label)
+        return True
+
+    # -- branching ------------------------------------------------------
+
+    def push(self) -> Tuple:
+        if self.use_snapshots:
+            self.stats.snapshots += 1
+            system_token: Any = self.system.snapshot()
+        else:
+            self.stats.deepcopies += 1
+            system_token = copy.deepcopy(self.system)
+        return (
+            system_token,
+            dict(self.counters),
+            {r: list(v) for r, v in self.returns.items()},
+        )
+
+    def pop(self, token: Tuple) -> None:
+        system_token, counters, returns = token
+        if self.use_snapshots:
+            self.system.restore(system_token)
+        else:
+            # The deepcopy fallback replaces every label object, so the
+            # lid resolution map must be rebuilt from the fresh copy.
+            self.stats.deepcopies += 1
+            self.system = copy.deepcopy(system_token)
+            lids = _logical_ids(self.system.generation_order)
+            self._lid_to_label = {
+                lids[l.uid]: l for l in self.system.generation_order
+            }
+        self.counters = dict(counters)
+        self.returns = {r: list(v) for r, v in returns.items()}
+
+    # -- independence (the DPOR relation) -------------------------------
+
+    def independent(self, a: Transition, b: Transition) -> bool:
+        if not self.reduction:
+            return False
+        if a[1] != b[1]:
+            # Distinct replicas touch disjoint replica-local data: their
+            # states, seen-sets, and logical clocks are per-replica, and
+            # visibility/effector tables only ever grow commutatively.
+            return True
+        if a[0] == "del" and b[0] == "del":
+            first = self._lid_to_label.get(a[2])
+            second = self._lid_to_label.get(b[2])
+            if first is None or second is None:
+                return False
+            if first.obj != second.obj:
+                return True  # different objects: disjoint state components
+            return self._effectors_commute(a[1], first, second)
+        # Invoke vs. anything at the same replica reads/writes that
+        # replica's state, seen-set, and clock: dependent.
+        return False
+
+    def _effectors_commute(self, replica: str, first, second) -> bool:
+        """Probe Commutativity (Fig. 11) on the replica's current state.
+
+        Queries carry no effector and trivially commute; otherwise apply
+        the two effectors in both orders and compare.  This keeps the
+        reduction sound per-branch even for CRDTs that fail the global
+        Commutativity property (the mutants): the non-commuting pair is
+        simply not treated as independent.
+        """
+        eff1 = self.system.effector_of(first)
+        eff2 = self.system.effector_of(second)
+        if eff1 is None or eff2 is None:
+            return True
+        crdt = self.system.objects[first.obj]
+        state = self.system.state(replica, first.obj)
+        self.stats.commute_checks += 1
+        one_two = crdt.apply_effector(crdt.apply_effector(state, eff1), eff2)
+        two_one = crdt.apply_effector(crdt.apply_effector(state, eff2), eff1)
+        return one_two == two_one
+
+    # -- fingerprinting -------------------------------------------------
+
+    def _state_fp(self, crdt, state) -> Any:
+        cached = self._state_fps.get(id(state))
+        if cached is not None and cached[0] is state:
+            return cached[1]
+        fp = crdt.fingerprint(state)
+        self._state_fps[id(state)] = (state, fp)
+        return fp
+
+    def fingerprint(self) -> Tuple:
+        system = self.system
+        labels_data = tuple(
+            (l.origin, l.obj, l.method, l.args, l.ret, l.ts)
+            for l in system.generation_order
+        )
+        lids = _logical_ids(system.generation_order)
+        states = tuple(
+            self._state_fp(crdt, system._states[(r, name)])
+            for r in self.replicas
+            for name, crdt in sorted(system.objects.items())
+        )
+        seen = tuple(
+            frozenset(lids[l.uid] for l in system._seen[r])
+            for r in self.replicas
+        )
+        vis = frozenset(
+            (lids[a.uid], lids[b.uid]) for a, b in system._vis
+        )
+        clocks = tuple(
+            (name, tuple(sorted(gen._clocks.items())))
+            for name, gen in sorted(system._generators.items())
+        )
+        counters = tuple(self.counters[r] for r in self.replicas)
+        rets = tuple(tuple(self.returns[r]) for r in self.replicas)
+        return (counters, rets, labels_data, states, seen, vis, clocks)
+
+    def visit_args(self) -> Tuple[Any, Dict[str, List[Any]]]:
+        return self.system, self.returns
+
+
+class _StateDomain:
+    """State-based semantics: invoke / bounded-gossip transitions."""
+
+    def __init__(
+        self,
+        system: StateBasedSystem,
+        programs: Dict[str, Program],
+        max_gossips: int,
+        reduction: bool,
+        stats: ExploreStats,
+    ) -> None:
+        self.system = system
+        self.programs = programs
+        self.replicas = list(programs)
+        self.budget = max_gossips
+        self.reduction = reduction
+        self.stats = stats
+        self.use_snapshots = system.snapshot_safe
+        self.counters: Dict[str, int] = {r: 0 for r in programs}
+        self.returns: Dict[str, List[Any]] = {r: [] for r in programs}
+        self._state_fps: Dict[int, Tuple[Any, Any]] = {}
+
+    # -- transitions ----------------------------------------------------
+
+    def transitions(self) -> List[Transition]:
+        trans: List[Transition] = []
+        for replica in self.replicas:
+            if self.counters[replica] < len(self.programs[replica]):
+                trans.append(("inv", replica, self.counters[replica]))
+        if self.budget > 0:
+            for source in self.replicas:
+                for target in self.replicas:
+                    if source != target:
+                        trans.append(("gos", source, target))
+        return trans
+
+    def should_visit(self, transitions: List[Transition]) -> bool:
+        return all(
+            self.counters[r] == len(p) for r, p in self.programs.items()
+        )
+
+    def apply(self, transition: Transition) -> bool:
+        kind, first, second = transition
+        if kind == "inv":
+            method, args = self.programs[first][second]
+            try:
+                label = self.system.invoke(first, method, args)
+            except PreconditionViolation:
+                return False
+            self.counters[first] += 1
+            self.returns[first].append(label.ret)
+            return True
+        self.system.gossip(first, second)
+        self.budget -= 1
+        return True
+
+    # -- branching ------------------------------------------------------
+
+    def push(self) -> Tuple:
+        if self.use_snapshots:
+            self.stats.snapshots += 1
+            system_token: Any = self.system.snapshot()
+        else:
+            self.stats.deepcopies += 1
+            system_token = copy.deepcopy(self.system)
+        return (
+            system_token,
+            dict(self.counters),
+            {r: list(v) for r, v in self.returns.items()},
+            self.budget,
+        )
+
+    def pop(self, token: Tuple) -> None:
+        system_token, counters, returns, budget = token
+        if self.use_snapshots:
+            self.system.restore(system_token)
+        else:
+            self.stats.deepcopies += 1
+            self.system = copy.deepcopy(system_token)
+        self.counters = dict(counters)
+        self.returns = {r: list(v) for r, v in returns.items()}
+        self.budget = budget
+
+    # -- independence ---------------------------------------------------
+
+    def _replicas_of(self, transition: Transition) -> Tuple[str, ...]:
+        if transition[0] == "inv":
+            return (transition[1],)
+        return (transition[1], transition[2])
+
+    def independent(self, a: Transition, b: Transition) -> bool:
+        if not self.reduction:
+            return False
+        if a[0] == "gos" and b[0] == "gos":
+            if self.budget < 2:
+                return False  # taking one disables the other
+            # Writers are the targets; sources are only read.
+            if a[2] == b[2]:
+                # Same merge target: sound iff the two source snapshots
+                # merge commutatively into the target's current state
+                # (lattice joins do; mutants may not — probe dynamically).
+                if b[1] == a[2] or a[1] == b[2]:
+                    return False
+                return self._merges_commute(a[1], b[1], a[2])
+            if a[2] in (b[1], b[2]) or b[2] in (a[1], a[2]):
+                return False  # one's write is the other's read/write
+            return True
+        if a[0] == "inv" and b[0] == "inv":
+            return a[1] != b[1]
+        inv, gos = (a, b) if a[0] == "inv" else (b, a)
+        return inv[1] not in (gos[1], gos[2])
+
+    def _merges_commute(self, source1: str, source2: str, target: str) -> bool:
+        crdt = self.system.crdt
+        base = self.system.state(target)
+        one = self.system.state(source1)
+        two = self.system.state(source2)
+        self.stats.commute_checks += 1
+        return crdt.merge(crdt.merge(base, one), two) == crdt.merge(
+            crdt.merge(base, two), one
+        )
+
+    # -- fingerprinting -------------------------------------------------
+
+    def _state_fp(self, state) -> Any:
+        cached = self._state_fps.get(id(state))
+        if cached is not None and cached[0] is state:
+            return cached[1]
+        fp = self.system.crdt.fingerprint(state)
+        self._state_fps[id(state)] = (state, fp)
+        return fp
+
+    def fingerprint(self) -> Tuple:
+        system = self.system
+        labels_data = tuple(
+            (l.origin, l.method, l.args, l.ret, l.ts)
+            for l in system.generation_order
+        )
+        lids = _logical_ids(system.generation_order)
+        states = tuple(
+            self._state_fp(system._states[r]) for r in self.replicas
+        )
+        seen = tuple(
+            frozenset(lids[l.uid] for l in system._seen[r])
+            for r in self.replicas
+        )
+        vis = frozenset(
+            (lids[a.uid], lids[b.uid]) for a, b in system._vis
+        )
+        clocks = tuple(sorted(system._generator._clocks.items()))
+        counters = tuple(self.counters[r] for r in self.replicas)
+        rets = tuple(tuple(self.returns[r]) for r in self.replicas)
+        # The message/event logs are excluded deliberately: exploration
+        # never re-reads old messages (gossip snapshots afresh), and the
+        # visit callbacks observe history/states only.
+        return (
+            counters, rets, labels_data, states, seen, vis, clocks,
+            self.budget,
+        )
+
+    def visit_args(self) -> Tuple[Any, Dict[str, List[Any]]]:
+        return self.system, self.returns
+
+
+# ----------------------------------------------------------------------
+# The DFS core: sleep sets + dedup over a domain
+# ----------------------------------------------------------------------
+
+
+class _Engine:
+    """Depth-first search with sleep sets and fingerprint deduplication."""
+
+    def __init__(
+        self,
+        domain,
+        visit: Callable[[Any, Dict[str, List[Any]]], None],
+        max_configurations: Optional[int],
+        dedup: bool,
+        stats: ExploreStats,
+    ) -> None:
+        self.domain = domain
+        self.visit = visit
+        self.max_configurations = max_configurations
+        self.dedup = dedup
+        self.stats = stats
+        #: Fingerprints of configurations already reported to ``visit``.
+        self._visited_fps: set = set()
+        #: fingerprint -> sleep sets the subtree was explored under.  A new
+        #: arrival is subsumed if some recorded sleep set is contained in
+        #: the current one (then every schedule allowed now was allowed —
+        #: and explored — before).
+        self._expanded: Dict[Any, List[FrozenSet[Transition]]] = {}
+
+    def run(self) -> ExploreStats:
+        started = time.perf_counter()
+        try:
+            self._dfs(frozenset(), 1)
+        except _SearchCapped:
+            self.stats.capped = True
+        self.stats.wall_time = time.perf_counter() - started
+        return self.stats
+
+    def _report(self, fingerprint: Any) -> None:
+        if self.dedup:
+            if fingerprint in self._visited_fps:
+                return
+            self._visited_fps.add(fingerprint)
+        self.stats.configurations += 1
+        self.visit(*self.domain.visit_args())
+        if (
+            self.max_configurations is not None
+            and self.stats.configurations >= self.max_configurations
+        ):
+            raise _SearchCapped
+
+    def _dfs(self, sleep: FrozenSet[Transition], depth: int) -> None:
+        domain, stats = self.domain, self.stats
+        stats.states_visited += 1
+        if depth > stats.peak_frontier:
+            stats.peak_frontier = depth
+        transitions = domain.transitions()
+        fingerprint = self.dedup and domain.fingerprint()
+        if domain.should_visit(transitions):
+            self._report(fingerprint)
+        if not transitions:
+            return
+        if self.dedup:
+            for recorded in self._expanded.get(fingerprint, ()):
+                if recorded <= sleep:
+                    stats.states_deduped += 1
+                    return
+            self._expanded.setdefault(fingerprint, []).append(sleep)
+        token = domain.push()
+        done: List[Transition] = []
+        for transition in transitions:
+            if transition in sleep:
+                stats.branches_pruned += 1
+                continue
+            # Sleep-set inheritance is decided *before* the step runs, on
+            # the state the independence probe sees.
+            child_sleep = frozenset(
+                other
+                for other in sleep.union(done)
+                if domain.independent(other, transition)
+            )
+            if not domain.apply(transition):
+                continue
+            self._dfs(child_sleep, depth + 1)
+            domain.pop(token)
+            done.append(transition)
+
+
+# ----------------------------------------------------------------------
+# Public entry points (signatures of the historical explorers)
+# ----------------------------------------------------------------------
+
+
+def explore_op_programs(
+    make_system: Callable[[], OpBasedSystem],
+    programs: Dict[str, Program],
+    visit: Callable[[OpBasedSystem, Dict[str, List[Any]]], None],
+    require_quiescence: bool = True,
+    max_configurations: Optional[int] = None,
+    reduction: bool = True,
+    dedup: bool = True,
+    stats: Optional[ExploreStats] = None,
+) -> int:
+    """Run per-replica ``programs`` under every op-based interleaving.
+
+    ``visit(system, returns)`` is called once per *distinct* final
+    configuration (deduplicated by canonical fingerprint); the system
+    object passed to ``visit`` is reused by the engine afterwards, so
+    callbacks must extract what they need rather than keep a reference.
+    Returns the number of configurations visited.
+
+    ``reduction=False`` disables the commutativity-based sleep sets (the
+    per-entry escape hatch); ``dedup=False`` additionally disables
+    fingerprint deduplication, recovering the naive enumeration order.
+    ``stats`` may be a caller-provided :class:`ExploreStats` to fill in.
+    """
+    stats = stats if stats is not None else ExploreStats()
+    domain = _OpDomain(
+        make_system(), programs, require_quiescence, reduction, stats
+    )
+    _Engine(domain, visit, max_configurations, dedup, stats).run()
+    return stats.configurations
+
+
+def explore_state_programs(
+    make_system: Callable[[], StateBasedSystem],
+    programs: Dict[str, Program],
+    visit: Callable[[StateBasedSystem, Dict[str, List[Any]]], None],
+    max_gossips: int = 3,
+    max_configurations: Optional[int] = None,
+    reduction: bool = True,
+    dedup: bool = True,
+    stats: Optional[ExploreStats] = None,
+) -> int:
+    """Run ``programs`` under every bounded state-based interleaving.
+
+    Same optimization/escape-hatch knobs as :func:`explore_op_programs`;
+    ``visit`` fires on every configuration whose programs have finished,
+    including ones with leftover gossip budget (partial propagation).
+    """
+    stats = stats if stats is not None else ExploreStats()
+    domain = _StateDomain(
+        make_system(), programs, max_gossips, reduction, stats
+    )
+    _Engine(domain, visit, max_configurations, dedup, stats).run()
+    return stats.configurations
+
+
+# ----------------------------------------------------------------------
+# Canonical configuration keys (the differential-oracle equivalence)
+# ----------------------------------------------------------------------
+
+
+def op_config_key(
+    system: OpBasedSystem, returns: Dict[str, List[Any]]
+) -> Tuple:
+    """A hashable key identifying a final configuration up to equivalence.
+
+    Labels are named by logical id (origin, per-origin sequence number), so
+    two executions that perform the same operations with the same returns,
+    timestamps, visibility, seen-sets, and replica states — regardless of
+    ``Label.uid`` draws or the order interleavings were enumerated in —
+    get equal keys.  Used by the naive-vs-engine differential tests.
+    """
+    lids = _logical_ids(system.generation_order)
+    labels = frozenset(
+        (lids[l.uid], l.obj, l.method, l.args, l.ret, l.ts)
+        for l in system.generation_order
+    )
+    vis = frozenset((lids[a.uid], lids[b.uid]) for a, b in system._vis)
+    seen = tuple(
+        (r, frozenset(lids[l.uid] for l in system._seen[r]))
+        for r in system.replicas
+    )
+    states = tuple(
+        (r, name, crdt.fingerprint(system._states[(r, name)]))
+        for r in system.replicas
+        for name, crdt in sorted(system.objects.items())
+    )
+    rets = tuple(sorted((r, tuple(v)) for r, v in returns.items()))
+    return (labels, vis, seen, states, rets)
+
+
+def state_config_key(
+    system: StateBasedSystem, returns: Dict[str, List[Any]]
+) -> Tuple:
+    """State-based analogue of :func:`op_config_key`."""
+    lids = _logical_ids(system.generation_order)
+    labels = frozenset(
+        (lids[l.uid], l.method, l.args, l.ret, l.ts)
+        for l in system.generation_order
+    )
+    vis = frozenset((lids[a.uid], lids[b.uid]) for a, b in system._vis)
+    seen = tuple(
+        (r, frozenset(lids[l.uid] for l in system._seen[r]))
+        for r in system.replicas
+    )
+    states = tuple(
+        (r, system.crdt.fingerprint(system._states[r]))
+        for r in system.replicas
+    )
+    rets = tuple(sorted((r, tuple(v)) for r, v in returns.items()))
+    return (labels, vis, seen, states, rets)

@@ -7,15 +7,23 @@ replica — so every history carries queries worth justifying.
 
 The exhaustive explorer enumerates *all* interleavings of fixed per-replica
 programs (used by the Sec. 3.3 client-reasoning reproduction and the Fig. 10
-reachability arguments).
+reachability arguments).  It lives in :mod:`repro.runtime.explore_engine`
+(sleep sets, state dedup, copy-on-write snapshots — see
+``docs/exploration.md``) and is re-exported here under its historical name;
+the unoptimized baseline survives as
+:func:`repro.runtime.explore_naive.explore_op_programs_naive`.
 """
 
-import copy
 import random
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Sequence
 
 from ..core.errors import PreconditionViolation
 from ..crdts.base import OpBasedCRDT, StateBasedCRDT
+from .explore_engine import (  # noqa: F401  (re-exported API)
+    ExploreStats,
+    Program,
+    explore_op_programs,
+)
 from .state_system import StateBasedSystem
 from .system import OpBasedSystem
 from .workloads import Workload
@@ -108,83 +116,3 @@ def random_state_execution(
     return system
 
 
-# ----------------------------------------------------------------------
-# Exhaustive small-scope exploration
-# ----------------------------------------------------------------------
-
-#: A straight-line per-replica program: ``(method, args)`` steps, or
-#: ``(method, args, obj)`` when the system hosts several objects.
-Program = List[Tuple[Any, ...]]
-
-
-def explore_op_programs(
-    make_system: Callable[[], OpBasedSystem],
-    programs: Dict[str, Program],
-    visit: Callable[[OpBasedSystem, Dict[str, List[Any]]], None],
-    require_quiescence: bool = True,
-    max_configurations: Optional[int] = None,
-) -> int:
-    """Run per-replica ``programs`` under **every** interleaving.
-
-    ``visit(system, returns)`` is called on each final configuration, where
-    ``returns[replica]`` lists the return values of that replica's program
-    in order.  When ``require_quiescence`` is set, final configurations are
-    fully delivered before visiting.  Returns the number of final
-    configurations visited.
-    """
-    visited = 0
-
-    def step(
-        system: OpBasedSystem,
-        counters: Dict[str, int],
-        returns: Dict[str, List[Any]],
-    ) -> None:
-        nonlocal visited
-        if max_configurations is not None and visited >= max_configurations:
-            return
-        moved = False
-        for replica, program in programs.items():
-            index = counters[replica]
-            if index < len(program):
-                moved = True
-                branch = copy.deepcopy((system, counters, returns))
-                b_system, b_counters, b_returns = branch
-                step_spec = program[index]
-                method, args = step_spec[0], step_spec[1]
-                obj = step_spec[2] if len(step_spec) > 2 else None
-                try:
-                    label = b_system.invoke(replica, method, args, obj=obj)
-                except PreconditionViolation:
-                    continue  # this interleaving cannot run the op yet
-                b_counters[replica] += 1
-                b_returns[replica].append(label.ret)
-                step(b_system, b_counters, b_returns)
-        for replica in list(programs):
-            for label in system.deliverable(replica):
-                moved = True
-                branch = copy.deepcopy((system, counters, returns))
-                b_system, b_counters, b_returns = branch
-                # Re-locate the copied label by uid inside the copy.
-                copies = [
-                    l for l in b_system.generation_order if l.uid == label.uid
-                ]
-                b_system.deliver(replica, copies[0])
-                step(b_system, b_counters, b_returns)
-        if not moved:
-            visited += 1
-            visit(system, returns)
-        elif not require_quiescence and all(
-            counters[r] == len(p) for r, p in programs.items()
-        ):
-            # Also report configurations where programs finished but
-            # deliveries are still pending.
-            visited += 1
-            visit(system, returns)
-
-    initial = make_system()
-    step(
-        initial,
-        {replica: 0 for replica in programs},
-        {replica: [] for replica in programs},
-    )
-    return visited

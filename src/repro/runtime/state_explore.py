@@ -12,69 +12,18 @@ needs a bound: we explore all interleavings of
 
 ``visit`` is called on every configuration whose programs have finished —
 including ones with leftover gossip budget (partial propagation).
+
+The implementation lives in :mod:`repro.runtime.explore_engine` (sleep
+sets, state dedup, copy-on-write snapshots — see ``docs/exploration.md``)
+and is re-exported here under its historical name; the unoptimized
+baseline survives as
+:func:`repro.runtime.explore_naive.explore_state_programs_naive`.
 """
 
-import copy
-from typing import Any, Callable, Dict, List, Optional
+from .explore_engine import (  # noqa: F401  (re-exported API)
+    ExploreStats,
+    explore_state_programs,
+)
+from .schedule import Program  # noqa: F401  (historical import path)
 
-from ..core.errors import PreconditionViolation
-from .schedule import Program
-from .state_system import StateBasedSystem
-
-
-def explore_state_programs(
-    make_system: Callable[[], StateBasedSystem],
-    programs: Dict[str, Program],
-    visit: Callable[[StateBasedSystem, Dict[str, List[Any]]], None],
-    max_gossips: int = 3,
-    max_configurations: Optional[int] = None,
-) -> int:
-    """Run ``programs`` under every bounded state-based interleaving."""
-    visited = 0
-
-    def step(
-        system: StateBasedSystem,
-        counters: Dict[str, int],
-        returns: Dict[str, List[Any]],
-        gossip_budget: int,
-    ) -> None:
-        nonlocal visited
-        if max_configurations is not None and visited >= max_configurations:
-            return
-        if all(counters[r] == len(p) for r, p in programs.items()):
-            visited += 1
-            visit(system, returns)
-
-        for replica, program in programs.items():
-            index = counters[replica]
-            if index >= len(program):
-                continue
-            branch = copy.deepcopy((system, counters, returns))
-            b_system, b_counters, b_returns = branch
-            method, args = program[index]
-            try:
-                label = b_system.invoke(replica, method, args)
-            except PreconditionViolation:
-                continue
-            b_counters[replica] += 1
-            b_returns[replica].append(label.ret)
-            step(b_system, b_counters, b_returns, gossip_budget)
-
-        if gossip_budget > 0:
-            replicas = list(programs)
-            for source in replicas:
-                for target in replicas:
-                    if source == target:
-                        continue
-                    branch = copy.deepcopy((system, counters, returns))
-                    b_system, b_counters, b_returns = branch
-                    b_system.gossip(source, target)
-                    step(b_system, b_counters, b_returns, gossip_budget - 1)
-
-    step(
-        make_system(),
-        {replica: 0 for replica in programs},
-        {replica: [] for replica in programs},
-        max_gossips,
-    )
-    return visited
+__all__ = ["ExploreStats", "Program", "explore_state_programs"]

@@ -135,6 +135,42 @@ class StateBasedSystem:
                         self.receive(target, snapshots[source])
 
     # ------------------------------------------------------------------
+    # Snapshot / restore (copy-on-write branching for the explorers)
+    # ------------------------------------------------------------------
+
+    @property
+    def snapshot_safe(self) -> bool:
+        """True when the CRDT keeps immutable (sharable) states."""
+        return self.crdt.snapshot_safe
+
+    def snapshot(self) -> Tuple:
+        """An O(|configuration|) snapshot token for :meth:`restore`.
+
+        Shallow copies only — messages, labels, and CRDT states are
+        immutable values shared between the live system and the token.
+        """
+        return (
+            dict(self._states),
+            {r: set(s) for r, s in self._seen.items()},
+            set(self._vis),
+            list(self.messages),
+            list(self.generation_order),
+            list(self.events),
+            dict(self._generator._clocks),
+        )
+
+    def restore(self, token: Tuple) -> None:
+        """Rewind to a :meth:`snapshot` token (reusable any number of times)."""
+        states, seen, vis, messages, order, events, clocks = token
+        self._states = dict(states)
+        self._seen = {r: set(s) for r, s in seen.items()}
+        self._vis = set(vis)
+        self.messages = list(messages)
+        self.generation_order = list(order)
+        self.events = list(events)
+        self._generator._clocks = dict(clocks)
+
+    # ------------------------------------------------------------------
     # Observation
     # ------------------------------------------------------------------
 

@@ -193,6 +193,55 @@ class OpBasedSystem:
                 delivered = True
 
     # ------------------------------------------------------------------
+    # Snapshot / restore (copy-on-write branching for the explorers)
+    # ------------------------------------------------------------------
+
+    @property
+    def snapshot_safe(self) -> bool:
+        """True when every hosted CRDT keeps immutable (sharable) states."""
+        return all(crdt.snapshot_safe for crdt in self.objects.values())
+
+    def snapshot(self) -> Tuple:
+        """An O(|configuration|) snapshot token for :meth:`restore`.
+
+        Containers are copied *shallowly*: labels, effectors, and CRDT
+        states are immutable values, so sharing them between the live
+        system and the token is safe (checked via :attr:`snapshot_safe` by
+        callers that host custom CRDTs).  This replaces whole-system
+        ``copy.deepcopy`` in the exploration engine — the deep structure of
+        replica states is never traversed.
+        """
+        distinct = {id(g): g for g in self._generators.values()}
+        return (
+            dict(self._states),
+            {r: set(s) for r, s in self._seen.items()},
+            set(self._vis),
+            dict(self._causal_preds),
+            dict(self._effectors),
+            list(self.generation_order),
+            list(self.trace),
+            {key: dict(g._clocks) for key, g in distinct.items()},
+        )
+
+    def restore(self, token: Tuple) -> None:
+        """Rewind the system to a :meth:`snapshot` token.
+
+        The token stays valid: it may be restored any number of times.
+        """
+        (states, seen, vis, preds, effectors, order, trace, clocks) = token
+        self._states = dict(states)
+        self._seen = {r: set(s) for r, s in seen.items()}
+        self._vis = set(vis)
+        self._causal_preds = dict(preds)
+        self._effectors = dict(effectors)
+        self.generation_order = list(order)
+        self.trace = list(trace)
+        for key, generator in {
+            id(g): g for g in self._generators.values()
+        }.items():
+            generator._clocks = dict(clocks[key])
+
+    # ------------------------------------------------------------------
     # Observation
     # ------------------------------------------------------------------
 

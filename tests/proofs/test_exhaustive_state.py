@@ -19,7 +19,10 @@ def test_state_based_small_scope(entry):
         entry, standard_programs(entry), max_gossips=2
     )
     assert result.ok, result.failures
-    assert result.configurations >= 400
+    # Distinct final configurations, not raw interleavings (the engine
+    # dedups and prunes commuting schedules; see docs/exploration.md).
+    assert result.configurations >= 40
+    assert result.stats is not None and result.stats.states_deduped > 0
 
 
 def test_op_based_entries_rejected():
@@ -52,3 +55,11 @@ def test_max_configurations_bound():
         entry, standard_programs(entry), max_gossips=2, max_configurations=7
     )
     assert result.configurations == 7
+
+
+def test_unknown_engine_rejected():
+    entry = entry_by_name("G-Set")
+    with pytest.raises(ValueError, match="unknown engine"):
+        exhaustive_verify_state(
+            entry, standard_programs(entry), engine="naiive"
+        )
