@@ -2,13 +2,14 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-explore figures table mutants exhaustive examples all
+.PHONY: install test bench bench-explore bench-verify figures table mutants exhaustive examples all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
+# The tier-1 invocation: works from a source checkout without installing.
 test:
-	$(PYTHON) -m pytest tests/ -q
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -17,6 +18,11 @@ bench:
 # Add -m slow for the 3-replica scopes (minutes).
 bench-explore:
 	$(PYTHON) -m pytest benchmarks/test_bench_explore_engine.py --benchmark-only -s
+
+# PR-1 serial baseline vs. incremental checking vs. --jobs 4; refreshes
+# BENCH_verify.json.  Needs git history for the pinned baseline commit.
+bench-verify:
+	$(PYTHON) -m pytest benchmarks/test_bench_verify_parallel.py --benchmark-only -s
 
 figures:
 	$(PYTHON) -m repro figures

@@ -1,0 +1,115 @@
+"""The deep exhaustive scope suite behind ``make bench-verify``.
+
+Eight registry entries, each explored over two replicas running
+four-operation programs — deep enough (≈ 1 700–4 000 distinct
+configurations per scope, ~25 000 final checks in total) that the
+verification pipeline dominates the measurement, unlike the standard
+two-operation programs which finish before process start-up costs
+amortize.
+
+The module is deliberately self-contained and restricted to the
+verification API that already existed at the PR-1 baseline, so the
+benchmark can execute the *same file* against a checked-out baseline
+tree (``serial`` mode) and against the current tree (``serial`` and
+``parallel`` modes) and compare like with like:
+
+    PYTHONPATH=<tree>/src python benchmarks/verify_scope_suite.py serial
+    PYTHONPATH=src python benchmarks/verify_scope_suite.py parallel 4
+
+Each invocation prints one JSON line: wall seconds for the suite plus
+every scope's verdict and distinct-configuration count, which the
+benchmark asserts are identical across modes and trees.
+"""
+
+import json
+import sys
+import time
+
+#: ``(registry entry name, per-replica programs, max_gossips)`` —
+#: ``max_gossips`` is ``None`` for op-based entries.
+SCOPES = [
+    ("LWW-Element Set",
+     {"r1": [("add", ("a",)), ("read", ()), ("remove", ("a",)), ("read", ())],
+      "r2": [("add", ("b",)), ("read", ()), ("add", ("a",)), ("read", ())]},
+     3),
+    ("OR-Set",
+     {"r1": [("add", ("a",)), ("read", ()), ("remove", ("a",)), ("read", ())],
+      "r2": [("add", ("a",)), ("read", ()), ("add", ("b",)), ("read", ())]},
+     None),
+    ("PN-Counter",
+     {"r1": [("inc", ()), ("read", ()), ("dec", ()), ("read", ())],
+      "r2": [("inc", ()), ("read", ()), ("inc", ()), ("read", ())]},
+     3),
+    ("Counter",
+     {"r1": [("inc", ()), ("read", ()), ("dec", ()), ("read", ())],
+      "r2": [("inc", ()), ("read", ()), ("inc", ()), ("read", ())]},
+     None),
+    ("G-Counter",
+     {"r1": [("inc", ()), ("read", ()), ("inc", ()), ("read", ())],
+      "r2": [("inc", ()), ("read", ()), ("inc", ()), ("read", ())]},
+     3),
+    ("G-Set",
+     {"r1": [("add", ("a",)), ("read", ()), ("add", ("b",)), ("read", ())],
+      "r2": [("add", ("c",)), ("read", ()), ("add", ("a",)), ("read", ())]},
+     3),
+    ("LWW-Register",
+     {"r1": [("write", ("x",)), ("read", ()), ("write", ("y",)), ("read", ())],
+      "r2": [("write", ("z",)), ("read", ()), ("write", ("w",)), ("read", ())]},
+     None),
+    ("Multi-Value Reg.",
+     {"r1": [("write", ("x",)), ("read", ()), ("write", ("y",)), ("read", ())],
+      "r2": [("write", ("z",)), ("read", ()), ("write", ("w",)), ("read", ())]},
+     3),
+]
+
+
+def run_serial():
+    """Verify every scope sequentially (PR-1-compatible API only)."""
+    from repro.proofs.exhaustive import (
+        exhaustive_verify,
+        exhaustive_verify_state,
+    )
+    from repro.proofs.registry import entry_by_name
+
+    results = []
+    for name, programs, max_gossips in SCOPES:
+        entry = entry_by_name(name)
+        if max_gossips is None:
+            result = exhaustive_verify(entry, programs)
+        else:
+            result = exhaustive_verify_state(
+                entry, programs, max_gossips=max_gossips
+            )
+        results.append(result)
+    return results
+
+
+def run_parallel(jobs):
+    """Verify every scope through the shared worker pool (current API)."""
+    from repro.proofs.parallel import verify_scopes_parallel
+    from repro.proofs.registry import entry_by_name
+
+    scopes = [
+        (entry_by_name(name), programs, max_gossips)
+        for name, programs, max_gossips in SCOPES
+    ]
+    merged = verify_scopes_parallel(scopes, jobs=jobs)
+    return [merged[name] for name, _, _ in SCOPES]
+
+
+def main(argv):
+    mode = argv[1] if len(argv) > 1 else "serial"
+    jobs = int(argv[2]) if len(argv) > 2 else 4
+    start = time.perf_counter()
+    results = run_parallel(jobs) if mode == "parallel" else run_serial()
+    seconds = time.perf_counter() - start
+    print(json.dumps({
+        "mode": mode,
+        "seconds": round(seconds, 3),
+        "verdicts": [result.ok for result in results],
+        "configurations": [result.configurations for result in results],
+    }))
+
+
+if __name__ == "__main__":
+    main(sys.argv)

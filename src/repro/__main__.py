@@ -27,8 +27,10 @@ from .proofs import (
     format_table,
     mutant_catalogue,
     standard_programs,
+    verify_entries_parallel,
     verify_entry,
     verify_mutant,
+    verify_scopes_parallel,
 )
 from .runtime.composition import check_composed_ra_linearizable
 from .scenarios import (
@@ -61,11 +63,17 @@ SCENARIOS = {
 
 
 def cmd_table(args: argparse.Namespace) -> int:
-    results = [
-        verify_entry(entry, executions=args.executions,
-                     operations=args.operations)
-        for entry in ALL_ENTRIES
-    ]
+    if args.jobs > 1:
+        results = verify_entries_parallel(
+            ALL_ENTRIES, executions=args.executions,
+            operations=args.operations, jobs=args.jobs,
+        )
+    else:
+        results = [
+            verify_entry(entry, executions=args.executions,
+                         operations=args.operations)
+            for entry in ALL_ENTRIES
+        ]
     print(format_table(results, title="Fig. 12 — verification table"))
     return 0 if all(r.verified for r in results) else 1
 
@@ -150,12 +158,19 @@ def cmd_mutants(_args: argparse.Namespace) -> int:
     return 0 if all_caught else 1
 
 
-def cmd_exhaustive(_args: argparse.Namespace) -> int:
+def cmd_exhaustive(args: argparse.Namespace) -> int:
     ok = True
-    for entry in ALL_ENTRIES:
-        if entry.kind != "OB":
-            continue
-        result = exhaustive_verify(entry, standard_programs(entry))
+    entries = [entry for entry in ALL_ENTRIES if entry.kind == "OB"]
+    if args.jobs > 1:
+        scopes = [(entry, standard_programs(entry), None) for entry in entries]
+        merged = verify_scopes_parallel(scopes, jobs=args.jobs)
+        results = [merged[entry.name] for entry in entries]
+    else:
+        results = [
+            exhaustive_verify(entry, standard_programs(entry))
+            for entry in entries
+        ]
+    for entry, result in zip(entries, results):
         print(f"{entry.name:<15} {result.configurations:>6} interleavings "
               f"{'all RA-linearizable' if result.ok else 'FAILURES'}")
         ok &= result.ok
@@ -172,6 +187,10 @@ def build_parser() -> argparse.ArgumentParser:
     table = sub.add_parser("table", help="regenerate the Fig. 12 table")
     table.add_argument("--executions", type=int, default=5)
     table.add_argument("--operations", type=int, default=10)
+    table.add_argument(
+        "--jobs", type=int, default=1,
+        help="verify entries in N worker processes (1 = in-process)",
+    )
     table.set_defaults(fn=cmd_table)
 
     figures = sub.add_parser("figures", help="replay all paper figures")
@@ -186,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     exhaustive = sub.add_parser(
         "exhaustive", help="exhaustive small-scope verification"
+    )
+    exhaustive.add_argument(
+        "--jobs", type=int, default=1,
+        help="split exploration trees over N worker processes "
+             "(1 = in-process)",
     )
     exhaustive.set_defaults(fn=cmd_exhaustive)
 

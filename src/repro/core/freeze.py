@@ -60,16 +60,27 @@ class FrozenDict(dict):
         return FrozenDict(items)
 
 
+#: Exact types that freeze to themselves; checked first because the vast
+#: majority of frozen values (method args, return scalars, timestamps'
+#: components) are plain scalars and the isinstance ladder dominated the
+#: explorers' label-construction cost.
+_ATOMIC = (str, int, float, bool, bytes, type(None))
+
+
 def freeze(value: Any) -> Any:
     """Return a hashable, immutable version of ``value``.
 
     Lists and tuples become tuples, sets and frozensets become frozensets,
     dicts become :class:`FrozenDict`.  Scalars pass through unchanged.
     """
+    if type(value) in _ATOMIC:
+        return value
     if isinstance(value, (list, tuple)):
-        return tuple(freeze(item) for item in value)
+        return tuple([freeze(item) for item in value])
     if isinstance(value, (set, frozenset)):
-        return frozenset(freeze(item) for item in value)
+        return frozenset([freeze(item) for item in value])
     if isinstance(value, dict):
-        return FrozenDict((freeze(k), freeze(v)) for k, v in value.items())
+        return FrozenDict(
+            [(freeze(k), freeze(v)) for k, v in value.items()]
+        )
     return value

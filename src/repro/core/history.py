@@ -55,6 +55,7 @@ class History:
         self._labels: FrozenSet[Label] = frozenset(labels)
         self._vis: FrozenSet[Edge] = frozenset(vis)
         self._closure: Optional[FrozenSet[Edge]] = None
+        self._preds: Optional[Dict[Label, Set[Label]]] = None
         self.transitive = transitive
         if check:
             self._validate()
@@ -173,9 +174,26 @@ class History:
         """True when ``earlier`` is visible to ``later``."""
         return (earlier, later) in self.effective()
 
-    def visible_to(self, label: Label) -> FrozenSet[Label]:
+    def predecessors_map(self) -> Dict[Label, Set[Label]]:
+        """``vis⁻¹`` of the effective relation, as a map (cached).
+
+        Built once per history; the checkers call :meth:`visible_to` once
+        per query per candidate order, so the O(|vis|) scan is paid a
+        single time instead of per call.
+        """
+        if self._preds is None:
+            acc: Dict[Label, Set[Label]] = {}
+            for src, dst in self.effective():
+                acc.setdefault(dst, set()).add(src)
+            # Values stay plain sets: callers only take unions and
+            # intersections, and the conversion pass showed up in the
+            # exhaustive-suite profile.  Treat them as read-only.
+            self._preds = acc
+        return self._preds
+
+    def visible_to(self, label: Label) -> AbstractSet[Label]:
         """All labels visible to ``label``: ``vis⁻¹(label)``."""
-        return frozenset(src for src, dst in self.effective() if dst == label)
+        return self.predecessors_map().get(label, frozenset())
 
     def visibly_after(self, label: Label) -> FrozenSet[Label]:
         """All labels that see ``label``."""

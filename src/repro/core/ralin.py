@@ -11,10 +11,20 @@ Three checkers are provided:
 * :func:`execution_order_check` / :func:`timestamp_order_check` — the
   Sec. 4.1 (execution-order) and Sec. 4.2 (timestamp-order, virtual
   timestamps) candidate constructions.
+
+For checking many related histories (the exhaustive explorers, the Fig. 12
+harness), :class:`RACheckContext` wraps the candidate checkers with two
+caches (see ``docs/performance.md``):
+
+* a shared :class:`~repro.core.spec.FrontierCache` so condition-(ii)/(iii)
+  replays that share visible-update prefixes reuse spec frontiers, and
+* a verdict memo keyed on a canonical history fingerprint, so
+  configurations with identical histories (distinct delivery
+  interleavings, same visibility) are checked once.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from .history import History
 from .label import Label
@@ -26,7 +36,7 @@ from .linearization import (
     ts_sort_key,
 )
 from .rewriting import QueryUpdateRewriting, rewrite_history
-from .spec import SequentialSpec
+from .spec import FrontierCache, SequentialSpec
 
 
 @dataclass
@@ -37,7 +47,8 @@ class RAResult:
     reason: str = ""
     #: Witness update linearization (rewritten labels), when ``ok``.
     update_order: Optional[List[Label]] = None
-    #: Witness full linearization (queries merged in), when ``ok``.
+    #: Witness full linearization (queries merged in), when ``ok`` and the
+    #: caller asked for a witness (``want_witness``).
     linearization: Optional[List[Label]] = None
     #: Number of candidate update orders examined.
     explored: int = 0
@@ -69,20 +80,69 @@ def _query_ok(
     update_order: Sequence[Label],
     updates: FrozenSet[Label],
     query: Label,
+    frontiers: Optional[FrontierCache] = None,
 ) -> bool:
     """Condition (iii): ``seq↓vis⁻¹(q)∩Updates · q ∈ Spec``."""
     visible = history.visible_to(query) & updates
     subsequence = [u for u in update_order if u in visible]
+    if frontiers is not None:
+        return frontiers.query_ok(subsequence, query)
     frontier = spec.replay(subsequence)
     if not frontier:
         return False
     return bool(spec.step_frontier(frontier, query))
 
 
+def _violates_visibility(
+    history: History, position: Dict[Label, int]
+) -> bool:
+    """Condition (i) violation test, without materializing the closure.
+
+    The candidate extends ``vis`` restricted to updates iff no update has a
+    (possibly transitive, possibly through queries) visibility ancestor
+    placed at or after it.  One DP pass over the direct edges computes each
+    label's maximal ancestor position — O(|L| + |vis|) instead of the
+    quadratic transitive closure.
+    """
+    preds: Dict[Label, List[Label]] = {}
+    for src, dst in history.vis:
+        preds.setdefault(dst, []).append(src)
+    anc: Dict[Label, int] = {}
+    for root in preds:
+        if root in anc:
+            continue
+        stack = [root]
+        while stack:
+            node = stack[-1]
+            if node in anc:
+                stack.pop()
+                continue
+            direct = preds.get(node, ())
+            pending = [p for p in direct if p not in anc]
+            if pending:
+                stack.extend(pending)
+                continue
+            best = -1
+            for p in direct:
+                if anc[p] > best:
+                    best = anc[p]
+                pos = position.get(p, -1)
+                if pos > best:
+                    best = pos
+            anc[node] = best
+            stack.pop()
+    return any(
+        anc.get(update, -1) >= pos for update, pos in position.items()
+    )
+
+
 def check_update_order(
     history: History,
     spec: SequentialSpec,
     update_order: Sequence[Label],
+    frontiers: Optional[FrontierCache] = None,
+    want_witness: bool = True,
+    check_vis: bool = True,
 ) -> RAResult:
     """Validate a candidate update linearization against Def. 3.5.
 
@@ -90,21 +150,39 @@ def check_update_order(
     (i) the candidate is consistent with visibility, (ii) it is admitted by
     the specification, (iii) every query is justified by its visible
     sub-sequence.
+
+    ``frontiers`` — an optional shared :class:`FrontierCache` for ``spec``;
+    conditions (ii) and (iii) then replay through the trie instead of from
+    scratch.  ``want_witness=False`` skips constructing the merged full
+    linearization on success (the verdict and ``update_order`` witness are
+    unaffected) — the exhaustive checkers only consume the verdict, and the
+    merge is a large share of a successful check's cost.
+    ``check_vis=False`` skips condition (i) — only pass it when the caller
+    has already established that the candidate extends visibility (e.g. the
+    execution-order candidate of a history whose visibility follows the
+    generation order; see :class:`RACheckContext`).
     """
     updates, queries = _partition(history, spec)
     if set(update_order) != set(updates):
         return RAResult(False, "candidate does not cover exactly the updates")
 
     position = {u: i for i, u in enumerate(update_order)}
-    for src, dst in history.closure():
-        if src in position and dst in position and position[src] > position[dst]:
-            return RAResult(
-                False,
-                f"candidate violates visibility: {dst!r} precedes {src!r}",
-                culprit=dst,
-            )
+    if check_vis and _violates_visibility(history, position):
+        # Rare path: rescan the closure for the exact offending pair.
+        for src, dst in history.closure():
+            if (src in position and dst in position
+                    and position[src] > position[dst]):
+                return RAResult(
+                    False,
+                    f"candidate violates visibility: {dst!r} precedes "
+                    f"{src!r}",
+                    culprit=dst,
+                )
 
-    rejected = spec.first_rejected(list(update_order))
+    if frontiers is not None:
+        rejected = frontiers.first_rejected(list(update_order))
+    else:
+        rejected = spec.first_rejected(list(update_order))
     if rejected is not None:
         return RAResult(
             False,
@@ -113,14 +191,18 @@ def check_update_order(
         )
 
     for query in sorted(queries, key=lambda l: l.uid):
-        if not _query_ok(history, spec, update_order, updates, query):
+        if not _query_ok(history, spec, update_order, updates, query,
+                         frontiers):
             return RAResult(
                 False,
                 f"query {query!r} not justified by its visible updates",
                 culprit=query,
             )
 
-    full = merge_queries(history, list(update_order), queries)
+    full = (
+        merge_queries(history, list(update_order), queries)
+        if want_witness else None
+    )
     return RAResult(
         True,
         "candidate update order is an RA-linearization witness",
@@ -208,18 +290,15 @@ def execution_order_candidate(
     return in_history
 
 
-def execution_order_check(
-    history: History,
-    spec: SequentialSpec,
+def _generation_positions(
     generation_order: Sequence[Label],
-    gamma: Optional[QueryUpdateRewriting] = None,
-) -> RAResult:
-    """Check the execution-order linearization (Theorem 4.4 instance).
+    gamma: Optional[QueryUpdateRewriting],
+) -> Dict[Label, int]:
+    """Generation position of every (rewritten) label.
 
     Rewritten labels inherit the generation position of the label they came
     from (the γ image of ℓ executes "where ℓ executed").
     """
-    rewritten = rewrite_history(history, gamma) if gamma else history
     position: Dict[Label, int] = {}
     for index, original in enumerate(generation_order):
         if gamma is not None:
@@ -227,9 +306,34 @@ def execution_order_check(
                 position[image] = index
         else:
             position[original] = index
+    return position
+
+
+def execution_order_check(
+    history: History,
+    spec: SequentialSpec,
+    generation_order: Sequence[Label],
+    gamma: Optional[QueryUpdateRewriting] = None,
+    frontiers: Optional[FrontierCache] = None,
+    want_witness: bool = True,
+    check_vis: bool = True,
+) -> RAResult:
+    """Check the execution-order linearization (Theorem 4.4 instance).
+
+    Updates are ordered by generation position, ties (impossible for
+    distinct labels, but kept for defensive determinism) by uid.
+
+    ``check_vis=False`` skips condition (i); sound when every visibility
+    edge of ``history`` runs forward in ``generation_order`` (then every
+    closure path only increases generation position, γ-rewriting included,
+    so the execution-order candidate extends visibility by construction).
+    """
+    rewritten = rewrite_history(history, gamma) if gamma else history
+    position = _generation_positions(generation_order, gamma)
     updates = [l for l in rewritten.labels if spec.is_update(l)]
     updates.sort(key=lambda l: (position[l], l.uid))
-    return check_update_order(rewritten, spec, updates)
+    return check_update_order(rewritten, spec, updates, frontiers=frontiers,
+                              want_witness=want_witness, check_vis=check_vis)
 
 
 def timestamp_order_check(
@@ -237,21 +341,17 @@ def timestamp_order_check(
     spec: SequentialSpec,
     generation_order: Sequence[Label],
     gamma: Optional[QueryUpdateRewriting] = None,
+    frontiers: Optional[FrontierCache] = None,
+    want_witness: bool = True,
 ) -> RAResult:
     """Check the timestamp-order linearization (Theorem 4.6 instance).
 
     Updates are ordered by ``tsh`` — their own timestamp, or the maximal
-    visible ("virtual") timestamp — with ties broken by generation order, as
-    prescribed in Sec. 4.2.
+    visible ("virtual") timestamp — with ties broken by generation position
+    and then uid, as prescribed in Sec. 4.2.
     """
     rewritten = rewrite_history(history, gamma) if gamma else history
-    position: Dict[Label, int] = {}
-    for index, original in enumerate(generation_order):
-        if gamma is not None:
-            for image in gamma.rewrite(original):
-                position[image] = index
-        else:
-            position[original] = index
+    position = _generation_positions(generation_order, gamma)
     updates = [l for l in rewritten.labels if spec.is_update(l)]
     updates.sort(
         key=lambda l: (
@@ -260,4 +360,158 @@ def timestamp_order_check(
             l.uid,
         )
     )
-    return check_update_order(rewritten, spec, updates)
+    return check_update_order(rewritten, spec, updates, frontiers=frontiers,
+                              want_witness=want_witness)
+
+
+# ----------------------------------------------------------------------
+# Incremental checking context (shared caches across many histories)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CheckStats:
+    """Counters describing one :class:`RACheckContext`'s cache behavior."""
+
+    #: Candidate checks requested.
+    checks: int = 0
+    #: Checks answered by the verdict memo (canonical-fingerprint hit).
+    verdict_hits: int = 0
+    #: Checks whose history could not be canonicalized (memo bypassed).
+    unkeyed: int = 0
+    #: Frontier-trie step hits / misses (from the shared FrontierCache).
+    frontier_hits: int = 0
+    frontier_misses: int = 0
+
+    @property
+    def verdict_hit_ratio(self) -> float:
+        return self.verdict_hits / self.checks if self.checks else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "checks": self.checks,
+            "verdict_hits": self.verdict_hits,
+            "verdict_hit_ratio": self.verdict_hit_ratio,
+            "unkeyed": self.unkeyed,
+            "frontier_hits": self.frontier_hits,
+            "frontier_misses": self.frontier_misses,
+        }
+
+
+class RACheckContext:
+    """Incremental EO/TO checking over many histories of one data type.
+
+    Construct once per (spec, γ, linearization class) — e.g. per registry
+    entry — and call :meth:`check` per history.  Two cache layers:
+
+    * **Frontier reuse.**  All condition-(ii)/(iii) replays go through one
+      shared :class:`FrontierCache`, so sequences sharing visible-update
+      prefixes (across queries *and* across histories) cost one trie walk.
+    * **Verdict memoization.**  The verdict of a candidate check is a pure
+      function of the history and generation order *up to uid renaming*:
+      the canonical fingerprint records label content in generation order
+      plus visibility as position pairs, which determines the candidate
+      order and every condition of Def. 3.5.  Histories with equal
+      fingerprints (isomorphic histories — same operations, returns,
+      timestamps, and visibility, differing only in label identity)
+      therefore share one verdict; the memoized :class:`RAResult` is
+      returned as-is, so its witness labels belong to the *first* such
+      history.  Treat memoized results as read-only.
+
+    Witness construction (``merge_queries``) is skipped by default
+    (``want_witness=False``): the harnesses consume verdicts only.
+    """
+
+    def __init__(
+        self,
+        spec: SequentialSpec,
+        gamma: Optional[QueryUpdateRewriting] = None,
+        lin_class: str = "EO",
+        want_witness: bool = False,
+        max_frontier_nodes: int = 100_000,
+        max_verdicts: int = 100_000,
+    ) -> None:
+        if lin_class not in ("EO", "TO"):
+            raise ValueError(f"unknown linearization class {lin_class!r}")
+        self.spec = spec
+        self.gamma = gamma
+        self.lin_class = lin_class
+        self.want_witness = want_witness
+        self.frontiers = FrontierCache(spec, max_nodes=max_frontier_nodes)
+        self.max_verdicts = max_verdicts
+        self.stats = CheckStats()
+        self._verdicts: Dict[Tuple, RAResult] = {}
+
+    # -- canonical history fingerprint ---------------------------------
+
+    @staticmethod
+    def history_key(
+        history: History, generation_order: Sequence[Label]
+    ) -> Optional[Tuple]:
+        """Canonical fingerprint of ``(history, generation_order)``.
+
+        Labels are named by their position in the generation order, so the
+        key is invariant under uid renaming but captures everything the
+        candidate checks read: label content (method, args, return,
+        timestamp, object, origin), generation positions (which determine
+        the EO candidate and break TO ties), and the effective visibility
+        relation.  Returns None when the history's labels are not all in
+        the generation order (hand-built calls) — the check then simply
+        runs unmemoized.
+        """
+        index = {label: i for i, label in enumerate(generation_order)}
+        labels = history.labels
+        if len(index) != len(generation_order):
+            return None
+        if not all(label in index for label in labels):
+            return None
+        if len(labels) == len(generation_order):
+            # All checks passed above, so the sets coincide (the common
+            # case: quiescent configurations contain every generated label).
+            content = tuple(label.content_key for label in generation_order)
+        else:
+            content = tuple(
+                label.content_key
+                for label in generation_order if label in labels
+            )
+        edges = frozenset(
+            (index[src], index[dst]) for src, dst in history.effective()
+        )
+        return (content, edges)
+
+    # -- checking ------------------------------------------------------
+
+    def check(
+        self, history: History, generation_order: Sequence[Label]
+    ) -> RAResult:
+        """EO/TO candidate check with frontier reuse and verdict memo."""
+        self.stats.checks += 1
+        key = self.history_key(history, generation_order)
+        if key is None:
+            self.stats.unkeyed += 1
+        else:
+            cached = self._verdicts.get(key)
+            if cached is not None:
+                self.stats.verdict_hits += 1
+                return cached
+        hits, misses = self.frontiers.hits, self.frontiers.misses
+        if self.lin_class == "EO":
+            # When visibility runs forward in the generation order (always
+            # true for runtime-produced histories), the EO candidate extends
+            # it by construction — condition (i) can be skipped.
+            vis_forward = key is not None and all(s < d for s, d in key[1])
+            result = execution_order_check(
+                history, self.spec, generation_order, self.gamma,
+                frontiers=self.frontiers, want_witness=self.want_witness,
+                check_vis=not vis_forward,
+            )
+        else:
+            result = timestamp_order_check(
+                history, self.spec, generation_order, self.gamma,
+                frontiers=self.frontiers, want_witness=self.want_witness,
+            )
+        self.stats.frontier_hits += self.frontiers.hits - hits
+        self.stats.frontier_misses += self.frontiers.misses - misses
+        if key is not None and len(self._verdicts) < self.max_verdicts:
+            self._verdicts[key] = result
+        return result

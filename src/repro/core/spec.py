@@ -14,7 +14,17 @@ roles — the rewriting eliminates query-updates.
 
 import enum
 from abc import ABC, abstractmethod
-from typing import Any, FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .label import Label
 
@@ -107,6 +117,120 @@ class SequentialSpec(ABC):
             if not frontier:
                 return label
         return None
+
+
+def label_content_key(label: Label) -> Tuple:
+    """The label's content, without its unique identifier.
+
+    Specifications are functions of a label's *content* — method,
+    arguments, return value, timestamp, object (see the contract in
+    ``docs/api.md``: ``step`` must never read ``uid``).  Replay results can
+    therefore be shared between labels that agree on this key, which is
+    what lets :class:`FrontierCache` reuse frontiers across the fresh-uid
+    labels of distinct explored configurations.
+    """
+    return label.content_key
+
+
+class _FrontierNode:
+    """One prefix of replayed labels: its frontier and cached extensions."""
+
+    __slots__ = ("frontier", "children")
+
+    def __init__(self, frontier: FrozenSet[Any]) -> None:
+        self.frontier = frontier
+        self.children: Dict[Tuple, "_FrontierNode"] = {}
+
+
+class FrontierCache:
+    """A prefix trie of replay frontiers for one specification.
+
+    ``SequentialSpec.replay`` recomputes every step of a sequence from the
+    initial state.  The RA-linearizability checkers replay *many* closely
+    related sequences — per query, the candidate update order restricted to
+    the query's visible set; per configuration of an exhaustive run, a
+    candidate that differs from the previous configuration's in a suffix —
+    so consecutive replays share long prefixes.  The trie stores one node
+    per distinct replayed prefix (keyed by :func:`label_content_key`, so
+    fresh-uid copies of the same logical operation hit the same node) and
+    computes each ``step_frontier`` exactly once.
+
+    Rejected prefixes are cached too (an empty frontier), and walking
+    stops at them: specifications are prefix-closed, so every extension of
+    a rejected sequence is rejected.
+
+    The trie is bounded by ``max_nodes``; past the bound, new nodes are
+    still computed and returned but no longer attached (``unattached``
+    counts them), so memory stays bounded at the cost of cache misses.
+    """
+
+    def __init__(self, spec: SequentialSpec, max_nodes: int = 100_000) -> None:
+        self.spec = spec
+        self.max_nodes = max_nodes
+        self.hits = 0
+        self.misses = 0
+        self.unattached = 0
+        self._root = _FrontierNode(spec.initial_frontier())
+        self._count = 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _child(self, node: _FrontierNode, label: Label) -> _FrontierNode:
+        key = label.content_key
+        child = node.children.get(key)
+        if child is not None:
+            self.hits += 1
+            return child
+        self.misses += 1
+        frontier = self.spec.step_frontier(node.frontier, label)
+        child = _FrontierNode(frontier)
+        if self._count < self.max_nodes:
+            node.children[key] = child
+            self._count += 1
+        else:
+            self.unattached += 1
+        return child
+
+    def replay(self, sequence: Sequence[Label]) -> FrozenSet[Any]:
+        """Cached equivalent of :meth:`SequentialSpec.replay`."""
+        node = self._root
+        for label in sequence:
+            node = self._child(node, label)
+            if not node.frontier:
+                return node.frontier
+        return node.frontier
+
+    def admits(self, sequence: Sequence[Label]) -> bool:
+        """Cached equivalent of :meth:`SequentialSpec.admits`."""
+        return bool(self.replay(sequence))
+
+    def first_rejected(self, sequence: Sequence[Label]) -> Optional[Label]:
+        """Cached equivalent of :meth:`SequentialSpec.first_rejected`."""
+        node = self._root
+        for label in sequence:
+            node = self._child(node, label)
+            if not node.frontier:
+                return label
+        return None
+
+    def query_ok(self, updates: Sequence[Label], query: Label) -> bool:
+        """``updates · query`` admitted?  (Condition (iii) of Def. 3.5.)
+
+        Queries are cached as trie children like updates are — a query is
+        just one more (identity) step of the replayed sequence.
+        """
+        node = self._root
+        for label in updates:
+            node = self._child(node, label)
+            if not node.frontier:
+                return False
+        return bool(self._child(node, query).frontier)
 
 
 class ComposedSpec(SequentialSpec):

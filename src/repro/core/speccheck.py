@@ -12,17 +12,29 @@ The checkers rely on structural properties of every ``SequentialSpec``:
   transition systems: ``replay`` of a longer sequence factors through the
   shorter one);
 * **determinism report** — whether any explored update produced multiple
-  successors (allowed — Wooki, addAt2 — but worth surfacing).
+  successors (allowed — Wooki, addAt2 — but worth surfacing);
+* **statelessness** — ``step``/``replay`` never mutate the spec object
+  itself.  The incremental checkers construct one spec per registry entry
+  and share it across every visited configuration (and one
+  :class:`~repro.core.spec.FrontierCache` on top of it), which is only
+  sound if replay keeps all state in the replayed values;
+* **uid-independence** — ``step`` reads a label's *content* only, never
+  its ``uid``.  The frontier trie keys prefixes by
+  :func:`~repro.core.spec.label_content_key`, sharing replay results
+  between fresh-uid copies of the same logical operation.
 
 ``lint_spec`` explores the spec's reachable states under a caller-provided
 label alphabet and checks each property, reporting violations.
 """
 
-from dataclasses import dataclass, field
+import copy
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, List, Sequence, Set
 
-from .label import Label
+from .label import Label, fresh_uid
 from .spec import Role, SequentialSpec
+
+_MISSING = object()
 
 
 @dataclass
@@ -54,6 +66,10 @@ def lint_spec(
     evaluate at each reachable state.
     """
     report = SpecLintReport(spec.name)
+    try:
+        snapshot = copy.deepcopy(vars(spec))
+    except Exception:  # pragma: no cover - exotic un-copyable spec state
+        snapshot = None
     frontier = [spec.initial()]
     seen: Set = set(frontier)
 
@@ -84,10 +100,26 @@ def lint_spec(
             successors = list(spec.step(state, update))
             if len(set(successors)) > 1:
                 report.nondeterministic = True
+            renamed = replace(update, uid=fresh_uid())
+            if set(spec.step(state, renamed)) != set(successors):
+                report.record(
+                    f"step of {update!r} depends on the label uid "
+                    "(frontier caching would be unsound)"
+                )
             for nxt in successors:
                 if nxt not in seen:
                     seen.add(nxt)
                     frontier.append(nxt)
+
+    if snapshot is not None and vars(spec) != snapshot:
+        changed = sorted(
+            name for name in set(snapshot) | set(vars(spec))
+            if snapshot.get(name, _MISSING) != vars(spec).get(name, _MISSING)
+        )
+        report.record(
+            f"replay mutated the specification object (fields: {changed}); "
+            "specs must be stateless to be shared across configurations"
+        )
     return report
 
 

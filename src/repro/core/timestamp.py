@@ -25,6 +25,14 @@ class Timestamp:
     counter: int
     replica: str
 
+    def __post_init__(self) -> None:
+        # Timestamps sit inside label content keys and spec states, so they
+        # are hashed constantly by the caching layers; compute the hash once.
+        object.__setattr__(self, "_hash", hash((self.counter, self.replica)))
+
+    def __hash__(self) -> int:  # type: ignore[override]
+        return self._hash
+
     def _key(self) -> Tuple[int, str]:
         return (self.counter, self.replica)
 
@@ -67,8 +75,10 @@ class _Bottom:
     def __eq__(self, other: object) -> bool:
         return other is BOTTOM
 
+    _HASH = hash("⊥-timestamp")
+
     def __hash__(self) -> int:
-        return hash("⊥-timestamp")
+        return self._HASH
 
     def __repr__(self) -> str:
         return "⊥"

@@ -14,6 +14,13 @@ from .exhaustive import (
     standard_programs,
 )
 from .mutants import mutant_catalogue, verify_mutant
+from .parallel import (
+    default_jobs,
+    exhaustive_verify_parallel,
+    standard_scopes,
+    verify_entries_parallel,
+    verify_scopes_parallel,
+)
 from .refinement import RefinementReport, check_refinement
 from .registry import (
     ALL_ENTRIES,
@@ -45,10 +52,15 @@ __all__ = [
     "measure_coverage",
     "run_differential",
     "ExhaustiveResult",
+    "default_jobs",
     "exhaustive_verify",
+    "exhaustive_verify_parallel",
     "mutant_catalogue",
     "standard_programs",
+    "standard_scopes",
+    "verify_entries_parallel",
     "verify_mutant",
+    "verify_scopes_parallel",
     "ALL_ENTRIES",
     "CRDTEntry",
     "CommutativityViolation",

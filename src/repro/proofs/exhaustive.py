@@ -19,7 +19,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.convergence import check_convergence
-from ..core.ralin import execution_order_check, timestamp_order_check
+from ..core.ralin import (
+    CheckStats,
+    RACheckContext,
+    execution_order_check,
+    timestamp_order_check,
+)
 from ..runtime.explore_engine import ExploreStats
 from ..runtime.explore_naive import (
     explore_op_programs_naive,
@@ -41,11 +46,67 @@ class ExhaustiveResult:
     #: Exploration counters (dedup hits, prunes, wall time, …); None when
     #: the naive baseline engine ran.
     stats: Optional[ExploreStats] = None
+    #: Verification-cache counters (verdict memo, frontier trie); None
+    #: when caching was disabled (``cache=False``).
+    check_stats: Optional[CheckStats] = None
 
     def record(self, message: str) -> None:
         self.ok = False
         if len(self.failures) < 10:
             self.failures.append(message)
+
+
+def _make_visit(entry: CRDTEntry, result: ExhaustiveResult, cache: bool):
+    """The per-configuration verification callback.
+
+    With ``cache=True`` (default) one spec, one γ, one frontier trie and
+    one verdict memo are shared across every visited configuration
+    (:class:`RACheckContext`); ``cache=False`` reproduces the PR-1
+    baseline, rebuilding spec and γ per configuration and replaying from
+    scratch — kept for benchmarking and differential testing.
+    """
+    def report(system, outcome) -> None:
+        trace = getattr(system, "trace", None)  # state-based keeps no trace
+        suffix = (
+            f"; trace={[(k, r, repr(l)) for k, r, l in trace]}"
+            if trace is not None else ""
+        )
+        result.record(
+            f"non-RA-linearizable interleaving: {outcome.reason}{suffix}"
+        )
+
+    if cache:
+        context = RACheckContext(
+            entry.make_spec(), entry.make_gamma(), entry.lin_class
+        )
+        result.check_stats = context.stats
+
+        def check(system) -> None:
+            outcome = context.check(system.history(), system.generation_order)
+            if not outcome.ok:
+                report(system, outcome)
+    else:
+        checker = (
+            execution_order_check if entry.lin_class == "EO"
+            else timestamp_order_check
+        )
+
+        def check(system) -> None:
+            spec = entry.make_spec()
+            gamma = entry.make_gamma()
+            outcome = checker(
+                system.history(), spec, system.generation_order, gamma
+            )
+            if not outcome.ok:
+                report(system, outcome)
+
+    def visit(system, returns) -> None:
+        check(system)
+        converged, offenders = check_convergence(system.replica_views())
+        if not converged:
+            result.record(f"divergent replicas {offenders}")
+
+    return visit
 
 
 def exhaustive_verify(
@@ -54,6 +115,10 @@ def exhaustive_verify(
     max_configurations: Optional[int] = None,
     engine: str = "fast",
     reduction: Optional[bool] = None,
+    cache: bool = True,
+    jobs: int = 1,
+    root_branch: Optional[int] = None,
+    fingerprints: Optional[set] = None,
 ) -> ExhaustiveResult:
     """Check every interleaving of ``programs`` against the entry's class.
 
@@ -65,6 +130,14 @@ def exhaustive_verify(
     copy-on-write snapshots) or ``"naive"`` (the raw-interleaving
     baseline, for differential testing and benchmarking).  ``reduction``
     overrides the entry's escape hatch (``CRDTEntry.reduction``).
+
+    ``cache=False`` disables the shared verification caches (see
+    :func:`_make_visit`).  ``jobs > 1`` fans the exploration out over
+    worker processes (frontier split; see :mod:`repro.proofs.parallel`) —
+    incompatible with ``max_configurations`` (the cap is a sequential
+    notion) and with the naive engine.  ``root_branch``/``fingerprints``
+    are the worker-side hooks of that fan-out and are rarely useful
+    directly.
     """
     if entry.kind != "OB":
         raise ValueError(
@@ -73,26 +146,17 @@ def exhaustive_verify(
         )
     if engine not in ("fast", "naive"):
         raise ValueError(f"unknown engine {engine!r}: use 'fast' or 'naive'")
-    result = ExhaustiveResult(entry.name)
-    checker = (
-        execution_order_check if entry.lin_class == "EO"
-        else timestamp_order_check
-    )
+    if jobs > 1:
+        if max_configurations is not None:
+            raise ValueError("jobs > 1 is incompatible with max_configurations")
+        if engine == "naive":
+            raise ValueError("jobs > 1 requires the fast engine")
+        from .parallel import exhaustive_verify_parallel
 
-    def visit(system: OpBasedSystem, returns) -> None:
-        spec = entry.make_spec()
-        gamma = entry.make_gamma()
-        outcome = checker(
-            system.history(), spec, system.generation_order, gamma
-        )
-        if not outcome.ok:
-            result.record(
-                f"non-RA-linearizable interleaving: {outcome.reason}; "
-                f"trace={[(k, r, repr(l)) for k, r, l in system.trace]}"
-            )
-        converged, offenders = check_convergence(system.replica_views())
-        if not converged:
-            result.record(f"divergent replicas {offenders}")
+        return exhaustive_verify_parallel(entry, programs, jobs=jobs,
+                                          reduction=reduction, cache=cache)
+    result = ExhaustiveResult(entry.name)
+    visit = _make_visit(entry, result, cache and engine == "fast")
 
     def make_system() -> OpBasedSystem:
         return OpBasedSystem(entry.make_crdt(), replicas=sorted(programs))
@@ -109,6 +173,8 @@ def exhaustive_verify(
             max_configurations=max_configurations,
             reduction=entry.reduction if reduction is None else reduction,
             stats=result.stats,
+            root_branch=root_branch,
+            fingerprints=fingerprints,
         )
     return result
 
@@ -120,13 +186,18 @@ def exhaustive_verify_state(
     max_configurations: Optional[int] = None,
     engine: str = "fast",
     reduction: Optional[bool] = None,
+    cache: bool = True,
+    jobs: int = 1,
+    root_branch: Optional[int] = None,
+    fingerprints: Optional[set] = None,
 ) -> ExhaustiveResult:
     """Bounded exhaustive verification of a state-based entry.
 
     Explores every interleaving of the programs with up to ``max_gossips``
     gossip steps (see :mod:`repro.runtime.state_explore`) and checks the
-    EO/TO candidate linearization plus convergence on each.  ``engine``
-    and ``reduction`` behave as in :func:`exhaustive_verify`.
+    EO/TO candidate linearization plus convergence on each.  ``engine``,
+    ``reduction``, ``cache`` and ``jobs`` behave as in
+    :func:`exhaustive_verify`.
     """
     from ..runtime.state_explore import explore_state_programs
     from ..runtime.state_system import StateBasedSystem
@@ -135,26 +206,19 @@ def exhaustive_verify_state(
         raise ValueError(f"{entry.name} is op-based; use exhaustive_verify")
     if engine not in ("fast", "naive"):
         raise ValueError(f"unknown engine {engine!r}: use 'fast' or 'naive'")
-    result = ExhaustiveResult(entry.name)
-    checker = (
-        execution_order_check if entry.lin_class == "EO"
-        else timestamp_order_check
-    )
+    if jobs > 1:
+        if max_configurations is not None:
+            raise ValueError("jobs > 1 is incompatible with max_configurations")
+        if engine == "naive":
+            raise ValueError("jobs > 1 requires the fast engine")
+        from .parallel import exhaustive_verify_parallel
 
-    def visit(system: StateBasedSystem, returns) -> None:
-        spec = entry.make_spec()
-        gamma = entry.make_gamma()
-        outcome = checker(
-            system.history(), spec, system.generation_order, gamma
+        return exhaustive_verify_parallel(
+            entry, programs, jobs=jobs, max_gossips=max_gossips,
+            reduction=reduction, cache=cache,
         )
-        if not outcome.ok:
-            result.record(
-                f"non-RA-linearizable state-based interleaving: "
-                f"{outcome.reason}"
-            )
-        converged, offenders = check_convergence(system.replica_views())
-        if not converged:
-            result.record(f"divergent replicas {offenders}")
+    result = ExhaustiveResult(entry.name)
+    visit = _make_visit(entry, result, cache and engine == "fast")
 
     def make_system() -> StateBasedSystem:
         return StateBasedSystem(entry.make_crdt(), replicas=sorted(programs))
@@ -171,6 +235,8 @@ def exhaustive_verify_state(
             max_gossips=max_gossips, max_configurations=max_configurations,
             reduction=entry.reduction if reduction is None else reduction,
             stats=result.stats,
+            root_branch=root_branch,
+            fingerprints=fingerprints,
         )
     return result
 

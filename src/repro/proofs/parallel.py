@@ -1,0 +1,301 @@
+"""Process-parallel verification fan-out.
+
+Two sharding axes, both built on :class:`concurrent.futures.
+ProcessPoolExecutor`:
+
+* **Across registry entries** — :func:`verify_entries_parallel` runs the
+  Fig. 12 randomized harness (``verify_entry``) for several catalogue
+  entries at once (the ``table --jobs N`` path).
+* **Within one scope** — :func:`exhaustive_verify_parallel` splits a
+  single exhaustive exploration at the root of its DFS tree (*frontier
+  split*): worker ``i`` explores only the subtree under the ``i``-th
+  initial transition, with sleep-set seeds reconstructed so the union of
+  the subtrees is exactly the serial search (see
+  ``_Engine._run_root_branch`` in :mod:`repro.runtime.explore_engine` and
+  ``docs/performance.md``).  :func:`verify_scopes_parallel` feeds many
+  scopes' branch tasks through one shared pool (the ``exhaustive
+  --jobs N`` path), so a scope with few root branches does not leave
+  workers idle.
+
+Merging is deterministic: branch results are combined in branch order,
+distinct-configuration counts come from the union of the workers'
+fingerprint sets (a configuration reachable in two subtrees must be
+counted once, exactly as serial deduplication would), additive exploration
+counters are summed and wall times are ``max``-ed (workers run
+concurrently).
+
+Worker processes reconstruct their :class:`CRDTEntry` by *name* via
+:func:`repro.proofs.registry.entry_by_name` — entry factories are lambdas
+and do not pickle — so the parallel paths cover registry entries only.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.ralin import CheckStats
+from ..runtime.explore_engine import ExploreStats
+from ..runtime.schedule import Program
+from .exhaustive import (
+    ExhaustiveResult,
+    exhaustive_verify,
+    exhaustive_verify_state,
+    standard_programs,
+)
+from .registry import ALL_ENTRIES, CRDTEntry, entry_by_name
+from .report import VerificationResult, verify_entry
+
+#: One work item, picklable:
+#: ``(entry name, programs, max_gossips, reduction, cache, branch)``.
+#: ``max_gossips`` is ``None`` for op-based scopes; ``branch`` is a root
+#: branch index for a frontier-split shard, or ``None`` for the whole tree.
+_BranchTask = Tuple[str, Dict[str, Program], Optional[int], Optional[bool],
+                    bool, Optional[int]]
+
+
+def default_jobs() -> int:
+    """Worker count when ``--jobs`` is given without a value."""
+    return os.cpu_count() or 1
+
+
+def _worker_count(jobs: int, tasks: int) -> int:
+    """Effective pool size: ``jobs``, capped by tasks and physical cores.
+
+    Verification workers are CPU-bound, so running more processes than
+    cores never helps — it only adds context-switch and cache-contention
+    overhead (measured ~15% on the exhaustive suite).  ``--jobs`` above
+    ``os.cpu_count()`` is therefore treated as "use every core".
+    """
+    return max(1, min(jobs, tasks, os.cpu_count() or jobs))
+
+
+def _require_registered(entry: CRDTEntry) -> None:
+    try:
+        entry_by_name(entry.name)
+    except KeyError:
+        raise ValueError(
+            f"parallel verification reconstructs entries by name in worker "
+            f"processes; {entry.name!r} is not in the registry"
+        ) from None
+
+
+def _root_branch_count(
+    kind: str, programs: Dict[str, Program], max_gossips: Optional[int]
+) -> int:
+    """Out-degree of the exploration root (mirrors the domains).
+
+    At the root no label has been generated, so the only op-based
+    transitions are the first invocations; state-based roots additionally
+    offer every ordered gossip pair while budget remains.
+    """
+    invocations = sum(1 for program in programs.values() if program)
+    if kind == "OB":
+        return invocations
+    replicas = len(programs)
+    gossips = replicas * (replicas - 1) if (max_gossips or 0) > 0 else 0
+    return invocations + gossips
+
+
+def _branch_worker(task: _BranchTask):
+    name, programs, max_gossips, reduction, cache, branch = task
+    entry = entry_by_name(name)
+    fingerprints: set = set()
+    if entry.kind == "OB":
+        result = exhaustive_verify(
+            entry, programs, reduction=reduction, cache=cache,
+            root_branch=branch, fingerprints=fingerprints,
+        )
+    else:
+        result = exhaustive_verify_state(
+            entry, programs, max_gossips=max_gossips or 0,
+            reduction=reduction, cache=cache,
+            root_branch=branch, fingerprints=fingerprints,
+        )
+    if branch is None:
+        # Whole-tree task: the result's own count is already the distinct
+        # total — no cross-shard dedup needed, so don't ship the (large)
+        # fingerprint set back through the pipe.
+        return branch, result, None
+    return branch, result, fingerprints
+
+
+def _merge_branches(
+    entry_name: str, outcomes: Iterable[Tuple[int, ExhaustiveResult, set]]
+) -> ExhaustiveResult:
+    merged = ExhaustiveResult(entry_name)
+    merged.stats = ExploreStats()
+    check_stats = CheckStats()
+    saw_check_stats = False
+    fingerprints: set = set()
+    whole_tree_configurations = 0
+    for _, result, branch_fps in sorted(
+        outcomes, key=lambda item: item[0] if item[0] is not None else -1
+    ):
+        if branch_fps is None:
+            whole_tree_configurations += result.configurations
+        else:
+            fingerprints |= branch_fps
+        if not result.ok:
+            merged.ok = False
+        for failure in result.failures:
+            if len(merged.failures) < 10:
+                merged.failures.append(failure)
+        stats = result.stats
+        if stats is not None:
+            merged.stats.states_visited += stats.states_visited
+            merged.stats.states_deduped += stats.states_deduped
+            merged.stats.branches_pruned += stats.branches_pruned
+            merged.stats.commute_checks += stats.commute_checks
+            merged.stats.snapshots += stats.snapshots
+            merged.stats.deepcopies += stats.deepcopies
+            merged.stats.peak_frontier = max(
+                merged.stats.peak_frontier, stats.peak_frontier
+            )
+            merged.stats.wall_time = max(
+                merged.stats.wall_time, stats.wall_time
+            )
+            merged.stats.capped |= stats.capped
+        if result.check_stats is not None:
+            saw_check_stats = True
+            check_stats.checks += result.check_stats.checks
+            check_stats.verdict_hits += result.check_stats.verdict_hits
+            check_stats.unkeyed += result.check_stats.unkeyed
+            check_stats.frontier_hits += result.check_stats.frontier_hits
+            check_stats.frontier_misses += result.check_stats.frontier_misses
+    merged.configurations = len(fingerprints) + whole_tree_configurations
+    merged.stats.configurations = merged.configurations
+    if saw_check_stats:
+        merged.check_stats = check_stats
+    return merged
+
+
+def _branch_tasks(
+    entry: CRDTEntry,
+    programs: Dict[str, Program],
+    max_gossips: Optional[int],
+    reduction: Optional[bool],
+    cache: bool,
+) -> List[_BranchTask]:
+    _require_registered(entry)
+    gossips = max_gossips if entry.kind == "SB" else None
+    branches = _root_branch_count(entry.kind, programs, gossips)
+    return [
+        (entry.name, programs, gossips, reduction, cache, branch)
+        for branch in range(max(1, branches))
+    ]
+
+
+def exhaustive_verify_parallel(
+    entry: CRDTEntry,
+    programs: Dict[str, Program],
+    jobs: Optional[int] = None,
+    max_gossips: int = 3,
+    reduction: Optional[bool] = None,
+    cache: bool = True,
+) -> ExhaustiveResult:
+    """Frontier-split exhaustive verification of one registry entry.
+
+    Semantically identical to :func:`exhaustive_verify` /
+    :func:`exhaustive_verify_state` with the fast engine — same verdict,
+    same distinct-configuration count — but the root subtrees are explored
+    by ``jobs`` worker processes.  ``max_gossips`` only applies to
+    state-based entries.
+    """
+    jobs = jobs or default_jobs()
+    tasks = _branch_tasks(entry, programs, max_gossips, reduction, cache)
+    workers = _worker_count(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        outcomes = list(pool.map(_branch_worker, tasks))
+    return _merge_branches(entry.name, outcomes)
+
+
+def verify_scopes_parallel(
+    scopes: Sequence[Tuple[CRDTEntry, Dict[str, Program], Optional[int]]],
+    jobs: Optional[int] = None,
+    reduction: Optional[bool] = None,
+    cache: bool = True,
+) -> "Dict[str, ExhaustiveResult]":
+    """Run many exhaustive scopes through one shared worker pool.
+
+    ``scopes`` is a sequence of ``(entry, programs, max_gossips)`` triples
+    (``max_gossips`` ignored for op-based entries).  All scopes' tasks run
+    through a single pool so late scopes keep early workers busy.  Returns
+    ``{entry.name: merged result}`` preserving the input order.
+
+    Task granularity adapts to the pool: with at least ``jobs`` scopes,
+    each scope is one whole-tree task — frontier-splitting would only
+    re-explore subtree-shared states and split the per-scope caches across
+    workers.  With fewer scopes than workers, scopes are frontier-split
+    into root-branch shards so the pool stays saturated.
+    """
+    jobs = jobs or default_jobs()
+    tasks: List[_BranchTask] = []
+    split = len(scopes) < jobs
+    for entry, programs, max_gossips in scopes:
+        if split:
+            tasks.extend(
+                _branch_tasks(entry, programs, max_gossips, reduction, cache)
+            )
+        else:
+            _require_registered(entry)
+            gossips = max_gossips if entry.kind == "SB" else None
+            tasks.append(
+                (entry.name, programs, gossips, reduction, cache, None)
+            )
+    workers = _worker_count(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        outcomes = list(pool.map(_branch_worker, tasks))
+    by_entry: Dict[str, List[Tuple[int, ExhaustiveResult, set]]] = {}
+    for task, outcome in zip(tasks, outcomes):
+        by_entry.setdefault(task[0], []).append(outcome)
+    order: List[str] = []
+    for entry, _, _ in scopes:
+        if entry.name not in order:
+            order.append(entry.name)
+    return {
+        name: _merge_branches(name, by_entry.get(name, [])) for name in order
+    }
+
+
+def standard_scopes(
+    max_gossips: int = 2,
+) -> List[Tuple[CRDTEntry, Dict[str, Program], Optional[int]]]:
+    """The standard exhaustive scope suite: every registry entry that has
+    standard programs, op-based and state-based alike."""
+    scopes = []
+    for entry in ALL_ENTRIES:
+        try:
+            programs = standard_programs(entry)
+        except KeyError:
+            continue
+        scopes.append(
+            (entry, programs, max_gossips if entry.kind == "SB" else None)
+        )
+    return scopes
+
+
+def _entry_worker(task: Tuple[str, int, int, int]) -> VerificationResult:
+    name, executions, operations, base_seed = task
+    return verify_entry(entry_by_name(name), executions, operations,
+                        base_seed)
+
+
+def verify_entries_parallel(
+    entries: Sequence[CRDTEntry],
+    executions: int = 10,
+    operations: int = 10,
+    jobs: Optional[int] = None,
+) -> List[VerificationResult]:
+    """Parallel :func:`repro.proofs.report.verify_entry` over ``entries``.
+
+    Results come back in input order; each worker runs one entry's whole
+    randomized batch (seeds are unchanged, so results equal the serial
+    harness's).
+    """
+    jobs = jobs or default_jobs()
+    for entry in entries:
+        _require_registered(entry)
+    tasks = [(entry.name, executions, operations, 0) for entry in entries]
+    workers = _worker_count(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_entry_worker, tasks))

@@ -19,7 +19,7 @@ from typing import List, Optional
 
 from ..core.convergence import check_convergence
 from ..core.linearization import history_timestamp, ts_sort_key
-from ..core.ralin import execution_order_check, timestamp_order_check
+from ..core.ralin import RACheckContext
 from ..runtime.schedule import random_op_execution, random_state_execution
 from .commutativity import check_commutativity
 from .refinement import check_refinement
@@ -55,12 +55,6 @@ class VerificationResult:
         self.failures.append(message)
 
 
-def _candidate_check(entry: CRDTEntry, history, spec, generation_order, gamma):
-    if entry.lin_class == "EO":
-        return execution_order_check(history, spec, generation_order, gamma)
-    return timestamp_order_check(history, spec, generation_order, gamma)
-
-
 def verify_op_based(
     entry: CRDTEntry,
     executions: int = 10,
@@ -69,10 +63,14 @@ def verify_op_based(
 ) -> VerificationResult:
     """Run the Sec. 4 methodology on randomized op-based executions."""
     result = VerificationResult(entry.name, entry.kind, entry.lin_class)
+    # Specs and rewritings are stateless (linted by lint_spec); build them
+    # once per entry and share across runs, with one check context so
+    # runs reuse replay frontiers.
+    spec = entry.make_spec()
+    gamma = entry.make_gamma()
+    context = RACheckContext(spec, gamma, entry.lin_class)
     for run in range(executions):
         crdt = entry.make_crdt()
-        spec = entry.make_spec()
-        gamma = entry.make_gamma()
         workload = entry.make_workload()
         system = random_op_execution(
             crdt, workload, operations=operations, seed=base_seed + run
@@ -99,9 +97,7 @@ def verify_op_based(
             result.convergence_ok = False
             result.note(f"run {run}: divergent replicas {offenders}")
 
-        outcome = _candidate_check(
-            entry, system.history(), spec, system.generation_order, gamma
-        )
+        outcome = context.check(system.history(), system.generation_order)
         if not outcome.ok:
             result.ralin_ok = False
             result.note(f"run {run}: {outcome.reason}")
@@ -116,10 +112,11 @@ def verify_state_based(
 ) -> VerificationResult:
     """Run the Appendix D methodology on randomized state-based executions."""
     result = VerificationResult(entry.name, entry.kind, entry.lin_class)
+    spec = entry.make_spec()
+    gamma = entry.make_gamma()
+    context = RACheckContext(spec, gamma, entry.lin_class)
     for run in range(executions):
         crdt = entry.make_crdt()
-        spec = entry.make_spec()
-        gamma = entry.make_gamma()
         workload = entry.make_workload()
         system = random_state_execution(
             crdt, workload, operations=operations, seed=base_seed + run
@@ -152,9 +149,7 @@ def verify_state_based(
             result.convergence_ok = False
             result.note(f"run {run}: divergent replicas {offenders}")
 
-        outcome = _candidate_check(
-            entry, history, spec, system.generation_order, gamma
-        )
+        outcome = context.check(history, system.generation_order)
         if not outcome.ok:
             result.ralin_ok = False
             result.note(f"run {run}: {outcome.reason}")

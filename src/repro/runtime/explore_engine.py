@@ -170,10 +170,65 @@ class _OpDomain:
         self.use_snapshots = system.snapshot_safe
         self.counters: Dict[str, int] = {r: 0 for r in programs}
         self.returns: Dict[str, List[Any]] = {r: [] for r in programs}
+        # Incremental logical-id maps (see _logical_ids): extended on each
+        # invoke, saved/restored with the DFS tokens.  transitions() and
+        # fingerprint() are called several times per DFS node, so the maps
+        # must not be rebuilt from the whole generation order every time.
+        self._lids: Dict[int, Lid] = {}
+        self._per_origin: Dict[Any, int] = {}
         self._lid_to_label: Dict[Lid, Any] = {}
+        self._lid_order: List[Lid] = []
+        #: Generation-order label content, maintained with the lid maps so
+        #: fingerprint() does not re-tuple the whole order per DFS node.
+        self._labels_data: Tuple = ()
+        self._sync_lids()
+        # Lid-valued mirrors of the system's seen-sets and visibility,
+        # updated alongside apply() (the system's update discipline is
+        # small: invoke adds vis edges from the origin's seen labels plus
+        # the label itself; deliver only adds to seen).  fingerprint()
+        # then reads them directly instead of re-translating every label
+        # per DFS node.  The naive-vs-engine differential oracle guards
+        # the mirrors: a divergence changes the deduplicated visit set.
+        self._rebuild_mirrors()
         # Per-state fingerprint cache: id(state) -> (state, fingerprint).
         # Holding the state reference pins the id against reuse.
         self._state_fps: Dict[int, Tuple[Any, Any]] = {}
+        # The object and generator tables never change shape mid-search.
+        self._objs = sorted(system.objects.items())
+        self._gen_names = sorted(system._generators)
+        self._state_keys = [
+            ((r, name), crdt)
+            for r in self.replicas for name, crdt in self._objs
+        ]
+
+    def _sync_lids(self) -> None:
+        """Extend the lid maps with labels generated since the last sync."""
+        order = self.system.generation_order
+        for label in order[len(self._lids):]:
+            seq = self._per_origin.get(label.origin, 0)
+            self._per_origin[label.origin] = seq + 1
+            lid = (label.origin, seq)
+            self._lids[label.uid] = lid
+            self._lid_to_label[lid] = label
+            self._lid_order.append(lid)
+            self._labels_data += (
+                (label.origin, label.obj, label.method, label.args,
+                 label.ret, label.ts),
+            )
+
+    def _rebuild_mirrors(self) -> None:
+        lids = self._lids
+        self._seen_lids: Dict[str, FrozenSet[Lid]] = {
+            r: frozenset(lids[l.uid] for l in self.system._seen[r])
+            for r in self.replicas
+        }
+        self._vis_lids: FrozenSet[Tuple[Lid, Lid]] = frozenset(
+            (lids[a.uid], lids[b.uid]) for a, b in self.system._vis
+        )
+        self._causal_lids: Dict[Lid, FrozenSet[Lid]] = {
+            lids[label.uid]: frozenset(lids[p.uid] for p in preds)
+            for label, preds in self.system._causal_preds.items()
+        }
 
     # -- transitions ----------------------------------------------------
 
@@ -182,13 +237,15 @@ class _OpDomain:
         for replica in self.replicas:
             if self.counters[replica] < len(self.programs[replica]):
                 trans.append(("inv", replica, self.counters[replica]))
-        lids = _logical_ids(self.system.generation_order)
-        self._lid_to_label = {
-            lids[l.uid]: l for l in self.system.generation_order
-        }
+        # Causal delivery over the lid mirrors (same condition as
+        # ``system.deliverable``; ``deliver`` re-validates it label-wise,
+        # so a mirror divergence raises instead of mis-exploring).
+        causal = self._causal_lids
         for replica in self.replicas:
-            for label in self.system.deliverable(replica):
-                trans.append(("del", replica, lids[label.uid]))
+            seen = self._seen_lids[replica]
+            for lid in self._lid_order:
+                if lid not in seen and causal[lid] <= seen:
+                    trans.append(("del", replica, lid))
         return trans
 
     def should_visit(self, transitions: List[Transition]) -> bool:
@@ -212,9 +269,19 @@ class _OpDomain:
                 return False  # this interleaving cannot run the op yet
             self.counters[replica] += 1
             self.returns[replica].append(label.ret)
+            self._sync_lids()
+            lid = self._lids[label.uid]
+            seen = self._seen_lids[replica]
+            self._vis_lids |= {(prior, lid) for prior in seen}
+            self._seen_lids[replica] = seen | {lid}
+            lids = self._lids
+            self._causal_lids[lid] = frozenset(
+                lids[p.uid] for p in self.system._causal_preds[label]
+            )
             return True
         label = self._lid_to_label[payload]
         self.system.deliver(replica, label)
+        self._seen_lids[replica] = self._seen_lids[replica] | {payload}
         return True
 
     # -- branching ------------------------------------------------------
@@ -230,21 +297,46 @@ class _OpDomain:
             system_token,
             dict(self.counters),
             {r: list(v) for r, v in self.returns.items()},
+            dict(self._lids),
+            dict(self._per_origin),
+            dict(self._lid_to_label),
+            tuple(self._lid_order),
+            dict(self._causal_lids),
+            self._labels_data,
+            dict(self._seen_lids),
+            self._vis_lids,
         )
 
     def pop(self, token: Tuple) -> None:
-        system_token, counters, returns = token
+        (system_token, counters, returns, lids, per_origin, lid_to_label,
+         lid_order, causal_lids, labels_data, seen_lids, vis_lids) = token
         if self.use_snapshots:
             self.system.restore(system_token)
+            self._lids = dict(lids)
+            self._per_origin = dict(per_origin)
+            self._lid_to_label = dict(lid_to_label)
+            self._lid_order = list(lid_order)
+            self._causal_lids = dict(causal_lids)
+            self._labels_data = labels_data
+            self._seen_lids = dict(seen_lids)
+            self._vis_lids = vis_lids
         else:
             # The deepcopy fallback replaces every label object, so the
-            # lid resolution map must be rebuilt from the fresh copy.
+            # lid resolution maps must be rebuilt from the fresh copy.
             self.stats.deepcopies += 1
             self.system = copy.deepcopy(system_token)
-            lids = _logical_ids(self.system.generation_order)
-            self._lid_to_label = {
-                lids[l.uid]: l for l in self.system.generation_order
-            }
+            self._lids = {}
+            self._per_origin = {}
+            self._lid_to_label = {}
+            self._lid_order = []
+            self._labels_data = ()
+            self._sync_lids()
+            self._rebuild_mirrors()
+            self._objs = sorted(self.system.objects.items())
+            self._state_keys = [
+                ((r, name), crdt)
+                for r in self.replicas for name, crdt in self._objs
+            ]
         self.counters = dict(counters)
         self.returns = {r: list(v) for r, v in returns.items()}
 
@@ -302,26 +394,19 @@ class _OpDomain:
 
     def fingerprint(self) -> Tuple:
         system = self.system
-        labels_data = tuple(
-            (l.origin, l.obj, l.method, l.args, l.ret, l.ts)
-            for l in system.generation_order
-        )
-        lids = _logical_ids(system.generation_order)
+        labels_data = self._labels_data
+        system_states = system._states
+        state_fp = self._state_fp
         states = tuple(
-            self._state_fp(crdt, system._states[(r, name)])
-            for r in self.replicas
-            for name, crdt in sorted(system.objects.items())
+            [state_fp(crdt, system_states[key])
+             for key, crdt in self._state_keys]
         )
-        seen = tuple(
-            frozenset(lids[l.uid] for l in system._seen[r])
-            for r in self.replicas
-        )
-        vis = frozenset(
-            (lids[a.uid], lids[b.uid]) for a, b in system._vis
-        )
+        seen = tuple(self._seen_lids[r] for r in self.replicas)
+        vis = self._vis_lids
+        generators = system._generators
         clocks = tuple(
-            (name, tuple(sorted(gen._clocks.items())))
-            for name, gen in sorted(system._generators.items())
+            (name, tuple(sorted(generators[name]._clocks.items())))
+            for name in self._gen_names
         )
         counters = tuple(self.counters[r] for r in self.replicas)
         rets = tuple(tuple(self.returns[r]) for r in self.replicas)
@@ -351,7 +436,34 @@ class _StateDomain:
         self.use_snapshots = system.snapshot_safe
         self.counters: Dict[str, int] = {r: 0 for r in programs}
         self.returns: Dict[str, List[Any]] = {r: [] for r in programs}
+        self._lids: Dict[int, Lid] = {}
+        self._per_origin: Dict[Any, int] = {}
+        self._labels_data: Tuple = ()
+        self._sync_lids()
+        self._rebuild_mirrors()
         self._state_fps: Dict[int, Tuple[Any, Any]] = {}
+
+    def _sync_lids(self) -> None:
+        """Extend the lid map with labels generated since the last sync."""
+        order = self.system.generation_order
+        for label in order[len(self._lids):]:
+            seq = self._per_origin.get(label.origin, 0)
+            self._per_origin[label.origin] = seq + 1
+            self._lids[label.uid] = (label.origin, seq)
+            self._labels_data += (
+                (label.origin, label.method, label.args, label.ret, label.ts),
+            )
+
+    def _rebuild_mirrors(self) -> None:
+        """Recompute the lid-based seen/vis mirrors from the system."""
+        lids = self._lids
+        self._seen_lids: Dict[str, FrozenSet[Lid]] = {
+            r: frozenset(lids[l.uid] for l in self.system._seen[r])
+            for r in self.replicas
+        }
+        self._vis_lids: FrozenSet[Tuple[Lid, Lid]] = frozenset(
+            (lids[a.uid], lids[b.uid]) for a, b in self.system._vis
+        )
 
     # -- transitions ----------------------------------------------------
 
@@ -382,8 +494,14 @@ class _StateDomain:
                 return False
             self.counters[first] += 1
             self.returns[first].append(label.ret)
+            self._sync_lids()
+            lid = self._lids[label.uid]
+            seen = self._seen_lids[first]
+            self._vis_lids |= {(prior, lid) for prior in seen}
+            self._seen_lids[first] = seen | {lid}
             return True
         self.system.gossip(first, second)
+        self._seen_lids[second] = self._seen_lids[second] | self._seen_lids[first]
         self.budget -= 1
         return True
 
@@ -401,15 +519,31 @@ class _StateDomain:
             dict(self.counters),
             {r: list(v) for r, v in self.returns.items()},
             self.budget,
+            dict(self._lids),
+            dict(self._per_origin),
+            self._labels_data,
+            dict(self._seen_lids),
+            self._vis_lids,
         )
 
     def pop(self, token: Tuple) -> None:
-        system_token, counters, returns, budget = token
+        (system_token, counters, returns, budget, lids, per_origin,
+         labels_data, seen_lids, vis_lids) = token
         if self.use_snapshots:
             self.system.restore(system_token)
+            self._lids = dict(lids)
+            self._per_origin = dict(per_origin)
+            self._labels_data = labels_data
+            self._seen_lids = dict(seen_lids)
+            self._vis_lids = vis_lids
         else:
             self.stats.deepcopies += 1
             self.system = copy.deepcopy(system_token)
+            self._lids = {}
+            self._per_origin = {}
+            self._labels_data = ()
+            self._sync_lids()
+            self._rebuild_mirrors()
         self.counters = dict(counters)
         self.returns = {r: list(v) for r, v in returns.items()}
         self.budget = budget
@@ -465,21 +599,12 @@ class _StateDomain:
 
     def fingerprint(self) -> Tuple:
         system = self.system
-        labels_data = tuple(
-            (l.origin, l.method, l.args, l.ret, l.ts)
-            for l in system.generation_order
-        )
-        lids = _logical_ids(system.generation_order)
+        labels_data = self._labels_data
         states = tuple(
             self._state_fp(system._states[r]) for r in self.replicas
         )
-        seen = tuple(
-            frozenset(lids[l.uid] for l in system._seen[r])
-            for r in self.replicas
-        )
-        vis = frozenset(
-            (lids[a.uid], lids[b.uid]) for a, b in system._vis
-        )
+        seen = tuple(self._seen_lids[r] for r in self.replicas)
+        vis = self._vis_lids
         clocks = tuple(sorted(system._generator._clocks.items()))
         counters = tuple(self.counters[r] for r in self.replicas)
         rets = tuple(tuple(self.returns[r]) for r in self.replicas)
@@ -510,6 +635,7 @@ class _Engine:
         max_configurations: Optional[int],
         dedup: bool,
         stats: ExploreStats,
+        fingerprints: Optional[set] = None,
     ) -> None:
         self.domain = domain
         self.visit = visit
@@ -517,21 +643,73 @@ class _Engine:
         self.dedup = dedup
         self.stats = stats
         #: Fingerprints of configurations already reported to ``visit``.
-        self._visited_fps: set = set()
+        #: A caller-provided set is used in place (and thus observable
+        #: afterwards) — the parallel frontier-split merge unions the
+        #: per-branch sets to count distinct configurations globally.
+        self._visited_fps: set = (
+            fingerprints if fingerprints is not None else set()
+        )
         #: fingerprint -> sleep sets the subtree was explored under.  A new
         #: arrival is subsumed if some recorded sleep set is contained in
         #: the current one (then every schedule allowed now was allowed —
         #: and explored — before).
         self._expanded: Dict[Any, List[FrozenSet[Transition]]] = {}
 
-    def run(self) -> ExploreStats:
+    def run(self, root_branch: Optional[int] = None) -> ExploreStats:
         started = time.perf_counter()
         try:
-            self._dfs(frozenset(), 1)
+            if root_branch is None:
+                self._dfs(frozenset(), 1)
+            else:
+                self._run_root_branch(root_branch)
         except _SearchCapped:
             self.stats.capped = True
         self.stats.wall_time = time.perf_counter() - started
         return self.stats
+
+    def _run_root_branch(self, branch: int) -> None:
+        """Explore only the subtree under the ``branch``-th root transition.
+
+        This is the frontier-split unit of the parallel verifier: worker
+        ``i`` reconstructs exactly the state the serial DFS has when it
+        descends into root child ``i`` — the earlier root transitions that
+        ran (and were fully explored) become sleep-set seeds when
+        independent of this branch's transition — and then runs the
+        ordinary DFS below it.  Branch 0 additionally owns the root
+        configuration itself, so across workers it is reported once.
+        A ``branch`` beyond the root's out-degree is a no-op.
+        """
+        domain, stats = self.domain, self.stats
+        transitions = domain.transitions()
+        fingerprint = self.dedup and domain.fingerprint()
+        if branch == 0:
+            stats.states_visited += 1
+            stats.peak_frontier = max(stats.peak_frontier, 1)
+            if domain.should_visit(transitions):
+                self._report(fingerprint)
+        if branch >= len(transitions):
+            return
+        if self.dedup:
+            # Serial DFS records the root under the empty sleep set; keep
+            # that so deeper re-arrivals at the root configuration are
+            # subsumed here exactly as they are serially.
+            self._expanded.setdefault(fingerprint, []).append(frozenset())
+        target = transitions[branch]
+        token = domain.push()
+        done: List[Transition] = []
+        for transition in transitions[:branch]:
+            # Serial order: these ran (and were explored) before `target`.
+            # Test-apply to find out which ones actually ran — a failed
+            # apply() is skipped by the serial loop too.
+            if domain.apply(transition):
+                domain.pop(token)
+                done.append(transition)
+        child_sleep = frozenset(
+            other for other in done if domain.independent(other, target)
+        )
+        if domain.apply(target):
+            self._dfs(child_sleep, 2)
+            domain.pop(token)
 
     def _report(self, fingerprint: Any) -> None:
         if self.dedup:
@@ -558,11 +736,14 @@ class _Engine:
         if not transitions:
             return
         if self.dedup:
-            for recorded in self._expanded.get(fingerprint, ()):
+            # One setdefault = one hash of the (large, nested) fingerprint
+            # tuple; a get-then-setdefault pair would hash it twice.
+            recorded_sets = self._expanded.setdefault(fingerprint, [])
+            for recorded in recorded_sets:
                 if recorded <= sleep:
                     stats.states_deduped += 1
                     return
-            self._expanded.setdefault(fingerprint, []).append(sleep)
+            recorded_sets.append(sleep)
         token = domain.push()
         done: List[Transition] = []
         for transition in transitions:
@@ -597,6 +778,8 @@ def explore_op_programs(
     reduction: bool = True,
     dedup: bool = True,
     stats: Optional[ExploreStats] = None,
+    root_branch: Optional[int] = None,
+    fingerprints: Optional[set] = None,
 ) -> int:
     """Run per-replica ``programs`` under every op-based interleaving.
 
@@ -610,12 +793,20 @@ def explore_op_programs(
     per-entry escape hatch); ``dedup=False`` additionally disables
     fingerprint deduplication, recovering the naive enumeration order.
     ``stats`` may be a caller-provided :class:`ExploreStats` to fill in.
+
+    ``root_branch=i`` explores only the subtree under the i-th initial
+    transition (the frontier-split unit of ``repro.proofs.parallel``);
+    ``fingerprints`` may be a caller-provided set used as the visited-
+    configuration record, so branch workers' sets can be unioned.
     """
     stats = stats if stats is not None else ExploreStats()
     domain = _OpDomain(
         make_system(), programs, require_quiescence, reduction, stats
     )
-    _Engine(domain, visit, max_configurations, dedup, stats).run()
+    _Engine(
+        domain, visit, max_configurations, dedup, stats,
+        fingerprints=fingerprints,
+    ).run(root_branch)
     return stats.configurations
 
 
@@ -628,6 +819,8 @@ def explore_state_programs(
     reduction: bool = True,
     dedup: bool = True,
     stats: Optional[ExploreStats] = None,
+    root_branch: Optional[int] = None,
+    fingerprints: Optional[set] = None,
 ) -> int:
     """Run ``programs`` under every bounded state-based interleaving.
 
@@ -639,7 +832,10 @@ def explore_state_programs(
     domain = _StateDomain(
         make_system(), programs, max_gossips, reduction, stats
     )
-    _Engine(domain, visit, max_configurations, dedup, stats).run()
+    _Engine(
+        domain, visit, max_configurations, dedup, stats,
+        fingerprints=fingerprints,
+    ).run(root_branch)
     return stats.configurations
 
 

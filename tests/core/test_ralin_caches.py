@@ -1,0 +1,183 @@
+"""The incremental-checking caches: FrontierCache and RACheckContext.
+
+Covers the PR-2 soundness obligations spelled out in
+``docs/performance.md``: frontier reuse must be invisible (same answers
+as uncached replay), verdict memoization must preserve *failing*
+verdicts, and the EO condition-(i) skip must only fire for
+forward-edge histories.
+"""
+
+import pytest
+
+from repro.core.history import History
+from repro.core.label import Label
+from repro.core.ralin import (
+    RACheckContext,
+    _violates_visibility,
+    check_update_order,
+    execution_order_check,
+)
+from repro.core.spec import FrontierCache
+from repro.core.timestamp import Timestamp
+from repro.specs import CounterSpec, RGASpec, SetSpec
+
+
+class TestFrontierCache:
+    def test_replay_matches_spec(self):
+        spec = SetSpec()
+        cache = FrontierCache(spec)
+        seq = [Label("add", ("a",)), Label("add", ("b",)),
+               Label("remove", ("a",))]
+        for prefix_len in range(len(seq) + 1):
+            prefix = seq[:prefix_len]
+            assert cache.replay(prefix) == spec.replay(prefix)
+
+    def test_shared_prefixes_hit(self):
+        spec = CounterSpec()
+        cache = FrontierCache(spec)
+        first = [Label("inc"), Label("inc")]
+        cache.replay(first)
+        assert cache.misses == 2 and cache.hits == 0
+        # Fresh-uid labels with the same content walk the same trie path.
+        second = [Label("inc"), Label("inc")]
+        cache.replay(second)
+        assert cache.misses == 2 and cache.hits == 2
+
+    def test_rejection_cached_and_prefix_closed(self):
+        spec = RGASpec()
+        bad = Label("addAfter", ("ghost", "x"), ts=Timestamp(1, "r1"))
+        cache = FrontierCache(spec)
+        assert cache.first_rejected([bad]) == bad
+        assert spec.first_rejected([bad]) == bad
+        # The rejected node is cached: a second walk is a pure hit.
+        misses = cache.misses
+        assert not cache.admits([bad])
+        assert cache.misses == misses
+
+    def test_query_ok_matches_uncached_condition_iii(self):
+        spec = CounterSpec()
+        cache = FrontierCache(spec)
+        inc = Label("inc")
+        assert cache.query_ok([inc], Label("read", ret=1))
+        assert not cache.query_ok([inc], Label("read", ret=2))
+        assert cache.query_ok([], Label("read", ret=0))
+
+    def test_max_nodes_bounds_memory_not_answers(self):
+        spec = CounterSpec()
+        cache = FrontierCache(spec, max_nodes=1)  # root only
+        seq = [Label("inc"), Label("inc")]
+        assert cache.replay(seq) == spec.replay(seq)
+        assert len(cache) == 1
+        assert cache.unattached > 0
+        # Still correct on repeats (recomputed, never attached).
+        assert cache.query_ok(seq, Label("read", ret=2))
+
+
+def _counter_history(ret):
+    """inc at r1 pos 0, read(ret) at r1 pos 1, seeing the inc."""
+    inc = Label("inc", origin="r1")
+    read = Label("read", ret=ret, origin="r1")
+    history = History([inc, read], [(inc, read)])
+    return history, [inc, read]
+
+
+def _isomorphic_counter_history(ret):
+    """Same content as :func:`_counter_history`, fresh uids."""
+    return _counter_history(ret)
+
+
+class TestVerdictMemo:
+    def test_isomorphic_histories_share_one_verdict(self):
+        ctx = RACheckContext(CounterSpec(), lin_class="EO")
+        h1, order1 = _counter_history(1)
+        r1 = ctx.check(h1, order1)
+        assert r1.ok
+        h2, order2 = _isomorphic_counter_history(1)
+        r2 = ctx.check(h2, order2)
+        assert ctx.stats.checks == 2
+        assert ctx.stats.verdict_hits == 1
+        assert r2 is r1  # memoized result returned as-is
+
+    def test_failing_verdict_preserved_through_memo(self):
+        # The negative case: a broken execution (read exceeds its visible
+        # updates, the shape every CRDT mutant produces) must keep failing
+        # on the memo hit — a cache that "heals" failures is unsound.
+        ctx = RACheckContext(CounterSpec(), lin_class="EO")
+        h1, order1 = _counter_history(5)
+        r1 = ctx.check(h1, order1)
+        assert not r1.ok
+        h2, order2 = _isomorphic_counter_history(5)
+        r2 = ctx.check(h2, order2)
+        assert ctx.stats.verdict_hits == 1
+        assert not r2.ok
+        assert r2.reason == r1.reason
+
+    def test_distinct_histories_do_not_collide(self):
+        ctx = RACheckContext(CounterSpec(), lin_class="EO")
+        good, good_order = _counter_history(1)
+        bad, bad_order = _counter_history(2)
+        assert ctx.check(good, good_order).ok
+        assert not ctx.check(bad, bad_order).ok
+        assert ctx.stats.verdict_hits == 0
+
+    def test_unkeyed_history_still_checked(self):
+        ctx = RACheckContext(CounterSpec(), lin_class="EO")
+        h, order = _counter_history(1)
+        # A generation order that misses one of the history's labels cannot
+        # be canonicalized; the check runs unmemoized.
+        result = ctx.check(h, order[:1])
+        assert result.ok
+        assert ctx.stats.unkeyed == 1
+
+    def test_to_class_checks_timestamp_order(self):
+        ctx = RACheckContext(CounterSpec(), lin_class="TO")
+        h, order = _counter_history(1)
+        assert ctx.check(h, order).ok
+        assert ctx.check(*_counter_history(1)).ok
+        assert ctx.stats.verdict_hits == 1
+
+    def test_rejects_unknown_lin_class(self):
+        with pytest.raises(ValueError):
+            RACheckContext(CounterSpec(), lin_class="XX")
+
+
+class TestConditionISkip:
+    def test_backward_visibility_still_caught(self):
+        # Visibility running *against* the generation order (impossible in
+        # runtime executions, possible in hand-built histories) must
+        # disable the EO condition-(i) skip: with spec-admissible updates
+        # the only failing condition is (i) itself.
+        a = Label("add", ("a",), origin="r1")
+        b = Label("add", ("b",), origin="r1")
+        history = History([a, b], [(b, a)])  # b visible to a, generated after
+        result = execution_order_check(history, SetSpec(), [a, b])
+        assert not result.ok
+        assert "visibility" in result.reason
+        ctx = RACheckContext(SetSpec(), lin_class="EO")
+        assert not ctx.check(history, [a, b]).ok
+
+    def test_check_vis_false_skips_condition_i(self):
+        # Explicitly skipping condition (i) on the same history makes the
+        # check pass — demonstrating the skip is exactly condition (i) and
+        # so must only ever be applied to forward-edge histories.
+        a = Label("add", ("a",), origin="r1")
+        b = Label("add", ("b",), origin="r1")
+        history = History([a, b], [(b, a)])
+        assert execution_order_check(
+            history, SetSpec(), [a, b], check_vis=False, want_witness=False
+        ).ok
+
+    def test_violation_transitive_through_query(self):
+        # u1 → q → u2 in vis: the candidate u2·u1 contradicts the closure
+        # even though no *direct* update-update edge exists.  The linear
+        # ancestor DP must follow paths through queries.
+        u1 = Label("inc", origin="r1")
+        q = Label("read", ret=1, origin="r2")
+        u2 = Label("inc", origin="r2")
+        history = History([u1, q, u2], [(u1, q), (q, u2)])
+        assert _violates_visibility(history, {u2: 0, u1: 1})
+        assert not _violates_visibility(history, {u1: 0, u2: 1})
+        result = check_update_order(history, CounterSpec(), [u2, u1])
+        assert not result.ok
+        assert "visibility" in result.reason
+        assert result.culprit is not None

@@ -1,0 +1,111 @@
+"""Candidate-order details: TO tie-breaking and failure attribution.
+
+Sec. 4.2 prescribes the timestamp-order candidate as sorting updates by
+``tsh`` with ties broken by generation position and then uid; Def. 3.5
+failures should point at the label where the condition broke (the
+``culprit``), which the mutation reports surface.
+"""
+
+from repro.core.history import History
+from repro.core.label import Label
+from repro.core.ralin import (
+    check_update_order,
+    timestamp_order_check,
+)
+from repro.core.spec import FrontierCache
+from repro.core.timestamp import Timestamp
+from repro.specs import CounterSpec, RGASpec, SetSpec
+from repro.core.sentinels import ROOT
+
+
+class TestTimestampOrderTieBreaking:
+    def test_equal_timestamps_break_by_generation_position(self):
+        ts = Timestamp(1, "r1")
+        a = Label("add", ("a",), ts=ts, origin="r1")
+        b = Label("add", ("b",), ts=ts, origin="r1")
+        history = History([a, b])
+        forward = timestamp_order_check(history, SetSpec(), [a, b])
+        assert forward.ok and forward.update_order == [a, b]
+        backward = timestamp_order_check(history, SetSpec(), [b, a])
+        assert backward.ok and backward.update_order == [b, a]
+
+    def test_virtual_timestamps_tie_to_generation_position(self):
+        # Updates without a timestamp get the maximal *visible* timestamp
+        # (⊥ here: nothing visible), so both tie and generation order must
+        # decide.
+        a = Label("inc", origin="r1")
+        b = Label("inc", origin="r2")
+        history = History([a, b])
+        result = timestamp_order_check(history, CounterSpec(), [b, a])
+        assert result.ok and result.update_order == [b, a]
+
+    def test_distinct_timestamps_dominate_generation_position(self):
+        early = Label("add", ("a",), ts=Timestamp(1, "r1"), origin="r1")
+        late = Label("add", ("b",), ts=Timestamp(2, "r2"), origin="r2")
+        history = History([early, late])
+        # Generation order says late first; timestamps override.
+        result = timestamp_order_check(history, SetSpec(), [late, early])
+        assert result.ok and result.update_order == [early, late]
+
+    def test_candidate_is_deterministic(self):
+        ts = Timestamp(3, "r1")
+        labels = [Label("add", (x,), ts=ts, origin="r1") for x in "abc"]
+        history = History(labels)
+        orders = [
+            timestamp_order_check(history, SetSpec(), labels).update_order
+            for _ in range(3)
+        ]
+        assert orders[0] == orders[1] == orders[2] == labels
+
+
+class TestCulpritAttribution:
+    def _condition_i(self):
+        a = Label("add", ("a",), origin="r1")
+        b = Label("add", ("b",), origin="r1")
+        return History([a, b], [(b, a)]), [a, b], a
+
+    def test_condition_i_culprit_is_misplaced_update(self):
+        history, order, expected = self._condition_i()
+        result = check_update_order(history, SetSpec(), order)
+        assert not result.ok
+        assert "violates visibility" in result.reason
+        assert result.culprit == expected
+
+    def test_condition_ii_culprit_is_first_rejected_update(self):
+        good = Label("addAfter", (ROOT, "a"), ts=Timestamp(1, "r1"))
+        bad = Label("addAfter", ("ghost", "x"), ts=Timestamp(2, "r1"))
+        history = History([good, bad])
+        result = check_update_order(history, RGASpec(), [good, bad])
+        assert not result.ok
+        assert "not admitted" in result.reason
+        assert result.culprit == bad
+
+    def test_condition_iii_culprit_is_unjustified_query(self):
+        inc1, inc2 = Label("inc"), Label("inc")
+        read = Label("read", ret=2)  # sees only inc1
+        history = History([inc1, inc2, read], [(inc1, read)])
+        result = check_update_order(history, CounterSpec(), [inc1, inc2])
+        assert not result.ok
+        assert "not justified" in result.reason
+        assert result.culprit == read
+
+    def test_culprits_identical_with_frontier_cache(self):
+        # The shared trie is a pure cache: failing checks must attribute
+        # the same culprit with and without it.
+        cases = []
+        history, order, _ = self._condition_i()
+        cases.append((history, SetSpec(), order))
+        inc1, inc2 = Label("inc"), Label("inc")
+        read = Label("read", ret=2)
+        cases.append((
+            History([inc1, inc2, read], [(inc1, read)]),
+            CounterSpec(), [inc1, inc2],
+        ))
+        for history, spec, order in cases:
+            plain = check_update_order(history, spec, order)
+            cached = check_update_order(
+                history, spec, order, frontiers=FrontierCache(spec)
+            )
+            assert plain.ok == cached.ok is False
+            assert plain.culprit == cached.culprit
+            assert plain.reason == cached.reason

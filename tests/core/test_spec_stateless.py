@@ -1,0 +1,93 @@
+"""Regression: specification instances are stateless (see docs/api.md).
+
+The incremental-checking layer (PR 2) constructs one spec per registry
+entry and shares it across every configuration of an exhaustive run —
+through direct ``replay`` calls, through a :class:`FrontierCache`, and
+(in the parallel pipeline) across all checks of a worker process.  That
+sharing is only sound if ``replay``/``step_frontier``/``first_rejected``
+are pure: all evolving state lives in the *frontier* values they return,
+never on the spec instance.  These tests pin that contract down so a
+future spec with instance-level mutable state fails loudly instead of
+corrupting cached verdicts.
+"""
+
+import copy
+
+from repro.core.label import Label
+from repro.core.spec import FrontierCache
+from repro.core.timestamp import Timestamp
+from repro.specs import CounterSpec, RGASpec, SetSpec
+from repro.core.sentinels import ROOT
+
+
+def _sequences():
+    """(spec factory, admitted sequence) pairs across spec families."""
+    return [
+        (CounterSpec, [Label("inc"), Label("inc"), Label("read", ret=2)]),
+        (SetSpec, [Label("add", ("a",)), Label("remove", ("a",)),
+                   Label("read", ret=frozenset())]),
+        (RGASpec, [Label("addAfter", (ROOT, "a"), ts=Timestamp(1, "r1")),
+                   Label("addAfter", ("a", "b"), ts=Timestamp(2, "r1")),
+                   Label("read", ret=("a", "b"))]),
+    ]
+
+
+def test_replay_does_not_mutate_spec():
+    for make_spec, sequence in _sequences():
+        spec = make_spec()
+        before = copy.deepcopy(vars(spec))
+        assert spec.replay(sequence)
+        assert spec.first_rejected(sequence) is None
+        frontier = spec.initial_frontier()
+        for label in sequence:
+            frontier = spec.step_frontier(frontier, label)
+        assert vars(spec) == before, (
+            f"{make_spec.__name__} mutated instance state during replay"
+        )
+
+
+def test_step_frontier_does_not_mutate_input_frontier():
+    for make_spec, sequence in _sequences():
+        spec = make_spec()
+        frontier = spec.initial_frontier()
+        snapshot = set(frontier)
+        spec.step_frontier(frontier, sequence[0])
+        assert set(frontier) == snapshot
+
+
+def test_interleaved_replays_are_independent():
+    # Two replays through ONE instance, advanced step by step in lockstep,
+    # must agree with two isolated replays — the frontier-trie sharing in
+    # FrontierCache depends on exactly this.
+    for make_spec, sequence in _sequences():
+        spec = make_spec()
+        isolated = [spec.replay(sequence[:i]) for i in range(len(sequence))]
+        f1 = spec.initial_frontier()
+        f2 = spec.initial_frontier()
+        for i, label in enumerate(sequence[:-1]):
+            assert f1 == isolated[i] and f2 == isolated[i]
+            f1 = spec.step_frontier(f1, label)
+            f2 = spec.step_frontier(f2, label)
+            assert f1 == f2
+
+
+def test_frontier_cache_does_not_mutate_spec():
+    for make_spec, sequence in _sequences():
+        spec = make_spec()
+        before = copy.deepcopy(vars(spec))
+        cache = FrontierCache(spec)
+        assert cache.replay(sequence) == spec.replay(sequence)
+        cache.replay(sequence)  # pure-hit walk
+        assert vars(spec) == before
+
+
+def test_one_instance_serves_many_histories():
+    # The exhaustive pipeline's sharing pattern in miniature: one spec,
+    # many unrelated sequences, stable answers regardless of order.
+    spec = CounterSpec()
+    good = [Label("inc"), Label("read", ret=1)]
+    bad = [Label("inc"), Label("read", ret=7)]
+    first = (spec.admits(good), spec.admits(bad))
+    for _ in range(3):
+        assert (spec.admits(good), spec.admits(bad)) == first
+    assert first == (True, False)
