@@ -50,6 +50,16 @@ def _compare(entry, verify, kwargs):
         "dedup_ratio": round(stats.dedup_ratio, 3),
         "branches_pruned": stats.branches_pruned,
     }
+    check = fast.check_stats
+    if check is not None:
+        RESULTS[entry.name].update({
+            "checks": check.checks,
+            "verdict_hit_ratio": round(
+                check.verdict_hits / check.checks, 3
+            ) if check.checks else 0.0,
+            "frontier_hit_ratio": round(check.frontier_hit_ratio, 3),
+            "frontier_nodes": check.frontier_nodes,
+        })
     return fast
 
 

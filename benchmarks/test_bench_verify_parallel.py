@@ -121,6 +121,12 @@ def test_verify_pipeline_speedup(benchmark):
         "speedup_parallel": round(speedup_parallel, 2),
         "verdicts": baseline["verdicts"],
         "configurations": baseline["configurations"],
+        # Per-leg observability counters (verify_scope_suite.suite_metrics):
+        # cache hit ratios and configurations/second.  The baseline tree
+        # predates the caches, so its leg reports exploration counters only.
+        "baseline_metrics": baseline.get("metrics"),
+        "serial_metrics": serial.get("metrics"),
+        "parallel_metrics": parallel.get("metrics"),
     }
     JSON_PATH.write_text(json.dumps(record, indent=2) + "\n")
 

@@ -97,6 +97,45 @@ def run_parallel(jobs):
     return [merged[name] for name, _, _ in SCOPES]
 
 
+def suite_metrics(results, seconds):
+    """Aggregate observability counters for one leg, or ``None``.
+
+    Reads only dataclass attributes via ``getattr`` so the same file
+    still runs against the PR-1 baseline tree, whose results carry no
+    ``check_stats``.
+    """
+    checks = verdict_hits = frontier_hits = frontier_misses = 0
+    states = 0
+    saw_check_stats = False
+    for result in results:
+        check = getattr(result, "check_stats", None)
+        if check is not None:
+            saw_check_stats = True
+            checks += check.checks
+            verdict_hits += check.verdict_hits
+            frontier_hits += check.frontier_hits
+            frontier_misses += check.frontier_misses
+        stats = getattr(result, "stats", None)
+        if stats is not None:
+            states += stats.states_visited
+    configurations = sum(result.configurations for result in results)
+    metrics = {
+        "states_visited": states,
+        "configs_per_sec": round(configurations / seconds, 1)
+        if seconds else 0.0,
+    }
+    if saw_check_stats:
+        replays = frontier_hits + frontier_misses
+        metrics.update({
+            "checks": checks,
+            "verdict_hit_ratio": round(verdict_hits / checks, 3)
+            if checks else 0.0,
+            "frontier_hit_ratio": round(frontier_hits / replays, 3)
+            if replays else 0.0,
+        })
+    return metrics
+
+
 def main(argv):
     mode = argv[1] if len(argv) > 1 else "serial"
     jobs = int(argv[2]) if len(argv) > 2 else 4
@@ -108,6 +147,7 @@ def main(argv):
         "seconds": round(seconds, 3),
         "verdicts": [result.ok for result in results],
         "configurations": [result.configurations for result in results],
+        "metrics": suite_metrics(results, seconds),
     }))
 
 

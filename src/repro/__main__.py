@@ -8,10 +8,13 @@ Commands:
   fig10, fig10ts, fig14) as replica lanes + visibility.
 * ``mutants``    — run mutation testing and print what caught each mutant.
 * ``exhaustive`` — exhaustively verify all op-based CRDTs on the standard
-  small-scope programs.
+  small-scope programs (``--scope`` selects one, ``--metrics`` writes the
+  observability artifact).
+* ``stats``      — render a ``--metrics`` artifact as a readable summary.
 """
 
 import argparse
+import re
 import sys
 
 from .core.ralin import (
@@ -21,9 +24,12 @@ from .core.ralin import (
 )
 from .core.render import render_history, render_linearization
 from .core.strong import check_strong_linearizable
+from .obs import Instrumentation, read_artifact, write_artifact
 from .proofs import (
     ALL_ENTRIES,
     exhaustive_verify,
+    format_exhaustive,
+    format_metrics,
     format_table,
     mutant_catalogue,
     standard_programs,
@@ -62,19 +68,44 @@ SCENARIOS = {
 }
 
 
+def _instrumentation(args: argparse.Namespace) -> Instrumentation:
+    """An enabled handle when ``--metrics`` was given, else the no-op."""
+    if getattr(args, "metrics", None):
+        return Instrumentation.on(
+            trace_checks=getattr(args, "trace_checks", False)
+        )
+    from .obs import NULL_INSTRUMENTATION
+
+    return NULL_INSTRUMENTATION
+
+
+def _emit_metrics(args: argparse.Namespace, ins: Instrumentation,
+                  command: str, **meta) -> None:
+    if getattr(args, "metrics", None) and ins.enabled:
+        write_artifact(args.metrics, ins, command, meta)
+        print(f"metrics artifact written to {args.metrics}")
+
+
 def cmd_table(args: argparse.Namespace) -> int:
+    ins = _instrumentation(args)
     if args.jobs > 1:
         results = verify_entries_parallel(
             ALL_ENTRIES, executions=args.executions,
             operations=args.operations, jobs=args.jobs,
+            instrumentation=ins,
         )
     else:
-        results = [
-            verify_entry(entry, executions=args.executions,
-                         operations=args.operations)
-            for entry in ALL_ENTRIES
-        ]
+        with ins.span("table.serial", entries=len(ALL_ENTRIES)):
+            results = [
+                verify_entry(entry, executions=args.executions,
+                             operations=args.operations)
+                for entry in ALL_ENTRIES
+            ]
+    for result in results:
+        ins.record_verification(result)
     print(format_table(results, title="Fig. 12 — verification table"))
+    _emit_metrics(args, ins, "table", jobs=args.jobs,
+                  executions=args.executions, operations=args.operations)
     return 0 if all(r.verified for r in results) else 1
 
 
@@ -158,23 +189,55 @@ def cmd_mutants(_args: argparse.Namespace) -> int:
     return 0 if all_caught else 1
 
 
+def _normalize_scope(name: str) -> str:
+    """CLI scope key for an entry name: ``"2P-Set (op)"`` → ``2p_set_op``."""
+    return re.sub(r"[^a-z0-9]+", "_", name.lower()).strip("_")
+
+
 def cmd_exhaustive(args: argparse.Namespace) -> int:
-    ok = True
     entries = [entry for entry in ALL_ENTRIES if entry.kind == "OB"]
+    if args.scope:
+        wanted = _normalize_scope(args.scope)
+        entries = [
+            entry for entry in entries
+            if _normalize_scope(entry.name) == wanted
+        ]
+        if not entries:
+            available = ", ".join(
+                _normalize_scope(entry.name)
+                for entry in ALL_ENTRIES if entry.kind == "OB"
+            )
+            print(f"unknown scope {args.scope!r}; available: {available}",
+                  file=sys.stderr)
+            return 2
+    ins = _instrumentation(args)
     if args.jobs > 1:
         scopes = [(entry, standard_programs(entry), None) for entry in entries]
-        merged = verify_scopes_parallel(scopes, jobs=args.jobs)
+        merged = verify_scopes_parallel(scopes, jobs=args.jobs,
+                                        instrumentation=ins)
         results = [merged[entry.name] for entry in entries]
     else:
         results = [
-            exhaustive_verify(entry, standard_programs(entry))
+            exhaustive_verify(entry, standard_programs(entry),
+                              instrumentation=ins)
             for entry in entries
         ]
-    for entry, result in zip(entries, results):
-        print(f"{entry.name:<15} {result.configurations:>6} interleavings "
-              f"{'all RA-linearizable' if result.ok else 'FAILURES'}")
-        ok &= result.ok
-    return 0 if ok else 1
+    print(format_exhaustive(
+        results, title="Exhaustive small-scope verification"
+    ))
+    _emit_metrics(args, ins, "exhaustive", jobs=args.jobs,
+                  scope=args.scope or "all")
+    return 0 if all(result.ok for result in results) else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    try:
+        artifact = read_artifact(args.path)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"cannot read metrics artifact: {error}", file=sys.stderr)
+        return 2
+    print(format_metrics(artifact))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -190,6 +253,11 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument(
         "--jobs", type=int, default=1,
         help="verify entries in N worker processes (1 = in-process)",
+    )
+    table.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write the observability artifact (JSON, or JSONL when PATH "
+             "ends in .jsonl) after the run",
     )
     table.set_defaults(fn=cmd_table)
 
@@ -211,7 +279,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="split exploration trees over N worker processes "
              "(1 = in-process)",
     )
+    exhaustive.add_argument(
+        "--scope", default=None,
+        help="verify a single scope, e.g. or_set, g_set, rga "
+             "(entry name, lowercased, punctuation as underscores)",
+    )
+    exhaustive.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write the observability artifact (JSON, or JSONL when PATH "
+             "ends in .jsonl) after the run",
+    )
+    exhaustive.add_argument(
+        "--trace-checks", action="store_true", dest="trace_checks",
+        help="with --metrics, record one trace event per checked "
+             "configuration (verbose)",
+    )
     exhaustive.set_defaults(fn=cmd_exhaustive)
+
+    stats = sub.add_parser(
+        "stats", help="render a --metrics artifact as a readable summary"
+    )
+    stats.add_argument("path", help="artifact written by --metrics")
+    stats.set_defaults(fn=cmd_stats)
 
     return parser
 

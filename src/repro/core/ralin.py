@@ -23,6 +23,7 @@ caches (see ``docs/performance.md``):
   interleavings, same visibility) are checked once.
 """
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -56,6 +57,10 @@ class RAResult:
     rewritten: Optional[History] = None
     #: Label at which the failing condition was detected (best effort).
     culprit: Optional[Label] = field(default=None)
+    #: Which Def. 3.5 condition failed — ``"i"`` (visibility), ``"ii"``
+    #: (admission), ``"iii"`` (query justification), or ``"cover"`` when
+    #: the candidate does not even cover the updates.  None on success.
+    condition: Optional[str] = None
 
     def __bool__(self) -> bool:
         return self.ok
@@ -143,6 +148,7 @@ def check_update_order(
     frontiers: Optional[FrontierCache] = None,
     want_witness: bool = True,
     check_vis: bool = True,
+    timings: Optional[Dict[str, float]] = None,
 ) -> RAResult:
     """Validate a candidate update linearization against Def. 3.5.
 
@@ -161,13 +167,21 @@ def check_update_order(
     has already established that the candidate extends visibility (e.g. the
     execution-order candidate of a history whose visibility follows the
     generation order; see :class:`RACheckContext`).
+    ``timings`` — an optional dict accumulating wall seconds per condition
+    under keys ``"i"``/``"ii"``/``"iii"`` (instrumentation hook; adds two
+    clock reads per condition when provided, nothing when None).
     """
     updates, queries = _partition(history, spec)
     if set(update_order) != set(updates):
-        return RAResult(False, "candidate does not cover exactly the updates")
+        return RAResult(False, "candidate does not cover exactly the updates",
+                        condition="cover")
 
+    started = _time.perf_counter() if timings is not None else 0.0
     position = {u: i for i, u in enumerate(update_order)}
-    if check_vis and _violates_visibility(history, position):
+    violates = check_vis and _violates_visibility(history, position)
+    if timings is not None:
+        timings["i"] = timings.get("i", 0.0) + _time.perf_counter() - started
+    if violates:
         # Rare path: rescan the closure for the exact offending pair.
         for src, dst in history.closure():
             if (src in position and dst in position
@@ -177,27 +191,42 @@ def check_update_order(
                     f"candidate violates visibility: {dst!r} precedes "
                     f"{src!r}",
                     culprit=dst,
+                    condition="i",
                 )
 
+    started = _time.perf_counter() if timings is not None else 0.0
     if frontiers is not None:
         rejected = frontiers.first_rejected(list(update_order))
     else:
         rejected = spec.first_rejected(list(update_order))
+    if timings is not None:
+        timings["ii"] = timings.get("ii", 0.0) + _time.perf_counter() - started
     if rejected is not None:
         return RAResult(
             False,
             f"update sequence not admitted by {spec.name} at {rejected!r}",
             culprit=rejected,
+            condition="ii",
         )
 
+    started = _time.perf_counter() if timings is not None else 0.0
+    failed_query = None
     for query in sorted(queries, key=lambda l: l.uid):
         if not _query_ok(history, spec, update_order, updates, query,
                          frontiers):
-            return RAResult(
-                False,
-                f"query {query!r} not justified by its visible updates",
-                culprit=query,
-            )
+            failed_query = query
+            break
+    if timings is not None:
+        timings["iii"] = (
+            timings.get("iii", 0.0) + _time.perf_counter() - started
+        )
+    if failed_query is not None:
+        return RAResult(
+            False,
+            f"query {failed_query!r} not justified by its visible updates",
+            culprit=failed_query,
+            condition="iii",
+        )
 
     full = (
         merge_queries(history, list(update_order), queries)
@@ -317,6 +346,7 @@ def execution_order_check(
     frontiers: Optional[FrontierCache] = None,
     want_witness: bool = True,
     check_vis: bool = True,
+    timings: Optional[Dict[str, float]] = None,
 ) -> RAResult:
     """Check the execution-order linearization (Theorem 4.4 instance).
 
@@ -333,7 +363,8 @@ def execution_order_check(
     updates = [l for l in rewritten.labels if spec.is_update(l)]
     updates.sort(key=lambda l: (position[l], l.uid))
     return check_update_order(rewritten, spec, updates, frontiers=frontiers,
-                              want_witness=want_witness, check_vis=check_vis)
+                              want_witness=want_witness, check_vis=check_vis,
+                              timings=timings)
 
 
 def timestamp_order_check(
@@ -343,6 +374,7 @@ def timestamp_order_check(
     gamma: Optional[QueryUpdateRewriting] = None,
     frontiers: Optional[FrontierCache] = None,
     want_witness: bool = True,
+    timings: Optional[Dict[str, float]] = None,
 ) -> RAResult:
     """Check the timestamp-order linearization (Theorem 4.6 instance).
 
@@ -361,7 +393,7 @@ def timestamp_order_check(
         )
     )
     return check_update_order(rewritten, spec, updates, frontiers=frontiers,
-                              want_witness=want_witness)
+                              want_witness=want_witness, timings=timings)
 
 
 # ----------------------------------------------------------------------
@@ -382,10 +414,24 @@ class CheckStats:
     #: Frontier-trie step hits / misses (from the shared FrontierCache).
     frontier_hits: int = 0
     frontier_misses: int = 0
+    #: Frontier-trie size / nodes computed past the bound ("evictions" —
+    #: the trie never detaches nodes, it stops attaching new ones).
+    frontier_nodes: int = 0
+    frontier_unattached: int = 0
+    #: Wall seconds per Def. 3.5 condition (only filled by a ``timed``
+    #: context; keys "i"/"ii"/"iii").
+    cond_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Failing checks per condition ("i"/"ii"/"iii"/"cover").
+    failed_conditions: Dict[str, int] = field(default_factory=dict)
 
     @property
     def verdict_hit_ratio(self) -> float:
         return self.verdict_hits / self.checks if self.checks else 0.0
+
+    @property
+    def frontier_hit_ratio(self) -> float:
+        total = self.frontier_hits + self.frontier_misses
+        return self.frontier_hits / total if total else 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -395,6 +441,11 @@ class CheckStats:
             "unkeyed": self.unkeyed,
             "frontier_hits": self.frontier_hits,
             "frontier_misses": self.frontier_misses,
+            "frontier_hit_ratio": self.frontier_hit_ratio,
+            "frontier_nodes": self.frontier_nodes,
+            "frontier_unattached": self.frontier_unattached,
+            "cond_seconds": dict(self.cond_seconds),
+            "failed_conditions": dict(self.failed_conditions),
         }
 
 
@@ -430,6 +481,7 @@ class RACheckContext:
         want_witness: bool = False,
         max_frontier_nodes: int = 100_000,
         max_verdicts: int = 100_000,
+        timed: bool = False,
     ) -> None:
         if lin_class not in ("EO", "TO"):
             raise ValueError(f"unknown linearization class {lin_class!r}")
@@ -439,6 +491,10 @@ class RACheckContext:
         self.want_witness = want_witness
         self.frontiers = FrontierCache(spec, max_nodes=max_frontier_nodes)
         self.max_verdicts = max_verdicts
+        #: ``timed=True`` additionally accumulates per-condition wall time
+        #: in ``stats.cond_seconds`` (a handful of clock reads per check;
+        #: left off on uninstrumented runs).
+        self.timed = timed
         self.stats = CheckStats()
         self._verdicts: Dict[Tuple, RAResult] = {}
 
@@ -493,8 +549,14 @@ class RACheckContext:
             cached = self._verdicts.get(key)
             if cached is not None:
                 self.stats.verdict_hits += 1
+                if not cached.ok and cached.condition is not None:
+                    self.stats.failed_conditions[cached.condition] = (
+                        self.stats.failed_conditions.get(cached.condition, 0)
+                        + 1
+                    )
                 return cached
         hits, misses = self.frontiers.hits, self.frontiers.misses
+        timings: Optional[Dict[str, float]] = {} if self.timed else None
         if self.lin_class == "EO":
             # When visibility runs forward in the generation order (always
             # true for runtime-produced histories), the EO candidate extends
@@ -503,15 +565,28 @@ class RACheckContext:
             result = execution_order_check(
                 history, self.spec, generation_order, self.gamma,
                 frontiers=self.frontiers, want_witness=self.want_witness,
-                check_vis=not vis_forward,
+                check_vis=not vis_forward, timings=timings,
             )
         else:
             result = timestamp_order_check(
                 history, self.spec, generation_order, self.gamma,
                 frontiers=self.frontiers, want_witness=self.want_witness,
+                timings=timings,
             )
-        self.stats.frontier_hits += self.frontiers.hits - hits
-        self.stats.frontier_misses += self.frontiers.misses - misses
+        stats = self.stats
+        stats.frontier_hits += self.frontiers.hits - hits
+        stats.frontier_misses += self.frontiers.misses - misses
+        stats.frontier_nodes = len(self.frontiers)
+        stats.frontier_unattached = self.frontiers.unattached
+        if timings:
+            for cond, seconds in timings.items():
+                stats.cond_seconds[cond] = (
+                    stats.cond_seconds.get(cond, 0.0) + seconds
+                )
+        if not result.ok and result.condition is not None:
+            stats.failed_conditions[result.condition] = (
+                stats.failed_conditions.get(result.condition, 0) + 1
+            )
         if key is not None and len(self._verdicts) < self.max_verdicts:
             self._verdicts[key] = result
         return result

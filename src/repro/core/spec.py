@@ -181,6 +181,21 @@ class FrontierCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def counters(self) -> Dict[str, Any]:
+        """Cache counters as a plain dict (the observability snapshot).
+
+        ``unattached`` is the trie's eviction analogue: nodes computed
+        past ``max_nodes`` that were answered but never stored.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
+            "nodes": self._count,
+            "max_nodes": self.max_nodes,
+            "unattached": self.unattached,
+        }
+
     def _child(self, node: _FrontierNode, label: Label) -> _FrontierNode:
         key = label.content_key
         child = node.children.get(key)

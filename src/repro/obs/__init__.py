@@ -1,0 +1,56 @@
+"""Observability: structured metrics, span tracing, run instrumentation.
+
+The instrumentation substrate of the verification pipeline (see
+``docs/observability.md``):
+
+* :mod:`repro.obs.metrics` — process-local counters/gauges/histograms
+  with plain-JSON snapshots and a deterministic merge, so parallel
+  workers' metrics union exactly like their fingerprint sets.
+* :mod:`repro.obs.tracing` — a lightweight span API (wall + CPU time)
+  and a JSONL event exporter.
+* :mod:`repro.obs.instrument` — the single :class:`Instrumentation`
+  handle threaded through the pipeline, no-op by default.
+
+This package is a leaf: it imports nothing from the rest of ``repro``,
+so any layer (core, runtime, proofs, CLI) may depend on it.
+"""
+
+from .instrument import (
+    ARTIFACT_SCHEMA,
+    Instrumentation,
+    NULL_INSTRUMENTATION,
+    read_artifact,
+    write_artifact,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    SNAPSHOT_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    deterministic_totals,
+    instrument_key,
+    merge_snapshots,
+)
+from .tracing import TRACE_SCHEMA, Span, Tracer
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NULL_INSTRUMENTATION",
+    "SNAPSHOT_SCHEMA",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "deterministic_totals",
+    "instrument_key",
+    "merge_snapshots",
+    "read_artifact",
+    "write_artifact",
+]

@@ -1,0 +1,124 @@
+"""Lightweight span tracing with a JSONL event exporter.
+
+A :class:`Tracer` collects a flat stream of *events* — dicts with a
+``type`` (``"span"`` or a caller-chosen event name), a wall-clock
+timestamp, and arbitrary JSON-able attributes.  Spans additionally carry
+wall and CPU durations (``time.perf_counter`` / ``time.process_time``),
+so a pipeline stage whose wall time dwarfs its CPU time is immediately
+visible as queue wait or I/O rather than compute.
+
+Events are buffered in memory and exported as JSON Lines — one JSON
+object per line, the append-friendly format the related structured-
+logging systems use — either incrementally (construct with ``path``) or
+in one shot (:meth:`Tracer.export`).  The schema is documented in
+``docs/observability.md``.
+
+The tracer is process-local; worker processes ship their event lists
+back through the pool pipe and the coordinator extends its own stream
+(see :func:`repro.obs.instrument.Instrumentation.absorb_worker`), tagging
+each event with the worker's pid so per-worker load is reconstructible.
+"""
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+#: Event-stream schema identifier (recorded on every exported line).
+TRACE_SCHEMA = "repro.trace/1"
+
+
+class Span:
+    """An open span; finished and recorded when its ``with`` block exits.
+
+    Extra attributes may be attached mid-flight via :meth:`set`; they are
+    included in the recorded event.
+    """
+
+    __slots__ = ("name", "attrs", "wall", "cpu",
+                 "_tracer", "_wall0", "_cpu0", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        #: Measured durations, available after the ``with`` block exits.
+        self.wall = 0.0
+        self.cpu = 0.0
+        self._tracer = tracer
+
+    def set(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._started = time.time()
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall = time.perf_counter() - self._wall0
+        self.cpu = time.process_time() - self._cpu0
+        event = {
+            "type": "span",
+            "name": self.name,
+            "ts": self._started,
+            "wall": self.wall,
+            "cpu": self.cpu,
+            "pid": os.getpid(),
+        }
+        if exc_type is not None:
+            event["error"] = exc_type.__name__
+        if self.attrs:
+            event["attrs"] = self.attrs
+        self._tracer.record(event)
+
+
+class Tracer:
+    """An in-memory event stream with optional incremental JSONL output."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self._path = path
+        self._file = None
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A context manager timing one named stage."""
+        return Span(self, name, attrs)
+
+    def event(self, type_: str, **attrs: Any) -> None:
+        """Record one instantaneous event."""
+        record = {"type": type_, "ts": time.time(), "pid": os.getpid()}
+        record.update(attrs)
+        self.record(record)
+
+    def record(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+        if self._path is not None:
+            if self._file is None:
+                self._file = open(self._path, "a", encoding="utf-8")
+            self._file.write(json.dumps(event, sort_keys=True) + "\n")
+            self._file.flush()
+
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """The recorded span events, optionally filtered by name."""
+        return [
+            e for e in self.events
+            if e["type"] == "span" and (name is None or e["name"] == name)
+        ]
+
+    def export(self, path: str) -> int:
+        """Write every buffered event as JSON Lines; returns the count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"type": "meta", "schema": TRACE_SCHEMA})
+                + "\n"
+            )
+            for event in self.events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+        return len(self.events)
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None

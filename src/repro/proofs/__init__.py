@@ -31,6 +31,8 @@ from .registry import (
 )
 from .report import (
     VerificationResult,
+    format_exhaustive,
+    format_metrics,
     format_table,
     verify_all,
     verify_entry,
@@ -75,6 +77,8 @@ __all__ = [
     "check_refinement",
     "collected_states",
     "entry_by_name",
+    "format_exhaustive",
+    "format_metrics",
     "format_table",
     "sampled_states",
     "verify_all",

@@ -25,6 +25,7 @@ from ..core.ralin import (
     execution_order_check,
     timestamp_order_check,
 )
+from ..obs.instrument import Instrumentation, NULL_INSTRUMENTATION
 from ..runtime.explore_engine import ExploreStats
 from ..runtime.explore_naive import (
     explore_op_programs_naive,
@@ -56,7 +57,12 @@ class ExhaustiveResult:
             self.failures.append(message)
 
 
-def _make_visit(entry: CRDTEntry, result: ExhaustiveResult, cache: bool):
+def _make_visit(
+    entry: CRDTEntry,
+    result: ExhaustiveResult,
+    cache: bool,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+):
     """The per-configuration verification callback.
 
     With ``cache=True`` (default) one spec, one γ, one frontier trie and
@@ -64,7 +70,14 @@ def _make_visit(entry: CRDTEntry, result: ExhaustiveResult, cache: bool):
     (:class:`RACheckContext`); ``cache=False`` reproduces the PR-1
     baseline, rebuilding spec and γ per configuration and replaying from
     scratch — kept for benchmarking and differential testing.
+
+    When instrumentation is enabled the check context runs ``timed``
+    (per-condition wall time in ``CheckStats.cond_seconds``), failing
+    culprits are counted by method, and — with ``trace_checks`` — every
+    configuration's check verdict becomes one trace event.
     """
+    ins = instrumentation
+
     def report(system, outcome) -> None:
         trace = getattr(system, "trace", None)  # state-based keeps no trace
         suffix = (
@@ -74,15 +87,31 @@ def _make_visit(entry: CRDTEntry, result: ExhaustiveResult, cache: bool):
         result.record(
             f"non-RA-linearizable interleaving: {outcome.reason}{suffix}"
         )
+        if ins.enabled and ins.metrics is not None:
+            culprit = getattr(outcome, "culprit", None)
+            ins.metrics.counter(
+                "check.culprit", entry=entry.name,
+                method=culprit.method if culprit is not None else "?",
+            ).inc()
+
+    def observe(outcome) -> None:
+        if ins.trace_checks:
+            ins.event(
+                "check", entry=entry.name, ok=outcome.ok,
+                reason=None if outcome.ok else outcome.reason,
+                condition=getattr(outcome, "condition", None),
+            )
 
     if cache:
         context = RACheckContext(
-            entry.make_spec(), entry.make_gamma(), entry.lin_class
+            entry.make_spec(), entry.make_gamma(), entry.lin_class,
+            timed=ins.enabled,
         )
         result.check_stats = context.stats
 
         def check(system) -> None:
             outcome = context.check(system.history(), system.generation_order)
+            observe(outcome)
             if not outcome.ok:
                 report(system, outcome)
     else:
@@ -97,6 +126,7 @@ def _make_visit(entry: CRDTEntry, result: ExhaustiveResult, cache: bool):
             outcome = checker(
                 system.history(), spec, system.generation_order, gamma
             )
+            observe(outcome)
             if not outcome.ok:
                 report(system, outcome)
 
@@ -119,6 +149,7 @@ def exhaustive_verify(
     jobs: int = 1,
     root_branch: Optional[int] = None,
     fingerprints: Optional[set] = None,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> ExhaustiveResult:
     """Check every interleaving of ``programs`` against the entry's class.
 
@@ -138,6 +169,11 @@ def exhaustive_verify(
     notion) and with the naive engine.  ``root_branch``/``fingerprints``
     are the worker-side hooks of that fan-out and are rarely useful
     directly.
+
+    ``instrumentation`` threads the observability handle through the
+    whole run (scope span, exploration/cache metrics, the deterministic
+    ``verify.*`` counters — recorded here only for whole-tree runs; the
+    parallel merge records them for frontier-split shards).
     """
     if entry.kind != "OB":
         raise ValueError(
@@ -146,6 +182,8 @@ def exhaustive_verify(
         )
     if engine not in ("fast", "naive"):
         raise ValueError(f"unknown engine {engine!r}: use 'fast' or 'naive'")
+    ins = instrumentation if instrumentation is not None \
+        else NULL_INSTRUMENTATION
     if jobs > 1:
         if max_configurations is not None:
             raise ValueError("jobs > 1 is incompatible with max_configurations")
@@ -154,28 +192,37 @@ def exhaustive_verify(
         from .parallel import exhaustive_verify_parallel
 
         return exhaustive_verify_parallel(entry, programs, jobs=jobs,
-                                          reduction=reduction, cache=cache)
+                                          reduction=reduction, cache=cache,
+                                          instrumentation=ins)
     result = ExhaustiveResult(entry.name)
-    visit = _make_visit(entry, result, cache and engine == "fast")
+    visit = _make_visit(entry, result, cache and engine == "fast", ins)
 
     def make_system() -> OpBasedSystem:
         return OpBasedSystem(entry.make_crdt(), replicas=sorted(programs))
 
-    if engine == "naive":
-        result.configurations = explore_op_programs_naive(
-            make_system, programs, visit,
-            max_configurations=max_configurations,
-        )
-    else:
-        result.stats = ExploreStats()
-        result.configurations = explore_op_programs(
-            make_system, programs, visit,
-            max_configurations=max_configurations,
-            reduction=entry.reduction if reduction is None else reduction,
-            stats=result.stats,
-            root_branch=root_branch,
-            fingerprints=fingerprints,
-        )
+    with ins.span("exhaustive.scope", entry=entry.name, kind="OB",
+                  root_branch=root_branch):
+        if engine == "naive":
+            result.configurations = explore_op_programs_naive(
+                make_system, programs, visit,
+                max_configurations=max_configurations,
+            )
+        else:
+            result.stats = ExploreStats()
+            result.configurations = explore_op_programs(
+                make_system, programs, visit,
+                max_configurations=max_configurations,
+                reduction=entry.reduction if reduction is None else reduction,
+                stats=result.stats,
+                root_branch=root_branch,
+                fingerprints=fingerprints,
+                instrumentation=ins,
+            )
+    if ins.enabled:
+        if result.check_stats is not None:
+            ins.record_check(result.check_stats, entry=entry.name)
+        if root_branch is None:
+            ins.record_result(entry.name, result)
     return result
 
 
@@ -190,14 +237,15 @@ def exhaustive_verify_state(
     jobs: int = 1,
     root_branch: Optional[int] = None,
     fingerprints: Optional[set] = None,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> ExhaustiveResult:
     """Bounded exhaustive verification of a state-based entry.
 
     Explores every interleaving of the programs with up to ``max_gossips``
     gossip steps (see :mod:`repro.runtime.state_explore`) and checks the
     EO/TO candidate linearization plus convergence on each.  ``engine``,
-    ``reduction``, ``cache`` and ``jobs`` behave as in
-    :func:`exhaustive_verify`.
+    ``reduction``, ``cache``, ``jobs`` and ``instrumentation`` behave as
+    in :func:`exhaustive_verify`.
     """
     from ..runtime.state_explore import explore_state_programs
     from ..runtime.state_system import StateBasedSystem
@@ -206,6 +254,8 @@ def exhaustive_verify_state(
         raise ValueError(f"{entry.name} is op-based; use exhaustive_verify")
     if engine not in ("fast", "naive"):
         raise ValueError(f"unknown engine {engine!r}: use 'fast' or 'naive'")
+    ins = instrumentation if instrumentation is not None \
+        else NULL_INSTRUMENTATION
     if jobs > 1:
         if max_configurations is not None:
             raise ValueError("jobs > 1 is incompatible with max_configurations")
@@ -215,29 +265,39 @@ def exhaustive_verify_state(
 
         return exhaustive_verify_parallel(
             entry, programs, jobs=jobs, max_gossips=max_gossips,
-            reduction=reduction, cache=cache,
+            reduction=reduction, cache=cache, instrumentation=ins,
         )
     result = ExhaustiveResult(entry.name)
-    visit = _make_visit(entry, result, cache and engine == "fast")
+    visit = _make_visit(entry, result, cache and engine == "fast", ins)
 
     def make_system() -> StateBasedSystem:
         return StateBasedSystem(entry.make_crdt(), replicas=sorted(programs))
 
-    if engine == "naive":
-        result.configurations = explore_state_programs_naive(
-            make_system, programs, visit,
-            max_gossips=max_gossips, max_configurations=max_configurations,
-        )
-    else:
-        result.stats = ExploreStats()
-        result.configurations = explore_state_programs(
-            make_system, programs, visit,
-            max_gossips=max_gossips, max_configurations=max_configurations,
-            reduction=entry.reduction if reduction is None else reduction,
-            stats=result.stats,
-            root_branch=root_branch,
-            fingerprints=fingerprints,
-        )
+    with ins.span("exhaustive.scope", entry=entry.name, kind="SB",
+                  root_branch=root_branch):
+        if engine == "naive":
+            result.configurations = explore_state_programs_naive(
+                make_system, programs, visit,
+                max_gossips=max_gossips,
+                max_configurations=max_configurations,
+            )
+        else:
+            result.stats = ExploreStats()
+            result.configurations = explore_state_programs(
+                make_system, programs, visit,
+                max_gossips=max_gossips,
+                max_configurations=max_configurations,
+                reduction=entry.reduction if reduction is None else reduction,
+                stats=result.stats,
+                root_branch=root_branch,
+                fingerprints=fingerprints,
+                instrumentation=ins,
+            )
+    if ins.enabled:
+        if result.check_stats is not None:
+            ins.record_check(result.check_stats, entry=entry.name)
+        if root_branch is None:
+            ins.record_result(entry.name, result)
     return result
 
 

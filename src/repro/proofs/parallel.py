@@ -30,10 +30,12 @@ and do not pickle — so the parallel paths cover registry entries only.
 """
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.ralin import CheckStats
+from ..obs.instrument import Instrumentation, NULL_INSTRUMENTATION
 from ..runtime.explore_engine import ExploreStats
 from ..runtime.schedule import Program
 from .exhaustive import (
@@ -46,11 +48,38 @@ from .registry import ALL_ENTRIES, CRDTEntry, entry_by_name
 from .report import VerificationResult, verify_entry
 
 #: One work item, picklable:
-#: ``(entry name, programs, max_gossips, reduction, cache, branch)``.
+#: ``(entry name, programs, max_gossips, reduction, cache, branch, obs)``.
 #: ``max_gossips`` is ``None`` for op-based scopes; ``branch`` is a root
 #: branch index for a frontier-split shard, or ``None`` for the whole tree.
+#: ``obs`` is ``None`` (instrumentation off) or the observability envelope
+#: built by :func:`_obs_envelope`.
 _BranchTask = Tuple[str, Dict[str, Program], Optional[int], Optional[bool],
-                    bool, Optional[int]]
+                    bool, Optional[int], Optional[Dict[str, Any]]]
+
+
+def _obs_envelope(ins: Instrumentation) -> Optional[Dict[str, Any]]:
+    """What a task carries so the worker can rebuild instrumentation.
+
+    ``submitted`` is wall-clock (``time.time``), the only clock comparable
+    across processes — the worker's first act is to observe
+    ``now - submitted`` as ``parallel.queue_wait_seconds``.
+    """
+    if not ins.enabled:
+        return None
+    return {"trace": ins.trace_checks, "submitted": time.time()}
+
+
+def _worker_instrumentation(
+    obs: Optional[Dict[str, Any]]
+) -> Instrumentation:
+    """Worker-side handle: fresh and fully enabled, or the shared no-op."""
+    if obs is None:
+        return NULL_INSTRUMENTATION
+    ins = Instrumentation.on(trace_checks=obs.get("trace", False))
+    ins.metrics.histogram("parallel.queue_wait_seconds").observe(
+        max(0.0, time.time() - obs["submitted"])
+    )
+    return ins
 
 
 def default_jobs() -> int:
@@ -97,26 +126,31 @@ def _root_branch_count(
 
 
 def _branch_worker(task: _BranchTask):
-    name, programs, max_gossips, reduction, cache, branch = task
+    name, programs, max_gossips, reduction, cache, branch, obs = task
+    ins = _worker_instrumentation(obs)
     entry = entry_by_name(name)
     fingerprints: set = set()
-    if entry.kind == "OB":
-        result = exhaustive_verify(
-            entry, programs, reduction=reduction, cache=cache,
-            root_branch=branch, fingerprints=fingerprints,
-        )
-    else:
-        result = exhaustive_verify_state(
-            entry, programs, max_gossips=max_gossips or 0,
-            reduction=reduction, cache=cache,
-            root_branch=branch, fingerprints=fingerprints,
-        )
+    with ins.span("parallel.task", entry=name, branch=branch):
+        if entry.kind == "OB":
+            result = exhaustive_verify(
+                entry, programs, reduction=reduction, cache=cache,
+                root_branch=branch, fingerprints=fingerprints,
+                instrumentation=ins,
+            )
+        else:
+            result = exhaustive_verify_state(
+                entry, programs, max_gossips=max_gossips or 0,
+                reduction=reduction, cache=cache,
+                root_branch=branch, fingerprints=fingerprints,
+                instrumentation=ins,
+            )
+    payload = ins.worker_payload() if obs is not None else None
     if branch is None:
         # Whole-tree task: the result's own count is already the distinct
         # total — no cross-shard dedup needed, so don't ship the (large)
         # fingerprint set back through the pipe.
-        return branch, result, None
-    return branch, result, fingerprints
+        return branch, result, None, payload
+    return branch, result, fingerprints, payload
 
 
 def _merge_branches(
@@ -162,11 +196,42 @@ def _merge_branches(
             check_stats.unkeyed += result.check_stats.unkeyed
             check_stats.frontier_hits += result.check_stats.frontier_hits
             check_stats.frontier_misses += result.check_stats.frontier_misses
+            check_stats.frontier_unattached += (
+                result.check_stats.frontier_unattached
+            )
+            check_stats.frontier_nodes = max(
+                check_stats.frontier_nodes, result.check_stats.frontier_nodes
+            )
+            for cond, seconds in result.check_stats.cond_seconds.items():
+                check_stats.cond_seconds[cond] = (
+                    check_stats.cond_seconds.get(cond, 0.0) + seconds
+                )
+            for cond, count in result.check_stats.failed_conditions.items():
+                check_stats.failed_conditions[cond] = (
+                    check_stats.failed_conditions.get(cond, 0) + count
+                )
     merged.configurations = len(fingerprints) + whole_tree_configurations
     merged.stats.configurations = merged.configurations
     if saw_check_stats:
         merged.check_stats = check_stats
     return merged
+
+
+def _absorb_payloads(
+    ins: Instrumentation, outcomes: Iterable[Tuple]
+) -> List[Tuple[Optional[int], ExhaustiveResult, Optional[set]]]:
+    """Fold worker payloads into the coordinator; strip them from outcomes."""
+    stripped = []
+    for branch, result, fingerprints, payload in outcomes:
+        ins.absorb_worker(payload)
+        stripped.append((branch, result, fingerprints))
+    return stripped
+
+
+def _record_pool(ins: Instrumentation, tasks: int, workers: int) -> None:
+    if ins.metrics is not None:
+        ins.metrics.counter("parallel.tasks").inc(tasks)
+        ins.metrics.gauge("parallel.workers", policy="max").set(workers)
 
 
 def _branch_tasks(
@@ -175,12 +240,13 @@ def _branch_tasks(
     max_gossips: Optional[int],
     reduction: Optional[bool],
     cache: bool,
+    obs: Optional[Dict[str, Any]] = None,
 ) -> List[_BranchTask]:
     _require_registered(entry)
     gossips = max_gossips if entry.kind == "SB" else None
     branches = _root_branch_count(entry.kind, programs, gossips)
     return [
-        (entry.name, programs, gossips, reduction, cache, branch)
+        (entry.name, programs, gossips, reduction, cache, branch, obs)
         for branch in range(max(1, branches))
     ]
 
@@ -192,6 +258,7 @@ def exhaustive_verify_parallel(
     max_gossips: int = 3,
     reduction: Optional[bool] = None,
     cache: bool = True,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> ExhaustiveResult:
     """Frontier-split exhaustive verification of one registry entry.
 
@@ -200,13 +267,28 @@ def exhaustive_verify_parallel(
     same distinct-configuration count — but the root subtrees are explored
     by ``jobs`` worker processes.  ``max_gossips`` only applies to
     state-based entries.
+
+    With ``instrumentation`` enabled, each worker builds its own handle
+    and ships its metrics/trace payload back; *work* counters are summed
+    (shards re-explore shared states, so they may exceed serial totals)
+    while the deterministic ``verify.*`` counters are recorded exactly
+    once here, on the merged result.
     """
+    ins = instrumentation if instrumentation is not None \
+        else NULL_INSTRUMENTATION
     jobs = jobs or default_jobs()
-    tasks = _branch_tasks(entry, programs, max_gossips, reduction, cache)
+    tasks = _branch_tasks(entry, programs, max_gossips, reduction, cache,
+                          _obs_envelope(ins))
     workers = _worker_count(jobs, len(tasks))
+    _record_pool(ins, len(tasks), workers)
     with ProcessPoolExecutor(max_workers=workers) as pool:
         outcomes = list(pool.map(_branch_worker, tasks))
-    return _merge_branches(entry.name, outcomes)
+    outcomes = _absorb_payloads(ins, outcomes)
+    with ins.span("parallel.merge", entry=entry.name, shards=len(outcomes)):
+        merged = _merge_branches(entry.name, outcomes)
+    if ins.enabled:
+        ins.record_result(entry.name, merged)
+    return merged
 
 
 def verify_scopes_parallel(
@@ -214,6 +296,7 @@ def verify_scopes_parallel(
     jobs: Optional[int] = None,
     reduction: Optional[bool] = None,
     cache: bool = True,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> "Dict[str, ExhaustiveResult]":
     """Run many exhaustive scopes through one shared worker pool.
 
@@ -227,34 +310,51 @@ def verify_scopes_parallel(
     re-explore subtree-shared states and split the per-scope caches across
     workers.  With fewer scopes than workers, scopes are frontier-split
     into root-branch shards so the pool stays saturated.
+
+    Deterministic-counter ownership follows the granularity: a whole-tree
+    worker already recorded its scope's ``verify.*`` counters (its result
+    *is* the final result), so the coordinator only absorbs its payload; a
+    frontier-split scope is recorded here, once, on the merged result.
     """
+    ins = instrumentation if instrumentation is not None \
+        else NULL_INSTRUMENTATION
     jobs = jobs or default_jobs()
+    obs = _obs_envelope(ins)
     tasks: List[_BranchTask] = []
     split = len(scopes) < jobs
     for entry, programs, max_gossips in scopes:
         if split:
             tasks.extend(
-                _branch_tasks(entry, programs, max_gossips, reduction, cache)
+                _branch_tasks(entry, programs, max_gossips, reduction, cache,
+                              obs)
             )
         else:
             _require_registered(entry)
             gossips = max_gossips if entry.kind == "SB" else None
             tasks.append(
-                (entry.name, programs, gossips, reduction, cache, None)
+                (entry.name, programs, gossips, reduction, cache, None, obs)
             )
     workers = _worker_count(jobs, len(tasks))
+    _record_pool(ins, len(tasks), workers)
     with ProcessPoolExecutor(max_workers=workers) as pool:
         outcomes = list(pool.map(_branch_worker, tasks))
-    by_entry: Dict[str, List[Tuple[int, ExhaustiveResult, set]]] = {}
+    outcomes = _absorb_payloads(ins, outcomes)
+    by_entry: Dict[str, List[Tuple[Optional[int], ExhaustiveResult, set]]] = {}
     for task, outcome in zip(tasks, outcomes):
         by_entry.setdefault(task[0], []).append(outcome)
     order: List[str] = []
     for entry, _, _ in scopes:
         if entry.name not in order:
             order.append(entry.name)
-    return {
-        name: _merge_branches(name, by_entry.get(name, [])) for name in order
-    }
+    with ins.span("parallel.merge", scopes=len(order)):
+        merged = {
+            name: _merge_branches(name, by_entry.get(name, []))
+            for name in order
+        }
+    if ins.enabled and split:
+        for name, result in merged.items():
+            ins.record_result(name, result)
+    return merged
 
 
 def standard_scopes(
@@ -274,10 +374,15 @@ def standard_scopes(
     return scopes
 
 
-def _entry_worker(task: Tuple[str, int, int, int]) -> VerificationResult:
-    name, executions, operations, base_seed = task
-    return verify_entry(entry_by_name(name), executions, operations,
-                        base_seed)
+def _entry_worker(
+    task: Tuple[str, int, int, int, Optional[Dict[str, Any]]]
+) -> Tuple[VerificationResult, Optional[Dict[str, Any]]]:
+    name, executions, operations, base_seed, obs = task
+    ins = _worker_instrumentation(obs)
+    with ins.span("parallel.entry", entry=name):
+        result = verify_entry(entry_by_name(name), executions, operations,
+                              base_seed)
+    return result, (ins.worker_payload() if obs is not None else None)
 
 
 def verify_entries_parallel(
@@ -285,17 +390,33 @@ def verify_entries_parallel(
     executions: int = 10,
     operations: int = 10,
     jobs: Optional[int] = None,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> List[VerificationResult]:
     """Parallel :func:`repro.proofs.report.verify_entry` over ``entries``.
 
     Results come back in input order; each worker runs one entry's whole
     randomized batch (seeds are unchanged, so results equal the serial
-    harness's).
+    harness's).  Worker metrics/trace payloads are absorbed into
+    ``instrumentation``; the deterministic ``verify.executions`` /
+    ``verify.operations`` counters are left to the caller
+    (:meth:`Instrumentation.record_verification` per result), which keeps
+    the serial and parallel table paths symmetric.
     """
+    ins = instrumentation if instrumentation is not None \
+        else NULL_INSTRUMENTATION
     jobs = jobs or default_jobs()
     for entry in entries:
         _require_registered(entry)
-    tasks = [(entry.name, executions, operations, 0) for entry in entries]
+    obs = _obs_envelope(ins)
+    tasks = [
+        (entry.name, executions, operations, 0, obs) for entry in entries
+    ]
     workers = _worker_count(jobs, len(tasks))
+    _record_pool(ins, len(tasks), workers)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_entry_worker, tasks))
+        outcomes = list(pool.map(_entry_worker, tasks))
+    results: List[VerificationResult] = []
+    for result, payload in outcomes:
+        ins.absorb_worker(payload)
+        results.append(result)
+    return results

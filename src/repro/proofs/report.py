@@ -11,11 +11,15 @@ and discharges, on each:
   linearization (per the entry's Fig. 12 class) is a valid
   RA-linearization of the execution's history.
 
-``format_table`` renders the results in the shape of Fig. 12.
+``format_table`` renders the results in the shape of Fig. 12;
+``format_exhaustive`` renders exhaustive small-scope results together
+with their exploration/cache statistics, and ``format_metrics`` renders
+a ``--metrics`` artifact (the ``repro stats`` command).
 """
 
+import time as _time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, List, Mapping, Optional, Sequence
 
 from ..core.convergence import check_convergence
 from ..core.linearization import history_timestamp, ts_sort_key
@@ -211,4 +215,139 @@ def format_table(
             f"{'yes' if res.verified else 'NO':<9} "
             f"{res.executions:>6} {res.operations:>6}"
         )
+    return "\n".join(lines)
+
+
+def _pct(part: float, whole: float) -> str:
+    return f"{100.0 * part / whole:6.1f}%" if whole else f"{'-':>7}"
+
+
+def format_exhaustive(results: Sequence[Any],
+                      title: Optional[str] = None) -> str:
+    """Render :class:`~repro.proofs.exhaustive.ExhaustiveResult` rows with
+    their exploration and verification-cache statistics.
+
+    Per scope: distinct configurations, states expanded by the engine,
+    deduplication and sleep-set prune rates, verdict-memo and
+    frontier-trie hit rates, exploration wall time, and the verdict.
+    Scopes run with the naive engine (no :class:`ExploreStats`) or with
+    caching disabled (no :class:`CheckStats`) render ``-`` for the
+    columns they lack.  Recorded failures are listed below the table.
+    """
+    header = (
+        f"{'CRDT':<18} {'configs':>8} {'states':>8} {'dedup':>7} "
+        f"{'pruned':>8} {'vhit':>7} {'fhit':>7} {'wall':>8}  verdict"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    failures: List[str] = []
+    for res in results:
+        stats = res.stats
+        check = res.check_stats
+        if stats is not None:
+            states = f"{stats.states_visited:>8}"
+            dedup = _pct(stats.states_deduped,
+                         stats.states_visited + stats.states_deduped)
+            pruned = f"{stats.branches_pruned:>8}"
+            wall = f"{stats.wall_time:7.2f}s"
+        else:
+            states, dedup, pruned, wall = (
+                f"{'-':>8}", f"{'-':>7}", f"{'-':>8}", f"{'-':>8}"
+            )
+        if check is not None:
+            vhit = _pct(check.verdict_hits, check.checks)
+            fhit = _pct(check.frontier_hits,
+                        check.frontier_hits + check.frontier_misses)
+        else:
+            vhit = fhit = f"{'-':>7}"
+        verdict = "ok" if res.ok else "FAIL"
+        lines.append(
+            f"{res.entry_name:<18} {res.configurations:>8} {states} "
+            f"{dedup} {pruned} {vhit} {fhit} {wall}  {verdict}"
+        )
+        for failure in res.failures:
+            failures.append(f"  {res.entry_name}: {failure}")
+    if failures:
+        lines.append("")
+        lines.append("failures:")
+        lines.extend(failures)
+    return "\n".join(lines)
+
+
+def format_metrics(artifact: Mapping[str, Any]) -> str:
+    """Human-readable summary of a ``--metrics`` artifact.
+
+    Renders the artifact in four sections: deterministic counters (the
+    values a serial run and a ``--jobs N`` run agree on exactly), work
+    counters and gauges (cost — may legitimately exceed serial totals
+    under frontier splitting), span timings, and the trace-event count.
+    """
+    lines = [f"metrics artifact — command: {artifact.get('command', '?')}"]
+    generated = artifact.get("generated_at")
+    if generated is not None:
+        stamp = _time.strftime(
+            "%Y-%m-%d %H:%M:%S UTC", _time.gmtime(generated)
+        )
+        lines.append(f"generated: {stamp}")
+    meta = artifact.get("meta") or {}
+    if meta:
+        inner = "  ".join(f"{k}={meta[k]}" for k in sorted(meta))
+        lines.append(f"meta: {inner}")
+
+    instruments = artifact.get("metrics", {}).get("instruments", {})
+    deterministic = []
+    counters = []
+    gauges = []
+    histograms = []
+    for key in sorted(instruments):
+        dumped = instruments[key]
+        kind = dumped["kind"]
+        if kind == "histogram":
+            histograms.append((key, dumped))
+        elif dumped.get("deterministic"):
+            deterministic.append((key, dumped))
+        elif kind == "counter":
+            counters.append((key, dumped))
+        else:
+            gauges.append((key, dumped))
+
+    def fmt_value(value: Any) -> str:
+        if isinstance(value, float) and not value.is_integer():
+            return f"{value:.4f}"
+        return f"{int(value)}" if value is not None else "-"
+
+    if deterministic:
+        lines.append("")
+        lines.append("deterministic (serial == --jobs N):")
+        for key, dumped in deterministic:
+            lines.append(f"  {key:<52} {fmt_value(dumped['value']):>12}")
+    if counters:
+        lines.append("")
+        lines.append("work counters:")
+        for key, dumped in counters:
+            lines.append(f"  {key:<52} {fmt_value(dumped['value']):>12}")
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        for key, dumped in gauges:
+            lines.append(
+                f"  {key:<52} {fmt_value(dumped['value']):>12} "
+                f"({dumped['policy']})"
+            )
+    if histograms:
+        lines.append("")
+        lines.append("histograms (count / mean / max):")
+        for key, dumped in histograms:
+            count = dumped["count"]
+            mean = dumped["sum"] / count if count else 0.0
+            mx = dumped["max"] if dumped["max"] is not None else 0.0
+            lines.append(
+                f"  {key:<52} {count:>6} / {mean:.4f} / {mx:.4f}"
+            )
+    events = artifact.get("events", [])
+    lines.append("")
+    lines.append(f"trace events: {len(events)}")
     return "\n".join(lines)

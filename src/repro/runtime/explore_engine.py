@@ -62,6 +62,7 @@ from typing import (
 )
 
 from ..core.errors import PreconditionViolation
+from ..obs.instrument import Instrumentation, NULL_INSTRUMENTATION
 from .state_system import StateBasedSystem
 from .system import OpBasedSystem
 
@@ -780,6 +781,7 @@ def explore_op_programs(
     stats: Optional[ExploreStats] = None,
     root_branch: Optional[int] = None,
     fingerprints: Optional[set] = None,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> int:
     """Run per-replica ``programs`` under every op-based interleaving.
 
@@ -798,15 +800,27 @@ def explore_op_programs(
     transition (the frontier-split unit of ``repro.proofs.parallel``);
     ``fingerprints`` may be a caller-provided set used as the visited-
     configuration record, so branch workers' sets can be unioned.
+
+    ``instrumentation`` wraps the run in an ``explore.op`` span and folds
+    the final :class:`ExploreStats` into metrics; the DFS hot path is
+    untouched, so disabled instrumentation costs one attribute check.
     """
     stats = stats if stats is not None else ExploreStats()
+    ins = instrumentation if instrumentation is not None \
+        else NULL_INSTRUMENTATION
     domain = _OpDomain(
         make_system(), programs, require_quiescence, reduction, stats
     )
-    _Engine(
-        domain, visit, max_configurations, dedup, stats,
-        fingerprints=fingerprints,
-    ).run(root_branch)
+    with ins.span("explore.op", replicas=len(programs),
+                  root_branch=root_branch) as span:
+        _Engine(
+            domain, visit, max_configurations, dedup, stats,
+            fingerprints=fingerprints,
+        ).run(root_branch)
+        span.set(configurations=stats.configurations,
+                 states_visited=stats.states_visited)
+    if ins.enabled:
+        ins.record_explore(stats, kind="op")
     return stats.configurations
 
 
@@ -821,21 +835,31 @@ def explore_state_programs(
     stats: Optional[ExploreStats] = None,
     root_branch: Optional[int] = None,
     fingerprints: Optional[set] = None,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> int:
     """Run ``programs`` under every bounded state-based interleaving.
 
-    Same optimization/escape-hatch knobs as :func:`explore_op_programs`;
-    ``visit`` fires on every configuration whose programs have finished,
-    including ones with leftover gossip budget (partial propagation).
+    Same optimization/escape-hatch knobs (and instrumentation hook) as
+    :func:`explore_op_programs`; ``visit`` fires on every configuration
+    whose programs have finished, including ones with leftover gossip
+    budget (partial propagation).
     """
     stats = stats if stats is not None else ExploreStats()
+    ins = instrumentation if instrumentation is not None \
+        else NULL_INSTRUMENTATION
     domain = _StateDomain(
         make_system(), programs, max_gossips, reduction, stats
     )
-    _Engine(
-        domain, visit, max_configurations, dedup, stats,
-        fingerprints=fingerprints,
-    ).run(root_branch)
+    with ins.span("explore.state", replicas=len(programs),
+                  max_gossips=max_gossips, root_branch=root_branch) as span:
+        _Engine(
+            domain, visit, max_configurations, dedup, stats,
+            fingerprints=fingerprints,
+        ).run(root_branch)
+        span.set(configurations=stats.configurations,
+                 states_visited=stats.states_visited)
+    if ins.enabled:
+        ins.record_explore(stats, kind="state")
     return stats.configurations
 
 

@@ -1,0 +1,148 @@
+"""The Instrumentation handle and artifact I/O (:mod:`repro.obs`)."""
+
+import json
+
+import pytest
+
+from repro.obs.instrument import (
+    ARTIFACT_SCHEMA,
+    Instrumentation,
+    NULL_INSTRUMENTATION,
+    read_artifact,
+    write_artifact,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+class TestNullHandle:
+    def test_disabled_by_default(self):
+        assert NULL_INSTRUMENTATION.enabled is False
+        assert Instrumentation().enabled is False
+
+    def test_span_is_reusable_noop(self):
+        first = NULL_INSTRUMENTATION.span("a")
+        second = NULL_INSTRUMENTATION.span("b", entry="X")
+        assert first is second  # one shared object, no allocation
+        with first as span:
+            span.set(anything=1)
+
+    def test_recording_hooks_are_noops(self):
+        NULL_INSTRUMENTATION.event("check", ok=True)
+        NULL_INSTRUMENTATION.record_result(
+            "X", type("R", (), {"configurations": 1, "ok": True})()
+        )
+
+
+class TestEnabledHandle:
+    def test_on_builds_registry_and_tracer(self):
+        ins = Instrumentation.on()
+        assert ins.enabled and ins.metrics is not None
+        assert ins.tracer is not None and ins.trace_checks is False
+
+    def test_trace_checks_requires_tracer(self):
+        ins = Instrumentation(MetricsRegistry(), tracer=None,
+                              trace_checks=True)
+        assert ins.trace_checks is False
+
+    def test_span_feeds_histogram_and_tracer(self):
+        ins = Instrumentation.on()
+        with ins.span("stage", entry="X"):
+            pass
+        hist = ins.metrics.histogram("span.seconds", span="stage")
+        assert hist.count == 1
+        assert [e["name"] for e in ins.tracer.spans()] == ["stage"]
+
+    def test_metrics_only_span_still_times(self):
+        ins = Instrumentation(MetricsRegistry())
+        with ins.span("stage"):
+            pass
+        assert ins.metrics.histogram("span.seconds", span="stage").count == 1
+
+
+class TestWorkerProtocol:
+    def test_payload_round_trip(self):
+        worker = Instrumentation.on()
+        worker.metrics.counter("check.checks", entry="X").inc(5)
+        worker.event("check", ok=True)
+        payload = worker.worker_payload()
+        json.dumps(payload)  # must cross the pool pipe as plain data
+
+        coordinator = Instrumentation.on()
+        coordinator.metrics.counter("check.checks", entry="X").inc(2)
+        coordinator.absorb_worker(payload)
+        assert coordinator.metrics.counter(
+            "check.checks", entry="X"
+        ).value == 7
+        assert [e["type"] for e in coordinator.tracer.events] == ["check"]
+
+    def test_absorb_none_is_noop(self):
+        coordinator = Instrumentation.on()
+        coordinator.absorb_worker(None)
+        assert len(coordinator.metrics) == 0
+
+
+class TestArtifact:
+    def _handle(self):
+        ins = Instrumentation.on()
+        ins.metrics.counter("verify.scopes", deterministic=True).inc(3)
+        ins.metrics.counter("check.checks", entry="X").inc(10)
+        with ins.span("stage"):
+            pass
+        return ins
+
+    def test_artifact_shape(self):
+        artifact = self._handle().artifact("exhaustive", {"jobs": 2})
+        assert artifact["schema"] == ARTIFACT_SCHEMA
+        assert artifact["command"] == "exhaustive"
+        assert artifact["meta"] == {"jobs": 2}
+        assert artifact["counters"] == {"verify.scopes": 3}
+        assert "check.checks{entry=X}" in artifact["metrics"]["instruments"]
+
+    def test_json_round_trip(self, tmp_path):
+        path = str(tmp_path / "metrics.json")
+        written = write_artifact(path, self._handle(), "exhaustive")
+        loaded = read_artifact(path)
+        assert loaded["counters"] == written["counters"]
+        assert loaded["metrics"] == written["metrics"]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        written = write_artifact(path, self._handle(), "exhaustive",
+                                 {"jobs": 1})
+        loaded = read_artifact(path)
+        assert loaded["command"] == "exhaustive"
+        assert loaded["meta"] == {"jobs": 1}
+        assert loaded["counters"] == written["counters"]
+        assert (loaded["metrics"]["instruments"].keys()
+                == written["metrics"]["instruments"].keys())
+        assert len(loaded["events"]) == len(written["events"])
+
+    def test_read_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "other/1"}))
+        with pytest.raises(ValueError):
+            read_artifact(str(path))
+
+
+class TestRecordHooks:
+    def test_record_result_is_deterministic_counters(self):
+        ins = Instrumentation.on()
+        result = type("R", (), {"configurations": 50, "ok": True})()
+        ins.record_result("OR-Set", result)
+        snapshot = ins.metrics.snapshot()
+        scoped = snapshot["instruments"]
+        assert scoped["verify.scopes"]["deterministic"] is True
+        assert scoped["verify.configurations{entry=OR-Set}"]["value"] == 50
+        assert scoped["verify.ok{entry=OR-Set}"]["value"] == 1
+
+    def test_record_verification(self):
+        ins = Instrumentation.on()
+        result = type(
+            "V", (), {"name": "RGA", "executions": 5, "operations": 40,
+                      "verified": False},
+        )()
+        ins.record_verification(result)
+        instruments = ins.metrics.snapshot()["instruments"]
+        assert instruments["verify.executions{entry=RGA}"]["value"] == 5
+        assert instruments["verify.ok{entry=RGA}"]["value"] == 0

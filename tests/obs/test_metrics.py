@@ -1,0 +1,165 @@
+"""Metrics instruments: snapshot, deterministic merge (:mod:`repro.obs`)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    SNAPSHOT_SCHEMA,
+    MetricsRegistry,
+    deterministic_totals,
+    instrument_key,
+    merge_snapshots,
+)
+
+
+class TestInstrumentKey:
+    def test_bare_name(self):
+        assert instrument_key("check.checks", {}) == "check.checks"
+
+    def test_labels_sorted(self):
+        key = instrument_key("x", {"b": 2, "a": 1})
+        assert key == "x{a=1,b=2}"
+        assert key == instrument_key("x", {"a": 1, "b": 2})
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_get_or_create_shares(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c", entry="X") is registry.counter(
+            "c", entry="X"
+        )
+        assert registry.counter("c", entry="X") is not registry.counter(
+            "c", entry="Y"
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        with pytest.raises(TypeError):
+            registry.gauge("c")
+
+
+class TestGauge:
+    def test_max_policy(self):
+        gauge = MetricsRegistry().gauge("g", policy="max")
+        gauge.set(3)
+        gauge.set(1)
+        gauge.set(5)
+        assert gauge.value == 5
+
+    def test_min_policy(self):
+        gauge = MetricsRegistry().gauge("g", policy="min")
+        gauge.set(3)
+        gauge.set(1)
+        gauge.set(5)
+        assert gauge.value == 1
+
+    def test_no_last_write_policy(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().gauge("g", policy="last")
+
+    def test_policy_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", policy="max")
+        with pytest.raises(TypeError):
+            registry.gauge("g", policy="min")
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = MetricsRegistry().histogram("h", bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1]  # <=1, <=10, overflow
+        assert hist.count == 3
+        assert hist.sum == 55.5
+        assert hist.min == 0.5 and hist.max == 50.0
+        assert hist.mean == pytest.approx(18.5)
+
+    def test_default_bounds(self):
+        hist = MetricsRegistry().histogram("h")
+        assert hist.bounds == DEFAULT_BUCKETS
+
+    def test_bounds_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1.0,))
+        with pytest.raises(TypeError):
+            registry.histogram("h", bounds=(2.0,))
+
+
+class TestSnapshot:
+    def test_plain_json(self):
+        registry = MetricsRegistry()
+        registry.counter("c", entry="X").inc(3)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["schema"] == SNAPSHOT_SCHEMA
+        json.dumps(snapshot)  # picklable/plain
+        assert snapshot["instruments"]["c{entry=X}"]["value"] == 3
+
+    def test_merge_is_order_independent(self):
+        def build(counter_value, gauge_value, samples):
+            registry = MetricsRegistry()
+            registry.counter("c").inc(counter_value)
+            registry.gauge("g").set(gauge_value)
+            for sample in samples:
+                registry.histogram("h").observe(sample)
+            return registry.snapshot()
+
+        a = build(1, 10, [0.1, 0.2])
+        b = build(2, 30, [5.0])
+        c = build(4, 20, [])
+        merged_abc = merge_snapshots([a, b, c])
+        merged_cba = merge_snapshots([c, b, a])
+        assert merged_abc == merged_cba
+        instruments = merged_abc["instruments"]
+        assert instruments["c"]["value"] == 7
+        assert instruments["g"]["value"] == 30
+        assert instruments["h"]["count"] == 3
+        assert instruments["h"]["min"] == 0.1
+        assert instruments["h"]["max"] == 5.0
+
+    def test_merge_unset_gauge(self):
+        registry = MetricsRegistry()
+        registry.gauge("g")  # never set
+        merged = merge_snapshots([registry.snapshot()])
+        assert merged["instruments"]["g"]["value"] is None
+
+    def test_merge_rejects_unknown_schema(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge_snapshot(
+                {"schema": "nope/0", "instruments": {}}
+            )
+
+
+class TestDeterministicTotals:
+    def test_selects_flagged_scalars_only(self):
+        registry = MetricsRegistry()
+        registry.counter("verify.scopes", deterministic=True).inc()
+        registry.counter("check.checks").inc(9)
+        registry.gauge("verify.ok", policy="min", deterministic=True).set(1)
+        registry.histogram("h", deterministic=True).observe(0.1)
+        totals = deterministic_totals(registry.snapshot())
+        assert totals == {"verify.scopes": 1, "verify.ok": 1}
+
+    def test_survives_merge(self):
+        a = MetricsRegistry()
+        a.counter("verify.scopes", deterministic=True).inc(2)
+        b = MetricsRegistry()
+        b.counter("verify.scopes", deterministic=True).inc(3)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert deterministic_totals(merged) == {"verify.scopes": 5}

@@ -1,0 +1,76 @@
+"""Span tracing and the JSONL exporter (:mod:`repro.obs.tracing`)."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.tracing import TRACE_SCHEMA, Tracer
+
+
+class TestSpan:
+    def test_records_event_with_durations(self):
+        tracer = Tracer()
+        with tracer.span("stage", entry="OR-Set") as span:
+            sum(range(1000))
+        assert span.wall >= 0.0 and span.cpu >= 0.0
+        (event,) = tracer.events
+        assert event["type"] == "span"
+        assert event["name"] == "stage"
+        assert event["pid"] == os.getpid()
+        assert event["attrs"] == {"entry": "OR-Set"}
+
+    def test_set_attaches_mid_flight(self):
+        tracer = Tracer()
+        with tracer.span("stage") as span:
+            span.set(configurations=50)
+        assert tracer.events[0]["attrs"] == {"configurations": 50}
+
+    def test_error_is_tagged(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("stage"):
+                raise RuntimeError("boom")
+        assert tracer.events[0]["error"] == "RuntimeError"
+
+    def test_spans_filter(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        tracer.event("check", ok=True)
+        assert len(tracer.spans()) == 2
+        assert [e["name"] for e in tracer.spans("b")] == ["b"]
+
+
+class TestEvents:
+    def test_event_carries_attrs(self):
+        tracer = Tracer()
+        tracer.event("check", entry="RGA", ok=False)
+        (event,) = tracer.events
+        assert event["type"] == "check"
+        assert event["entry"] == "RGA" and event["ok"] is False
+        assert "ts" in event and "pid" in event
+
+
+class TestExport:
+    def test_one_shot_export(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("stage"):
+            pass
+        tracer.event("check", ok=True)
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export(str(path)) == 2
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0] == {"type": "meta", "schema": TRACE_SCHEMA}
+        assert [line["type"] for line in lines[1:]] == ["span", "check"]
+
+    def test_incremental_path(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        tracer = Tracer(str(path))
+        tracer.event("check", ok=True)
+        tracer.event("check", ok=False)
+        tracer.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["ok"] for line in lines] == [True, False]

@@ -2,14 +2,20 @@
 
 import pytest
 
+from repro.obs import Instrumentation
 from repro.proofs import (
     ALL_ENTRIES,
     FIGURE_12_ENTRIES,
     VerificationResult,
     entry_by_name,
+    exhaustive_verify,
+    format_exhaustive,
+    format_metrics,
     format_table,
+    standard_programs,
     verify_entry,
 )
+from repro.proofs.exhaustive import ExhaustiveResult
 
 
 @pytest.mark.parametrize(
@@ -44,3 +50,50 @@ def test_format_table_shape():
 
 def test_figure_12_catalogue_covers_paper_rows():
     assert {e.name for e in FIGURE_12_ENTRIES} >= {"OR-Set", "RGA", "Wooki"}
+
+
+class TestFormatExhaustive:
+    def test_surfaces_exploration_and_cache_stats(self):
+        entry = entry_by_name("OR-Set")
+        result = exhaustive_verify(entry, standard_programs(entry))
+        text = format_exhaustive([result], title="scopes")
+        assert text.splitlines()[0] == "scopes"
+        line = next(l for l in text.splitlines() if l.startswith("OR-Set"))
+        assert str(result.configurations) in line
+        assert str(result.stats.states_visited) in line
+        assert "%" in line  # dedup / hit-rate columns rendered
+        assert line.rstrip().endswith("ok")
+
+    def test_missing_stats_render_dashes(self):
+        result = ExhaustiveResult("G-Set", configurations=4)
+        text = format_exhaustive([result])
+        line = next(l for l in text.splitlines() if l.startswith("G-Set"))
+        assert "-" in line and line.rstrip().endswith("ok")
+
+    def test_failures_listed(self):
+        result = ExhaustiveResult("RGA", configurations=2)
+        result.record("non-RA-linearizable interleaving: boom")
+        text = format_exhaustive([result])
+        assert "FAIL" in text
+        assert "failures:" in text
+        assert "boom" in text
+
+
+class TestFormatMetrics:
+    def test_renders_all_sections(self):
+        ins = Instrumentation.on()
+        entry = entry_by_name("Counter")
+        exhaustive_verify(entry, standard_programs(entry),
+                          instrumentation=ins)
+        text = format_metrics(ins.artifact("exhaustive", {"jobs": 1}))
+        assert "command: exhaustive" in text
+        assert "deterministic (serial == --jobs N):" in text
+        assert "verify.configurations{entry=Counter}" in text
+        assert "work counters:" in text
+        assert "histograms" in text
+        assert "trace events:" in text
+
+    def test_empty_artifact_renders(self):
+        text = format_metrics(Instrumentation.on().artifact("table"))
+        assert "command: table" in text
+        assert "trace events: 0" in text

@@ -1,8 +1,10 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
-from repro.__main__ import SCENARIOS, build_parser, main
+from repro.__main__ import SCENARIOS, _normalize_scope, build_parser, main
 
 
 class TestParser:
@@ -42,3 +44,80 @@ class TestCommands:
         assert main(["mutants"]) == 0
         out = capsys.readouterr().out
         assert "CAUGHT" in out and "MISSED" not in out
+
+
+class TestScopeNames:
+    @pytest.mark.parametrize("name,expected", [
+        ("OR-Set", "or_set"),
+        ("2P-Set (op)", "2p_set_op"),
+        ("Multi-Value Reg.", "multi_value_reg"),
+        ("G-Counter", "g_counter"),
+    ])
+    def test_normalization(self, name, expected):
+        assert _normalize_scope(name) == expected
+
+
+class TestObservability:
+    def test_exhaustive_scope_filters(self, capsys):
+        assert main(["exhaustive", "--scope", "counter"]) == 0
+        out = capsys.readouterr().out
+        assert "Counter" in out and "OR-Set" not in out
+
+    def test_exhaustive_unknown_scope(self, capsys):
+        assert main(["exhaustive", "--scope", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scope" in err and "or_set" in err
+
+    def test_exhaustive_metrics_stats_round_trip(self, capsys, tmp_path):
+        path = str(tmp_path / "metrics.json")
+        assert main(["exhaustive", "--scope", "counter",
+                     "--metrics", path]) == 0
+        out = capsys.readouterr().out
+        assert f"metrics artifact written to {path}" in out
+
+        artifact = json.loads(open(path).read())
+        assert artifact["command"] == "exhaustive"
+        assert artifact["counters"]["verify.scopes"] == 1
+
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "deterministic (serial == --jobs N):" in out
+        assert "verify.configurations{entry=Counter}" in out
+
+    def test_exhaustive_metrics_parallel_matches_serial(self, capsys,
+                                                        tmp_path):
+        serial_path = str(tmp_path / "serial.json")
+        parallel_path = str(tmp_path / "parallel.json")
+        assert main(["exhaustive", "--scope", "or_set",
+                     "--metrics", serial_path]) == 0
+        assert main(["exhaustive", "--scope", "or_set", "--jobs", "2",
+                     "--metrics", parallel_path]) == 0
+        capsys.readouterr()
+        serial = json.loads(open(serial_path).read())
+        parallel = json.loads(open(parallel_path).read())
+        assert serial["counters"] == parallel["counters"]
+
+    def test_exhaustive_metrics_jsonl(self, capsys, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        assert main(["exhaustive", "--scope", "counter",
+                     "--metrics", path]) == 0
+        capsys.readouterr()
+        lines = [json.loads(line)
+                 for line in open(path).read().splitlines()]
+        assert lines[0]["command"] == "exhaustive"
+        assert any(line.get("type") == "instrument" for line in lines[1:])
+        assert main(["stats", path]) == 0
+
+    def test_table_metrics(self, capsys, tmp_path):
+        path = str(tmp_path / "table.json")
+        assert main(["table", "--executions", "1", "--operations", "5",
+                     "--metrics", path]) == 0
+        capsys.readouterr()
+        artifact = json.loads(open(path).read())
+        assert artifact["command"] == "table"
+        assert any(key.startswith("verify.executions")
+                   for key in artifact["counters"])
+
+    def test_stats_rejects_missing_file(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path / "absent.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
