@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-explore bench-verify figures table mutants exhaustive examples all
+.PHONY: install test bench bench-explore bench-verify figures table mutants exhaustive chaos examples all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -35,6 +35,11 @@ mutants:
 
 exhaustive:
 	$(PYTHON) -m repro exhaustive
+
+# Deterministic fault-injection soak: every registry entry under every
+# default plan (baseline / high-loss / partition / crash).
+chaos:
+	PYTHONPATH=src $(PYTHON) -m repro chaos
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done

@@ -1,0 +1,38 @@
+"""Chaos-run cost per fault plan (our measurement).
+
+One `run_chaos` drives a registry entry through its fault-injected
+driver, quiesces, and runs the entry-appropriate RA-linearizability
+check plus the convergence oracle.  This benchmark measures that
+end-to-end cost for each default plan — i.e. what the adversary costs
+over the reliable baseline — on one op-based and one state-based entry.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.proofs.chaos import default_plans, run_chaos
+from repro.proofs.registry import entry_by_name
+
+ENTRIES = ["OR-Set", "G-Counter"]
+PLANS = [plan.name for plan in default_plans()]
+EVENTS = {}
+
+
+@pytest.mark.parametrize("entry_name", ENTRIES)
+@pytest.mark.parametrize("plan_name", PLANS)
+def test_chaos_run_cost(benchmark, entry_name, plan_name):
+    entry = entry_by_name(entry_name)
+    plan = next(p for p in default_plans() if p.name == plan_name)
+    report = benchmark(run_chaos, entry, 7, plan)
+    assert report.ok, report.reason
+    EVENTS[(entry_name, plan_name)] = len(report.trace.events)
+
+
+def test_chaos_events_table(benchmark):
+    benchmark(lambda: None)
+    rows = [
+        f"{entry:>10} / {plan:<10}: {events:>4} adversary events"
+        for (entry, plan), events in sorted(EVENTS.items())
+    ]
+    emit("Chaos run adversary-event volume (seed 7)", "\n".join(rows))
+    assert EVENTS

@@ -10,6 +10,9 @@ Commands:
 * ``exhaustive`` — exhaustively verify all op-based CRDTs on the standard
   small-scope programs (``--scope`` selects one, ``--metrics`` writes the
   observability artifact).
+* ``chaos``      — fault-injection soak: every registry entry under
+  deterministic adversarial delivery (drop/duplicate/delay/stale,
+  partitions, crash+recovery), with replayable failing-trace dumps.
 * ``stats``      — render a ``--metrics`` artifact as a readable summary.
 """
 
@@ -27,7 +30,13 @@ from .core.strong import check_strong_linearizable
 from .obs import Instrumentation, read_artifact, write_artifact
 from .proofs import (
     ALL_ENTRIES,
+    chaos_soak,
+    default_plans,
+    dump_trace,
     exhaustive_verify,
+    format_chaos,
+    plan_by_name,
+    replay_trace,
     format_exhaustive,
     format_metrics,
     format_table,
@@ -230,6 +239,61 @@ def cmd_exhaustive(args: argparse.Namespace) -> int:
     return 0 if all(result.ok for result in results) else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    if args.replay:
+        try:
+            replay = replay_trace(args.replay)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"cannot replay trace: {error}", file=sys.stderr)
+            return 2
+        print(f"replayed {replay.report.entry_name} "
+              f"[{replay.report.plan.name} seed {replay.report.seed}]: "
+              f"trace={'identical' if replay.trace_matches else 'DIVERGED'} "
+              f"verdict={'identical' if replay.verdict_matches else 'DIVERGED'}")
+        return 0 if replay.ok else 1
+
+    entries = list(ALL_ENTRIES)
+    if args.scope:
+        wanted = _normalize_scope(args.scope)
+        entries = [
+            entry for entry in entries
+            if _normalize_scope(entry.name) == wanted
+        ]
+        if not entries:
+            available = ", ".join(
+                _normalize_scope(entry.name) for entry in ALL_ENTRIES
+            )
+            print(f"unknown scope {args.scope!r}; available: {available}",
+                  file=sys.stderr)
+            return 2
+    if args.plan:
+        try:
+            plans = [plan_by_name(args.plan)]
+        except KeyError:
+            available = ", ".join(plan.name for plan in default_plans())
+            print(f"unknown plan {args.plan!r}; available: {available}",
+                  file=sys.stderr)
+            return 2
+    else:
+        plans = default_plans()
+    ins = _instrumentation(args)
+    reports = chaos_soak(
+        entries, plans=plans, soak=args.soak, base_seed=args.seed,
+        operations=args.operations, instrumentation=ins,
+    )
+    print(format_chaos(
+        reports, title="Chaos soak — deterministic fault injection"
+    ))
+    failing = [report for report in reports if not report.ok]
+    if failing and args.dump_trace:
+        dump_trace(failing[0], args.dump_trace, operations=args.operations)
+        print(f"failing trace dumped to {args.dump_trace} "
+              f"(replay with: repro chaos --replay {args.dump_trace})")
+    _emit_metrics(args, ins, "chaos", soak=args.soak, seed=args.seed,
+                  scope=args.scope or "all", plan=args.plan or "all")
+    return 0 if not failing else 1
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     try:
         artifact = read_artifact(args.path)
@@ -295,6 +359,45 @@ def build_parser() -> argparse.ArgumentParser:
              "configuration (verbose)",
     )
     exhaustive.set_defaults(fn=cmd_exhaustive)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection soak over the registry entries"
+    )
+    chaos.add_argument(
+        "--scope", default=None,
+        help="soak a single entry, e.g. or_set, pn_counter (entry name, "
+             "lowercased, punctuation as underscores)",
+    )
+    chaos.add_argument(
+        "--plan", default=None,
+        help="run one named fault plan (baseline, high-loss, partition, "
+             "crash); default: all of them",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="base seed for the deterministic runs")
+    chaos.add_argument(
+        "--soak", type=int, default=1, metavar="N",
+        help="seeds per (entry, plan) pair (seed, seed+1, ...)",
+    )
+    chaos.add_argument(
+        "--operations", type=int, default=None,
+        help="operations per run (default: the registry entry's budget)",
+    )
+    chaos.add_argument(
+        "--dump-trace", metavar="PATH", default=None, dest="dump_trace",
+        help="on failure, dump the first failing AdversaryTrace as "
+             "replayable JSON",
+    )
+    chaos.add_argument(
+        "--replay", metavar="PATH", default=None,
+        help="replay a dumped trace and check determinism + verdict",
+    )
+    chaos.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write the observability artifact (JSON, or JSONL when PATH "
+             "ends in .jsonl) after the run",
+    )
+    chaos.set_defaults(fn=cmd_chaos)
 
     stats = sub.add_parser(
         "stats", help="render a --metrics artifact as a readable summary"

@@ -121,6 +121,20 @@ class TimestampGenerator:
         """Current logical clock value at ``replica`` (0 if never used)."""
         return self._clocks.get(replica, 0)
 
+    def snapshot(self) -> Dict[str, int]:
+        """A token capturing every replica clock, for :meth:`restore`.
+
+        The public face of the generator's state: runtime systems
+        snapshot/restore through this pair instead of reaching into the
+        private clock table.  The token is an independent copy — later
+        ``fresh``/``observe`` calls do not invalidate it.
+        """
+        return dict(self._clocks)
+
+    def restore(self, token: Mapping[str, int]) -> None:
+        """Rewind the clocks to a :meth:`snapshot` token (reusable)."""
+        self._clocks = dict(token)
+
 
 @dataclass(frozen=True)
 class VersionVector:

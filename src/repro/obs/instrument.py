@@ -192,6 +192,25 @@ class Instrumentation:
         m.gauge("verify.ok", policy="min", deterministic=True,
                 entry=entry).set(1 if result.ok else 0)
 
+    def record_chaos(self, report: Any) -> None:
+        """Record one fault-injection :class:`ChaosReport`.
+
+        Chaos runs are deterministic in ``(entry, seed, plan)`` and have
+        no parallel path, so every ``chaos.*`` instrument is reproducible
+        run-to-run; ``chaos.ok`` (min-gauge) is the soak verdict.
+        """
+        if self.metrics is None:
+            return
+        m = self.metrics
+        labels = {"entry": report.entry_name, "plan": report.plan.name}
+        m.counter("chaos.runs", **labels).inc()
+        m.counter("chaos.operations", **labels).inc(report.operations)
+        m.gauge("chaos.ok", policy="min", **labels).set(
+            1 if report.ok else 0
+        )
+        for kind, count in sorted(report.trace.event_counts().items()):
+            m.counter("chaos.events", kind=kind, **labels).inc(count)
+
     def record_verification(self, result: Any) -> None:
         """Record one randomized-harness :class:`VerificationResult`.
 

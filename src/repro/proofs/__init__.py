@@ -1,5 +1,16 @@
 """Proof-methodology harness (the mechanization substitute for Boogie)."""
 
+from .chaos import (
+    ChaosReport,
+    ReplayResult,
+    chaos_soak,
+    default_plans,
+    dump_trace,
+    format_chaos,
+    plan_by_name,
+    replay_trace,
+    run_chaos,
+)
 from .commutativity import (
     CommutativityViolation,
     check_commutativity,
@@ -47,8 +58,17 @@ from .statebased import (
 )
 
 __all__ = [
+    "ChaosReport",
     "CoverageReport",
     "DifferentialReport",
+    "ReplayResult",
+    "chaos_soak",
+    "default_plans",
+    "dump_trace",
+    "format_chaos",
+    "plan_by_name",
+    "replay_trace",
+    "run_chaos",
     "exhaustive_verify_state",
     "format_coverage",
     "measure_coverage",

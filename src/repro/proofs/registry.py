@@ -90,6 +90,11 @@ class CRDTEntry:
     #: modulo state dedup (the escape hatch for entries whose
     #: Commutativity property (Fig. 11) is known to fail).
     reduction: bool = True
+    #: Operations per chaos run (``repro chaos`` / the fault-injection
+    #: soak).  Sequence CRDTs get a smaller budget: their histories grow
+    #: long anchors chains, and the soak multiplies runs across every
+    #: (plan, seed) pair.
+    chaos_operations: int = 12
 
 
 def _rga_abs(state):
@@ -230,6 +235,7 @@ FIGURE_12_ENTRIES: List[CRDTEntry] = [
         make_workload=RGAWorkload,
         state_timestamps=_rga_state_timestamps,
         source="Roh et al. 2011",
+        chaos_operations=10,
     ),
     CRDTEntry(
         name="Wooki",
@@ -240,6 +246,7 @@ FIGURE_12_ENTRIES: List[CRDTEntry] = [
         abs_fn=_wooki_abs,
         make_workload=WookiWorkload,
         source="Weiss et al. 2007",
+        chaos_operations=10,
     ),
 ]
 
@@ -300,6 +307,7 @@ EXTRA_ENTRIES: List[CRDTEntry] = [
         state_timestamps=_rga_state_timestamps,
         in_figure_12=False,
         source="Attiya et al. 2016 (Appendix C)",
+        chaos_operations=10,
     ),
 ]
 

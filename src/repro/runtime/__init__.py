@@ -2,6 +2,15 @@
 
 from .causal_broadcast import NetworkStats, UnreliableCausalBroadcast
 from .cluster import Cluster, ReplicaHandle
+from .faults import (
+    AdversaryTrace,
+    CrashSpec,
+    FaultPlan,
+    GossipStats,
+    LossyGossipDriver,
+    PartitionWindow,
+    RELIABLE_PLAN,
+)
 from .composition import (
     check_composed_ra_linearizable,
     combine_per_object,
@@ -45,7 +54,14 @@ from .workloads import (
 )
 
 __all__ = [
+    "AdversaryTrace",
+    "CrashSpec",
+    "FaultPlan",
+    "GossipStats",
+    "LossyGossipDriver",
     "NetworkStats",
+    "PartitionWindow",
+    "RELIABLE_PLAN",
     "UnreliableCausalBroadcast",
     "ComposedStateSystem",
     "ObjectMessage",

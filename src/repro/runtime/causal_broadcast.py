@@ -1,147 +1,32 @@
-"""Causal broadcast over an adversarial network.
+"""Causal broadcast over an adversarial network (compatibility module).
 
 The op-based semantics (Fig. 7) *assumes* causal delivery with
-exactly-once application.  Real networks duplicate, reorder, and drop.
-This module closes the gap the paper takes as given: a broadcast layer
-that, over such a network, still feeds
-:class:`~repro.runtime.system.OpBasedSystem` deliveries in causal order,
-exactly once.
-
-Mechanics (the classic recipe):
-
-* every generated label is broadcast as *packets*, one per target replica;
-* the network adversary may duplicate a packet, delay it arbitrarily
-  (reordering), or drop it;
-* receivers **deduplicate** by label identity (exactly-once),
-* **buffer** packets whose causal predecessors have not been applied yet
-  (the Fig. 7 ``minvis`` check — the system itself tells us via
-  ``deliverable``), and
-* senders **retransmit** until every packet is acknowledged, so loss only
-  delays delivery (eventual delivery).
-
-``run_to_quiescence`` drives the adversary until every effector is applied
-everywhere; the underlying system raises if causal order were ever
-violated, so a clean run *is* the proof that the layer implements the
-assumption.
+exactly-once application; :class:`UnreliableCausalBroadcast` implements
+that assumption over a network that drops, duplicates, delays, and
+partitions.  The implementation now lives in
+:mod:`repro.runtime.faults`, where one declarative :class:`FaultPlan`
+drives both this op-based network and the state-based lossy gossip
+driver — this module re-exports the op-based names for existing callers.
 """
 
-import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from .faults import (  # noqa: F401  (re-exported API)
+    BUFFERED,
+    DELAYED,
+    DELIVERED,
+    DROPPED,
+    DUPLICATE,
+    IDLE,
+    NetworkStats,
+    UnreliableCausalBroadcast,
+)
 
-from ..core.label import Label
-from .system import OpBasedSystem
-
-
-@dataclass
-class NetworkStats:
-    """What the adversary did during a run."""
-
-    packets_sent: int = 0
-    duplicates: int = 0
-    drops: int = 0
-    buffered: int = 0
-    delivered: int = 0
-    retransmissions: int = 0
-
-
-class UnreliableCausalBroadcast:
-    """Causal broadcast for one :class:`OpBasedSystem` over a bad network."""
-
-    def __init__(
-        self,
-        system: OpBasedSystem,
-        seed: int = 0,
-        duplicate_probability: float = 0.2,
-        drop_probability: float = 0.2,
-    ) -> None:
-        self.system = system
-        self.rng = random.Random(seed)
-        self.duplicate_probability = duplicate_probability
-        self.drop_probability = drop_probability
-        #: Packets in flight: (target replica, label).
-        self.in_flight: List[Tuple[str, Label]] = []
-        self._announced: Set[Label] = set()
-        self.stats = NetworkStats()
-
-    # ------------------------------------------------------------------
-    # Sending
-    # ------------------------------------------------------------------
-
-    def broadcast_new(self) -> None:
-        """Put packets on the wire for labels not yet announced."""
-        for label in self.system.generation_order:
-            if label in self._announced:
-                continue
-            self._announced.add(label)
-            for target in self.system.replicas:
-                if target == label.origin:
-                    continue
-                self._send(target, label)
-
-    def _send(self, target: str, label: Label) -> None:
-        self.stats.packets_sent += 1
-        if self.rng.random() < self.drop_probability:
-            self.stats.drops += 1
-            return  # lost; a later retransmission round resends it
-        self.in_flight.append((target, label))
-        if self.rng.random() < self.duplicate_probability:
-            self.stats.duplicates += 1
-            self.in_flight.append((target, label))
-
-    def retransmit_missing(self) -> None:
-        """Resend packets for labels still unapplied somewhere."""
-        in_flight_pairs = set(self.in_flight)
-        for label in self._announced:
-            for target in self.system.replicas:
-                if target == label.origin:
-                    continue
-                if label in self.system.seen(target):
-                    continue
-                if (target, label) not in in_flight_pairs:
-                    self.stats.retransmissions += 1
-                    self._send(target, label)
-
-    # ------------------------------------------------------------------
-    # Receiving
-    # ------------------------------------------------------------------
-
-    def deliver_one(self) -> bool:
-        """Process one random in-flight packet; True when one was handled."""
-        if not self.in_flight:
-            return False
-        index = self.rng.randrange(len(self.in_flight))
-        target, label = self.in_flight.pop(index)
-        if label in self.system.seen(target):
-            return True  # duplicate: deduplicated, dropped on the floor
-        if label in self.system.deliverable(target):
-            self.system.deliver(target, label)
-            self.stats.delivered += 1
-        else:
-            # Causal predecessor still missing: buffer (requeue).
-            self.stats.buffered += 1
-            self.in_flight.append((target, label))
-        return True
-
-    # ------------------------------------------------------------------
-    # Driving
-    # ------------------------------------------------------------------
-
-    def run_to_quiescence(self, max_rounds: int = 10000) -> None:
-        """Deliver everything everywhere despite the adversary."""
-        rounds = 0
-        while True:
-            rounds += 1
-            if rounds > max_rounds:
-                raise RuntimeError("network failed to quiesce")
-            self.broadcast_new()
-            progressed = self.deliver_one()
-            if not progressed or rounds % 25 == 0:
-                self.retransmit_missing()
-            if (
-                not self.in_flight
-                and self.system.pending_count() == 0
-            ):
-                self.retransmit_missing()
-                if not self.in_flight:
-                    return
+__all__ = [
+    "BUFFERED",
+    "DELAYED",
+    "DELIVERED",
+    "DROPPED",
+    "DUPLICATE",
+    "IDLE",
+    "NetworkStats",
+    "UnreliableCausalBroadcast",
+]

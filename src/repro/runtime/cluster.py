@@ -27,14 +27,49 @@ from .system import OpBasedSystem
 
 
 class ReplicaHandle:
-    """A bound view of one replica: method calls become invocations."""
+    """A bound view of one replica: method calls become invocations.
+
+    Attribute proxying has a blind spot: Python resolves real attributes
+    (``state``, ``name``) before ``__getattr__``, so a CRDT method of
+    the same name would be silently shadowed by the handle's own API.
+    Accessing such an attribute now raises instead, and :meth:`invoke`
+    is the always-available escape hatch that reaches any CRDT method
+    regardless of its name.
+    """
 
     def __init__(self, cluster: "Cluster", replica: str) -> None:
         self._cluster = cluster
         self._replica = replica
 
+    def invoke(self, method: str, *args, obj: Optional[str] = None) -> Any:
+        """Invoke a CRDT method explicitly (bypasses attribute proxying).
+
+        Works for every method name, including ones the handle's own
+        attributes (``state``, ``name``, ``invoke``) would shadow.
+        """
+        label = self._cluster.system.invoke(
+            self._replica, method, tuple(args), obj=obj
+        )
+        self._cluster.flush()
+        return label.ret
+
+    def _reject_shadowed(self, attr: str) -> None:
+        shadowed = sorted(
+            obj_name
+            for obj_name, crdt in self._cluster.system.objects.items()
+            if attr in crdt.methods
+        )
+        if shadowed:
+            raise SchedulingError(
+                f"replica handle attribute {attr!r} shadows a CRDT method "
+                f"of the same name (object(s) {shadowed}); call "
+                f"handle.invoke({attr!r}, ...) for the CRDT method, or use "
+                "Cluster.system directly for runtime introspection"
+            )
+
     @property
     def name(self) -> str:
+        self._reject_shadowed("name")
         return self._replica
 
     def __getattr__(self, method: str):
@@ -42,15 +77,12 @@ class ReplicaHandle:
             raise AttributeError(method)
 
         def call(*args, obj: Optional[str] = None):
-            label = self._cluster.system.invoke(
-                self._replica, method, tuple(args), obj=obj
-            )
-            self._cluster.flush()
-            return label.ret
+            return self.invoke(method, *args, obj=obj)
 
         return call
 
     def state(self, obj: Optional[str] = None) -> Any:
+        self._reject_shadowed("state")
         return self._cluster.system.state(self._replica, obj)
 
     def __repr__(self) -> str:

@@ -1,0 +1,704 @@
+"""Deterministic, seed-replayable fault injection for both runtimes.
+
+The op-based semantics (Fig. 7) *assumes* causal, exactly-once delivery;
+the state-based results (Appendix D) must hold under arbitrary loss,
+duplication, and stale redelivery.  This module is the single adversary
+behind both gaps:
+
+* :class:`FaultPlan` — a declarative fault model: drop / duplicate /
+  delay / stale-redelivery probabilities, partition windows, and replica
+  crash+recovery points.  Plans are immutable, validated, and JSON
+  round-trippable, so a failing run can be shipped around as data.
+* :class:`AdversaryTrace` — the bit-for-bit record of what the adversary
+  did.  Every decision the drivers take flows from one
+  ``random.Random(seed)`` stream plus the plan, so the same
+  ``(seed, plan)`` replays to an identical trace (compare with
+  :meth:`AdversaryTrace.fingerprint`); labels are referenced by their
+  generation index, which — unlike ``Label.uid`` — is stable across
+  processes.
+* :class:`UnreliableCausalBroadcast` — the op-based network: packets may
+  be dropped, duplicated, delayed (reordered), cut by partitions, or
+  eaten by a crash; receivers deduplicate and buffer for causal order;
+  senders retransmit until every label is applied everywhere.
+* :class:`LossyGossipDriver` — the Appendix D adversary for
+  :class:`~repro.runtime.state_system.StateBasedSystem`, which
+  ``sync_all`` idealizes away: gossip messages are lost, duplicated, and
+  *stale* (an arbitrary old snapshot is redelivered at an arbitrary
+  replica).  Anti-entropy — replicas keep generating fresh snapshots —
+  makes loss a delay, never a divergence.
+
+Crash model: fail-stop with stable storage.  A crashed replica neither
+sends nor receives during its window; packets in flight to it are lost
+(retransmission recovers them after the recovery point); its CRDT state
+and applied-label set survive the crash.
+
+The proof harness on top (``repro.proofs.chaos``) drives whole chaos
+runs — workload + adversary + RA-linearizability verdict + convergence
+oracle — and dumps/replays failing traces; see ``docs/faults.md``.
+"""
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.errors import SchedulingError
+from ..core.label import Label
+from .state_system import Message, StateBasedSystem
+from .system import OpBasedSystem
+
+#: Schema identifier for dumped plans/traces.
+TRACE_SCHEMA = "repro.chaos.trace/1"
+
+
+# ----------------------------------------------------------------------
+# The fault model
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """During steps ``[start, end)`` only intra-block traffic flows.
+
+    Replicas not named by any block form implicit singleton blocks.
+    """
+
+    start: int
+    end: int
+    blocks: Tuple[Tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(
+                f"partition window [{self.start}, {self.end}) is empty"
+            )
+        members: Set[str] = set()
+        frozen = tuple(tuple(block) for block in self.blocks)
+        object.__setattr__(self, "blocks", frozen)
+        for block in frozen:
+            overlap = members & set(block)
+            if overlap:
+                raise ValueError(
+                    f"partition blocks must be disjoint; {sorted(overlap)} "
+                    "appear twice"
+                )
+            members |= set(block)
+
+    def active(self, step: int) -> bool:
+        return self.start <= step < self.end
+
+    def separates(self, one: str, other: str) -> bool:
+        """True when ``one`` and ``other`` are in different blocks."""
+        for block in self.blocks:
+            if one in block:
+                return other not in block
+            if other in block:
+                return True
+        return False  # both unlisted: same implicit connectivity
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Replica ``replica`` is down during steps ``[at_step, recover_step)``.
+
+    ``recover_step=None`` means the replica never recovers — quiescence
+    is then unreachable, so soak plans always set a recovery point.
+    """
+
+    replica: str
+    at_step: int
+    recover_step: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.at_step < 0:
+            raise ValueError("crash step must be non-negative")
+        if self.recover_step is not None and self.recover_step <= self.at_step:
+            raise ValueError(
+                f"recovery step {self.recover_step} must come after the "
+                f"crash at step {self.at_step}"
+            )
+
+    def down(self, step: int) -> bool:
+        if step < self.at_step:
+            return False
+        return self.recover_step is None or step < self.recover_step
+
+
+_PROBABILITY_FIELDS = (
+    "drop_probability",
+    "duplicate_probability",
+    "delay_probability",
+    "stale_probability",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic fault model driving both adversarial runtimes.
+
+    ``drop`` / ``duplicate`` / ``delay`` apply to op-based packets and to
+    state-based gossip messages alike; ``stale`` is state-based only (the
+    probability that a gossip action redelivers an arbitrary *old*
+    message instead of generating a fresh snapshot).
+    """
+
+    name: str = "custom"
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    delay_probability: float = 0.0
+    stale_probability: float = 0.0
+    partitions: Tuple[PartitionWindow, ...] = ()
+    crashes: Tuple[CrashSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in _PROBABILITY_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name}={value} outside [0, 1]")
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    # -- queries -------------------------------------------------------
+
+    def crashed(self, step: int, replica: str) -> bool:
+        """Is ``replica`` down at ``step``?"""
+        return any(
+            crash.replica == replica and crash.down(step)
+            for crash in self.crashes
+        )
+
+    def connected(self, step: int, one: str, other: str) -> bool:
+        """Can ``one`` and ``other`` exchange traffic at ``step``?"""
+        return not any(
+            window.active(step) and window.separates(one, other)
+            for window in self.partitions
+        )
+
+    def horizon(self) -> int:
+        """First step at which every window has closed and every crash
+        (with a recovery point) has recovered."""
+        bound = 0
+        for window in self.partitions:
+            bound = max(bound, window.end)
+        for crash in self.crashes:
+            if crash.recover_step is not None:
+                bound = max(bound, crash.recover_step)
+        return bound
+
+    def recovers(self) -> bool:
+        """True when every crash has a recovery point (quiescence is
+        reachable)."""
+        return all(crash.recover_step is not None for crash in self.crashes)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "drop_probability": self.drop_probability,
+            "duplicate_probability": self.duplicate_probability,
+            "delay_probability": self.delay_probability,
+            "stale_probability": self.stale_probability,
+            "partitions": [
+                {"start": w.start, "end": w.end,
+                 "blocks": [list(block) for block in w.blocks]}
+                for w in self.partitions
+            ],
+            "crashes": [
+                {"replica": c.replica, "at_step": c.at_step,
+                 "recover_step": c.recover_step}
+                for c in self.crashes
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "FaultPlan":
+        return FaultPlan(
+            name=data.get("name", "custom"),
+            drop_probability=data.get("drop_probability", 0.0),
+            duplicate_probability=data.get("duplicate_probability", 0.0),
+            delay_probability=data.get("delay_probability", 0.0),
+            stale_probability=data.get("stale_probability", 0.0),
+            partitions=tuple(
+                PartitionWindow(
+                    w["start"], w["end"],
+                    tuple(tuple(block) for block in w["blocks"]),
+                )
+                for w in data.get("partitions", ())
+            ),
+            crashes=tuple(
+                CrashSpec(c["replica"], c["at_step"], c.get("recover_step"))
+                for c in data.get("crashes", ())
+            ),
+        )
+
+    def named(self, name: str) -> "FaultPlan":
+        """A copy of this plan under a different display name."""
+        return replace(self, name=name)
+
+
+#: The reliable network: no faults at all.
+RELIABLE_PLAN = FaultPlan(name="reliable")
+
+
+# ----------------------------------------------------------------------
+# The replayable trace
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class AdversaryTrace:
+    """Everything the adversary (and the driver) did, as replayable data.
+
+    Events are tuples ``(step, kind, *detail)`` where detail items are
+    JSON scalars; labels appear as their generation index (stable across
+    processes, unlike ``Label.uid``).  Two runs from the same
+    ``(seed, plan)`` produce equal traces — the determinism contract the
+    chaos tests pin.
+    """
+
+    seed: int
+    plan: FaultPlan
+    events: List[Tuple] = field(default_factory=list)
+
+    def record(self, step: int, kind: str, *detail: Any) -> None:
+        self.events.append((step, kind) + detail)
+
+    def event_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event[1]] = counts.get(event[1], 0) + 1
+        return counts
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON rendering of the events."""
+        payload = json.dumps(
+            [list(event) for event in self.events],
+            separators=(",", ":"), sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "plan": self.plan.to_dict(),
+            "fingerprint": self.fingerprint(),
+            "events": [list(event) for event in self.events],
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "AdversaryTrace":
+        return AdversaryTrace(
+            seed=data["seed"],
+            plan=FaultPlan.from_dict(data["plan"]),
+            events=[tuple(event) for event in data.get("events", ())],
+        )
+
+
+class _NullTrace:
+    """Recording sink when no trace was requested."""
+
+    __slots__ = ()
+
+    def record(self, step: int, kind: str, *detail: Any) -> None:
+        pass
+
+
+_NULL_TRACE = _NullTrace()
+
+
+# ----------------------------------------------------------------------
+# Op-based: causal broadcast over the fault plan
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class NetworkStats:
+    """What the adversary did during an op-based run."""
+
+    packets_sent: int = 0
+    duplicates: int = 0
+    drops: int = 0
+    #: Distinct (target, label) packets that were ever causally buffered
+    #: (requeueing the same blocked packet again does not count).
+    buffered: int = 0
+    delivered: int = 0
+    retransmissions: int = 0
+    delays: int = 0
+    partition_drops: int = 0
+    crash_drops: int = 0
+
+
+#: ``deliver_one`` outcomes.  Only ``DELIVERED`` is progress; the others
+#: merely *handle* a packet (and ``IDLE`` means there was none).
+DELIVERED = "delivered"
+DUPLICATE = "duplicate"
+BUFFERED = "buffered"
+DELAYED = "delayed"
+DROPPED = "dropped"
+IDLE = "idle"
+
+
+class UnreliableCausalBroadcast:
+    """Causal broadcast for one :class:`OpBasedSystem` over a bad network.
+
+    The classic recipe: per-target packets, receiver-side deduplication
+    (exactly-once), causal buffering (the Fig. 7 ``minvis`` check via
+    ``system.deliverable``), and sender retransmission (eventual
+    delivery).  All misbehaviour comes from the :class:`FaultPlan`; the
+    legacy ``duplicate_probability`` / ``drop_probability`` arguments
+    build an equivalent plan for callers that predate it.
+    """
+
+    def __init__(
+        self,
+        system: OpBasedSystem,
+        seed: int = 0,
+        duplicate_probability: float = 0.2,
+        drop_probability: float = 0.2,
+        plan: Optional[FaultPlan] = None,
+        trace: Optional[AdversaryTrace] = None,
+    ) -> None:
+        self.system = system
+        self.rng = random.Random(seed)
+        if plan is None:
+            plan = FaultPlan(
+                name="legacy",
+                drop_probability=drop_probability,
+                duplicate_probability=duplicate_probability,
+            )
+        self.plan = plan
+        self.trace = trace if trace is not None else _NULL_TRACE
+        self.step = 0
+        #: Packets in flight: (target replica, label).
+        self.in_flight: List[Tuple[str, Label]] = []
+        self._announced: Set[Label] = set()
+        self._buffered_pairs: Set[Tuple[str, Label]] = set()
+        self._down: Set[str] = set()
+        self._label_index: Dict[Label, int] = {}
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # Time and fault windows
+    # ------------------------------------------------------------------
+
+    def _index(self, label: Label) -> int:
+        index = self._label_index.get(label)
+        if index is None:
+            index = self.system.generation_order.index(label)
+            self._label_index[label] = index
+        return index
+
+    def tick(self) -> None:
+        """Advance the adversary clock; apply crash/recovery transitions.
+
+        A replica entering its crash window loses every packet currently
+        in flight to it (fail-stop: the volatile receive queue is gone);
+        its durable state — CRDT state and applied labels — survives.
+        """
+        self.step += 1
+        down_now = {
+            r for r in self.system.replicas
+            if self.plan.crashed(self.step, r)
+        }
+        for replica in sorted(down_now - self._down):
+            lost = [p for p in self.in_flight if p[0] == replica]
+            self.in_flight = [p for p in self.in_flight if p[0] != replica]
+            self.stats.crash_drops += len(lost)
+            self.trace.record(self.step, "crash", replica, len(lost))
+        for replica in sorted(self._down - down_now):
+            self.trace.record(self.step, "recover", replica)
+        self._down = down_now
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def broadcast_new(self) -> None:
+        """Put packets on the wire for labels not yet announced."""
+        for label in self.system.generation_order:
+            if label in self._announced:
+                continue
+            self._announced.add(label)
+            for target in self.system.replicas:
+                if target == label.origin:
+                    continue
+                self._send(target, label)
+
+    def _send(self, target: str, label: Label) -> None:
+        self.stats.packets_sent += 1
+        index = self._index(label)
+        if self.plan.crashed(self.step, target):
+            # The receiver is down: the packet is lost (retransmission
+            # will resurrect it after recovery).
+            self.stats.crash_drops += 1
+            self.trace.record(self.step, "crash_drop", target, index)
+            return
+        if not self.plan.connected(self.step, label.origin or "", target):
+            self.stats.partition_drops += 1
+            self.trace.record(self.step, "partition_drop", target, index)
+            return
+        if self.rng.random() < self.plan.drop_probability:
+            self.stats.drops += 1
+            self.trace.record(self.step, "drop", target, index)
+            return  # lost; a later retransmission round resends it
+        self.in_flight.append((target, label))
+        self.trace.record(self.step, "send", target, index)
+        if self.rng.random() < self.plan.duplicate_probability:
+            self.stats.duplicates += 1
+            self.in_flight.append((target, label))
+            self.trace.record(self.step, "duplicate", target, index)
+
+    def retransmit_missing(self) -> None:
+        """Resend packets for labels still unapplied somewhere.
+
+        Crashed targets are skipped — sending to a dead replica is lost
+        by definition; the next non-progress round after its recovery
+        resends.
+        """
+        in_flight_pairs = set(self.in_flight)
+        for label in self.system.generation_order:
+            if label not in self._announced:
+                continue
+            for target in self.system.replicas:
+                if target == label.origin:
+                    continue
+                if self.plan.crashed(self.step, target):
+                    continue
+                if label in self.system.seen(target):
+                    continue
+                if (target, label) not in in_flight_pairs:
+                    self.stats.retransmissions += 1
+                    self.trace.record(
+                        self.step, "retransmit", target, self._index(label)
+                    )
+                    self._send(target, label)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+
+    def deliver_one(self) -> str:
+        """Process one random in-flight packet.
+
+        Returns one of :data:`DELIVERED`, :data:`DUPLICATE`,
+        :data:`BUFFERED`, :data:`DELAYED`, :data:`DROPPED`, or
+        :data:`IDLE`.  Only :data:`DELIVERED` is *progress*: a buffered
+        packet was merely requeued behind a missing causal predecessor,
+        and treating that as progress once deferred retransmission of
+        the dropped predecessor for up to 25 rounds (see
+        ``run_to_quiescence``).
+        """
+        if not self.in_flight:
+            return IDLE
+        index = self.rng.randrange(len(self.in_flight))
+        target, label = self.in_flight.pop(index)
+        label_index = self._index(label)
+        if self.plan.crashed(self.step, target):
+            self.stats.crash_drops += 1
+            self.trace.record(self.step, "crash_drop", target, label_index)
+            return DROPPED
+        if self.rng.random() < self.plan.delay_probability:
+            self.in_flight.append((target, label))
+            self.stats.delays += 1
+            self.trace.record(self.step, "delay", target, label_index)
+            return DELAYED
+        if label in self.system.seen(target):
+            self.trace.record(self.step, "dedup", target, label_index)
+            return DUPLICATE  # deduplicated, dropped on the floor
+        if label in self.system.deliverable(target):
+            self.system.deliver(target, label)
+            self.stats.delivered += 1
+            self.trace.record(self.step, "deliver", target, label_index)
+            return DELIVERED
+        # Causal predecessor still missing: buffer (requeue).  Count
+        # distinct buffered packets, not requeue events.
+        if (target, label) not in self._buffered_pairs:
+            self._buffered_pairs.add((target, label))
+            self.stats.buffered += 1
+        self.in_flight.append((target, label))
+        self.trace.record(self.step, "buffer", target, label_index)
+        return BUFFERED
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run_to_quiescence(self, max_rounds: int = 10000) -> None:
+        """Deliver everything everywhere despite the adversary.
+
+        Quiescence means ``outstanding_count() == 0`` — every generated
+        label applied at every replica — not merely "nothing currently
+        deliverable": a dropped predecessor leaves its successors
+        causally blocked and *undeliverable*, which the old
+        ``pending_count``-based check mistook for a finished run.
+        """
+        if not self.plan.recovers():
+            raise SchedulingError(
+                "plan contains a crash without a recovery point: "
+                "quiescence is unreachable"
+            )
+        rounds = 0
+        while True:
+            rounds += 1
+            if rounds > max_rounds:
+                raise RuntimeError("network failed to quiesce")
+            self.tick()
+            self.broadcast_new()
+            outcome = self.deliver_one()
+            if outcome != DELIVERED or rounds % 25 == 0:
+                self.retransmit_missing()
+            if not self.in_flight and self.system.outstanding_count() == 0:
+                return
+
+
+# ----------------------------------------------------------------------
+# State-based: lossy gossip (the Appendix D adversary)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class GossipStats:
+    """What the adversary did during a state-based run."""
+
+    generated: int = 0
+    merges: int = 0
+    drops: int = 0
+    duplicates: int = 0
+    stale_redeliveries: int = 0
+    partition_drops: int = 0
+    crash_skips: int = 0
+
+
+class LossyGossipDriver:
+    """Adversarial gossip for one :class:`StateBasedSystem`.
+
+    Each :meth:`gossip_once` picks a random ordered replica pair and
+    either redelivers an arbitrary *old* message at the target (stale
+    redelivery — allowed because messages are never consumed, Appendix
+    D.2), or GENERATEs a fresh snapshot that the network may then lose,
+    deliver once, or deliver twice.  Partitioned or crashed pairs
+    exchange nothing.  Because fresh snapshots keep coming (anti-entropy)
+    and ``merge`` is a join, loss and duplication only delay convergence.
+    """
+
+    def __init__(
+        self,
+        system: StateBasedSystem,
+        seed: int = 0,
+        plan: Optional[FaultPlan] = None,
+        trace: Optional[AdversaryTrace] = None,
+    ) -> None:
+        self.system = system
+        self.rng = random.Random(seed)
+        self.plan = plan if plan is not None else RELIABLE_PLAN
+        self.trace = trace if trace is not None else _NULL_TRACE
+        self.step = 0
+        self._down: Set[str] = set()
+        self.stats = GossipStats()
+
+    def tick(self) -> None:
+        """Advance the adversary clock; record crash/recovery transitions.
+
+        State-based replicas have no volatile receive queue — messages
+        merge on arrival — so a crash is purely an offline window.
+        """
+        self.step += 1
+        down_now = {
+            r for r in self.system.replicas
+            if self.plan.crashed(self.step, r)
+        }
+        for replica in sorted(down_now - self._down):
+            self.trace.record(self.step, "crash", replica)
+        for replica in sorted(self._down - down_now):
+            self.trace.record(self.step, "recover", replica)
+        self._down = down_now
+
+    def _receive(self, target: str, message: Message) -> None:
+        self.system.receive(target, message)
+        self.stats.merges += 1
+
+    def gossip_once(self) -> str:
+        """One adversarial gossip action between a random replica pair.
+
+        Returns what happened: ``"stale"``, ``"merged"``, ``"dropped"``,
+        ``"partitioned"``, or ``"crashed"``.
+        """
+        replicas = self.system.replicas
+        source = self.rng.choice(replicas)
+        target = self.rng.choice([r for r in replicas if r != source])
+        if self.plan.crashed(self.step, source) or self.plan.crashed(
+            self.step, target
+        ):
+            self.stats.crash_skips += 1
+            self.trace.record(self.step, "crash_skip", source, target)
+            return "crashed"
+        if not self.plan.connected(self.step, source, target):
+            self.stats.partition_drops += 1
+            self.trace.record(self.step, "partition_drop", source, target)
+            return "partitioned"
+        if self.system.messages and (
+            self.rng.random() < self.plan.stale_probability
+        ):
+            # Redeliver an arbitrary old snapshot at the target: the
+            # staleness/duplication/reordering the lattice must absorb.
+            message = self.rng.choice(self.system.messages)
+            self._receive(target, message)
+            self.stats.stale_redeliveries += 1
+            self.trace.record(self.step, "stale", target, message.msg_id)
+            return "stale"
+        message = self.system.send(source)
+        self.stats.generated += 1
+        self.trace.record(self.step, "generate", source, message.msg_id)
+        if self.rng.random() < self.plan.drop_probability:
+            self.stats.drops += 1
+            self.trace.record(self.step, "drop", target, message.msg_id)
+            return "dropped"
+        self._receive(target, message)
+        self.trace.record(self.step, "merge", target, message.msg_id)
+        if self.rng.random() < self.plan.duplicate_probability:
+            self._receive(target, message)
+            self.stats.duplicates += 1
+            self.trace.record(self.step, "duplicate", target, message.msg_id)
+        return "merged"
+
+    def run_to_quiescence(self, max_rounds: int = 10000) -> None:
+        """Gossip until every label is visible at every replica.
+
+        Anti-entropy under loss: fresh snapshots keep being generated,
+        so with positive delivery probability the outstanding count
+        reaches zero once every crash window has closed.
+        """
+        if not self.plan.recovers():
+            raise SchedulingError(
+                "plan contains a crash without a recovery point: "
+                "quiescence is unreachable"
+            )
+        rounds = 0
+        while self.system.outstanding_count() > 0:
+            rounds += 1
+            if rounds > max_rounds:
+                raise RuntimeError("gossip failed to quiesce")
+            self.tick()
+            self.gossip_once()
+
+
+__all__ = [
+    "AdversaryTrace",
+    "BUFFERED",
+    "CrashSpec",
+    "DELAYED",
+    "DELIVERED",
+    "DROPPED",
+    "DUPLICATE",
+    "FaultPlan",
+    "GossipStats",
+    "IDLE",
+    "LossyGossipDriver",
+    "NetworkStats",
+    "PartitionWindow",
+    "RELIABLE_PLAN",
+    "TRACE_SCHEMA",
+    "UnreliableCausalBroadcast",
+]

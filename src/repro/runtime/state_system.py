@@ -156,7 +156,7 @@ class StateBasedSystem:
             list(self.messages),
             list(self.generation_order),
             list(self.events),
-            dict(self._generator._clocks),
+            self._generator.snapshot(),
         )
 
     def restore(self, token: Tuple) -> None:
@@ -168,7 +168,7 @@ class StateBasedSystem:
         self.messages = list(messages)
         self.generation_order = list(order)
         self.events = list(events)
-        self._generator._clocks = dict(clocks)
+        self._generator.restore(clocks)
 
     # ------------------------------------------------------------------
     # Observation
@@ -190,3 +190,18 @@ class StateBasedSystem:
             r: (frozenset(self._seen[r]), self._states[r])
             for r in self.replicas
         }
+
+    def outstanding_count(self) -> int:
+        """Number of (label, replica) visibilities still outstanding.
+
+        Counts generated labels not yet in a replica's label set; zero
+        iff every replica has (transitively) received every operation —
+        the state-based quiescence criterion used by the lossy gossip
+        driver.
+        """
+        return sum(
+            1
+            for replica in self.replicas
+            for label in self.generation_order
+            if label not in self._seen[replica]
+        )

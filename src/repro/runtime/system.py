@@ -220,7 +220,7 @@ class OpBasedSystem:
             dict(self._effectors),
             list(self.generation_order),
             list(self.trace),
-            {key: dict(g._clocks) for key, g in distinct.items()},
+            {key: g.snapshot() for key, g in distinct.items()},
         )
 
     def restore(self, token: Tuple) -> None:
@@ -239,7 +239,7 @@ class OpBasedSystem:
         for key, generator in {
             id(g): g for g in self._generators.values()
         }.items():
-            generator._clocks = dict(clocks[key])
+            generator.restore(clocks[key])
 
     # ------------------------------------------------------------------
     # Observation
@@ -275,7 +275,28 @@ class OpBasedSystem:
         return views
 
     def pending_count(self) -> int:
-        """Number of (label, replica) deliveries still outstanding."""
+        """Number of (label, replica) deliveries applicable *right now*.
+
+        Counts only currently *deliverable* pairs — labels whose causal
+        predecessors have all been applied at the replica.  A label
+        blocked behind a missing predecessor is invisible here; use
+        :meth:`outstanding_count` for the true remaining-work measure
+        (quiescence is ``outstanding_count() == 0``).
+        """
         return sum(
             len(self.deliverable(replica)) for replica in self.replicas
+        )
+
+    def outstanding_count(self) -> int:
+        """Number of (label, replica) deliveries still outstanding.
+
+        Every generated label not yet applied at a replica counts,
+        whether or not it is currently deliverable there — causally
+        blocked labels included.  Zero iff the system is quiescent.
+        """
+        return sum(
+            1
+            for replica in self.replicas
+            for label in self.generation_order
+            if label not in self._seen[replica]
         )

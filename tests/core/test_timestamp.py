@@ -150,3 +150,33 @@ class TestMaxTimestamp:
     def test_picks_maximum(self):
         tss = [Timestamp(1, "r2"), Timestamp(3, "r1"), Timestamp(2, "r9")]
         assert max_timestamp(tss) == Timestamp(3, "r1")
+
+
+class TestGeneratorSnapshot:
+    def test_snapshot_is_a_copy(self):
+        gen = TimestampGenerator()
+        gen.fresh("r1")
+        token = gen.snapshot()
+        gen.fresh("r1")
+        assert token == {"r1": 1}
+        assert gen.clock("r1") == 2
+
+    def test_restore_rewinds_clocks(self):
+        gen = TimestampGenerator()
+        gen.fresh("r1")
+        gen.fresh("r2")
+        token = gen.snapshot()
+        gen.fresh("r1")
+        gen.fresh("r3")
+        gen.restore(token)
+        assert gen.clock("r1") == 1
+        assert gen.clock("r2") == 1
+        assert gen.clock("r3") == 0
+
+    def test_restore_detaches_from_token(self):
+        gen = TimestampGenerator()
+        token = {"r1": 5}
+        gen.restore(token)
+        gen.fresh("r1")
+        assert token == {"r1": 5}  # caller's mapping untouched
+        assert gen.clock("r1") == 6

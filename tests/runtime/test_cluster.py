@@ -110,3 +110,74 @@ class TestEndToEnd:
         assert cluster["b"].read() == 0
         cluster.sync()
         assert cluster["b"].read() == 1
+
+
+def _make_shadowing_crdt():
+    from repro.core.spec import Role
+    from repro.crdts.base import Effector, GeneratorResult, OpBasedCRDT
+
+    class ShadowingCRDT(OpBasedCRDT):
+        """Declares methods named ``state`` and ``name`` on purpose."""
+
+        type_name = "Shadowing"
+        methods = {
+            "set": Role.UPDATE,
+            "state": Role.QUERY,
+            "name": Role.QUERY,
+        }
+
+        def initial_state(self):
+            return None
+
+        def generator(self, state, method, args, ts):
+            if method == "set":
+                return GeneratorResult(ret=None, effector=Effector("set", args))
+            if method == "state":
+                return GeneratorResult(ret=state, effector=None)
+            if method == "name":
+                return GeneratorResult(ret=self.type_name, effector=None)
+            raise KeyError(method)
+
+        def apply_effector(self, state, effector):
+            return effector.args[0]
+
+    return ShadowingCRDT()
+
+
+class TestInvokeEscapeHatch:
+    def test_invoke_reaches_any_method(self):
+        cluster = Cluster(OpCounter(), replicas=("a", "b"))
+        cluster["a"].invoke("inc")
+        assert cluster["a"].invoke("read") == 1
+        assert cluster["b"].invoke("read") == 1
+
+    def test_invoke_with_obj(self):
+        cluster = Cluster(
+            {"c1": OpCounter(), "c2": OpCounter()}, replicas=("a",)
+        )
+        cluster["a"].invoke("inc", obj="c1")
+        assert cluster["a"].invoke("read", obj="c1") == 1
+        assert cluster["a"].invoke("read", obj="c2") == 0
+
+    def test_invoke_reaches_shadowed_method(self):
+        cluster = Cluster(_make_shadowing_crdt(), replicas=("a", "b"))
+        cluster["a"].invoke("set", 7)
+        assert cluster["a"].invoke("state") == 7
+        assert cluster["b"].invoke("state") == 7
+        assert cluster["a"].invoke("name") == "Shadowing"
+
+    def test_state_raises_when_shadowed(self):
+        cluster = Cluster(_make_shadowing_crdt(), replicas=("a",))
+        with pytest.raises(SchedulingError, match="shadows a CRDT method"):
+            cluster["a"].state()
+
+    def test_name_raises_when_shadowed(self):
+        cluster = Cluster(_make_shadowing_crdt(), replicas=("a",))
+        with pytest.raises(SchedulingError, match="shadows a CRDT method"):
+            cluster["a"].name
+
+    def test_state_and_name_fine_without_collision(self):
+        cluster = Cluster(OpCounter(), replicas=("a",))
+        cluster["a"].inc()
+        assert cluster["a"].state() == 1
+        assert cluster["a"].name == "a"

@@ -1,0 +1,322 @@
+"""The deterministic fault-injection subsystem (`runtime/faults.py`)."""
+
+import pytest
+
+from repro.core.convergence import check_convergence
+from repro.core.errors import SchedulingError
+from repro.proofs.registry import entry_by_name
+from repro.runtime import OpBasedSystem, StateBasedSystem
+from repro.runtime.faults import (
+    BUFFERED,
+    AdversaryTrace,
+    CrashSpec,
+    FaultPlan,
+    LossyGossipDriver,
+    PartitionWindow,
+    RELIABLE_PLAN,
+    UnreliableCausalBroadcast,
+)
+
+
+class TestFaultPlan:
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError, match="drop_probability"):
+            FaultPlan(drop_probability=1.5)
+        with pytest.raises(ValueError, match="stale_probability"):
+            FaultPlan(stale_probability=-0.1)
+
+    def test_partition_window_validated(self):
+        with pytest.raises(ValueError, match="empty"):
+            PartitionWindow(5, 5, (("r1",),))
+        with pytest.raises(ValueError, match="disjoint"):
+            PartitionWindow(0, 5, (("r1", "r2"), ("r2",)))
+
+    def test_crash_spec_validated(self):
+        with pytest.raises(ValueError, match="after"):
+            CrashSpec("r1", at_step=5, recover_step=5)
+        with pytest.raises(ValueError, match="non-negative"):
+            CrashSpec("r1", at_step=-1)
+
+    def test_crashed_window(self):
+        plan = FaultPlan(crashes=(CrashSpec("r2", 3, 7),))
+        assert not plan.crashed(2, "r2")
+        assert plan.crashed(3, "r2")
+        assert plan.crashed(6, "r2")
+        assert not plan.crashed(7, "r2")
+        assert not plan.crashed(5, "r1")
+
+    def test_unrecovered_crash(self):
+        plan = FaultPlan(crashes=(CrashSpec("r2", 3),))
+        assert plan.crashed(10_000, "r2")
+        assert not plan.recovers()
+
+    def test_connected_respects_windows(self):
+        plan = FaultPlan(partitions=(
+            PartitionWindow(2, 6, (("r1",), ("r2", "r3"))),
+        ))
+        assert plan.connected(1, "r1", "r2")     # before the window
+        assert not plan.connected(2, "r1", "r2")
+        assert plan.connected(3, "r2", "r3")     # same block
+        assert plan.connected(6, "r1", "r2")     # window closed
+
+    def test_unlisted_replicas_stay_connected(self):
+        plan = FaultPlan(partitions=(PartitionWindow(0, 9, (("r1",),)),))
+        assert not plan.connected(1, "r1", "r4")
+        assert plan.connected(1, "r4", "r5")
+
+    def test_horizon(self):
+        plan = FaultPlan(
+            partitions=(PartitionWindow(2, 6, (("r1",),)),),
+            crashes=(CrashSpec("r2", 3, 11),),
+        )
+        assert plan.horizon() == 11
+        assert RELIABLE_PLAN.horizon() == 0
+
+    def test_round_trips_through_dict(self):
+        plan = FaultPlan(
+            name="x",
+            drop_probability=0.4,
+            duplicate_probability=0.2,
+            delay_probability=0.1,
+            stale_probability=0.3,
+            partitions=(PartitionWindow(1, 4, (("r1", "r2"), ("r3",))),),
+            crashes=(CrashSpec("r3", 2, 9), CrashSpec("r1", 20)),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestAdversaryTrace:
+    def test_fingerprint_tracks_events(self):
+        one = AdversaryTrace(seed=1, plan=RELIABLE_PLAN)
+        two = AdversaryTrace(seed=1, plan=RELIABLE_PLAN)
+        one.record(1, "send", "r2", 0)
+        two.record(1, "send", "r2", 0)
+        assert one.fingerprint() == two.fingerprint()
+        two.record(2, "drop", "r3", 0)
+        assert one.fingerprint() != two.fingerprint()
+
+    def test_round_trips_through_dict(self):
+        trace = AdversaryTrace(seed=7, plan=FaultPlan(drop_probability=0.5))
+        trace.record(1, "send", "r2", 0)
+        trace.record(2, "deliver", "r2", 0)
+        back = AdversaryTrace.from_dict(trace.to_dict())
+        assert back == trace
+        assert back.fingerprint() == trace.fingerprint()
+
+    def test_event_counts(self):
+        trace = AdversaryTrace(seed=0, plan=RELIABLE_PLAN)
+        trace.record(1, "send", "r2", 0)
+        trace.record(2, "send", "r3", 0)
+        trace.record(3, "drop", "r2", 0)
+        assert trace.event_counts() == {"send": 2, "drop": 1}
+
+
+def _counter_system(replicas=("r1", "r2")):
+    entry = entry_by_name("Counter")
+    return OpBasedSystem(entry.make_crdt(), replicas=replicas)
+
+
+class TestOpBasedFaults:
+    def test_buffered_packet_is_handled_but_not_progress(self):
+        # op2 causally follows op1; with op1's packet lost, op2 can only
+        # be buffered — which must NOT count as progress, or quiescence
+        # defers the retransmission of op1 for up to 25 rounds.
+        system = _counter_system()
+        network = UnreliableCausalBroadcast(system, seed=0, plan=RELIABLE_PLAN)
+        system.invoke("r1", "inc")
+        system.invoke("r1", "inc")
+        network.broadcast_new()
+        op1 = system.generation_order[0]
+        network.in_flight = [p for p in network.in_flight if p[1] is not op1]
+
+        assert network.deliver_one() == BUFFERED
+        assert network.stats.buffered == 1
+        # Requeueing the same blocked packet again is not a new buffering.
+        assert network.deliver_one() == BUFFERED
+        assert network.stats.buffered == 1
+
+        # Non-progress triggers retransmission immediately: quiescence in
+        # well under the 25-round retransmission period of the old code.
+        network.run_to_quiescence(max_rounds=20)
+        assert system.outstanding_count() == 0
+        assert network.stats.retransmissions >= 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_high_drop_rate_quiesces(self, seed):
+        # Regression: with pending_count() as the quiescence test, a run
+        # could return while dropped packets left labels outstanding but
+        # causally blocked (hence not "pending").
+        entry = entry_by_name("OR-Set")
+        system = OpBasedSystem(entry.make_crdt(), replicas=("r1", "r2", "r3"))
+        plan = FaultPlan(name="brutal", drop_probability=0.9,
+                         duplicate_probability=0.2, delay_probability=0.2)
+        network = UnreliableCausalBroadcast(system, seed=seed, plan=plan)
+        workload = entry.make_workload()
+        import random
+        rng = random.Random(seed)
+        for _ in range(10):
+            replica = rng.choice(system.replicas)
+            proposal = workload.propose(system.state(replica), rng)
+            system.invoke(replica, *proposal)
+            network.broadcast_new()
+            network.deliver_one()
+        network.run_to_quiescence()
+        assert system.outstanding_count() == 0
+        assert network.stats.drops > 0
+        ok, offenders = check_convergence(system.replica_views())
+        assert ok, offenders
+
+    def test_crash_purges_in_flight_and_recovers(self):
+        system = _counter_system(("r1", "r2", "r3"))
+        plan = FaultPlan(name="crash", crashes=(CrashSpec("r2", 2, 5),))
+        trace = AdversaryTrace(seed=0, plan=plan)
+        network = UnreliableCausalBroadcast(
+            system, seed=0, plan=plan, trace=trace
+        )
+        network.tick()                      # step 1: r2 still up
+        system.invoke("r1", "inc")
+        network.broadcast_new()
+        assert any(target == "r2" for target, _ in network.in_flight)
+        network.tick()                      # step 2: r2 crashes
+        assert all(target != "r2" for target, _ in network.in_flight)
+        assert network.stats.crash_drops >= 1
+        network.run_to_quiescence()
+        assert system.outstanding_count() == 0
+        kinds = trace.event_counts()
+        assert kinds.get("crash") == 1 and kinds.get("recover") == 1
+
+    def test_partition_blocks_cross_traffic_then_heals(self):
+        system = _counter_system(("r1", "r2", "r3"))
+        plan = FaultPlan(name="split", partitions=(
+            PartitionWindow(1, 5, (("r1",), ("r2", "r3"))),
+        ))
+        network = UnreliableCausalBroadcast(system, seed=0, plan=plan)
+        network.tick()                      # step 1: window open
+        system.invoke("r1", "inc")
+        network.broadcast_new()
+        assert network.stats.partition_drops == 2
+        assert not network.in_flight
+        network.run_to_quiescence()
+        assert system.outstanding_count() == 0
+
+    def test_unrecovered_crash_is_rejected(self):
+        system = _counter_system()
+        plan = FaultPlan(crashes=(CrashSpec("r2", 1),))
+        network = UnreliableCausalBroadcast(system, seed=0, plan=plan)
+        with pytest.raises(SchedulingError, match="recovery"):
+            network.run_to_quiescence()
+
+    def test_legacy_constructor_builds_a_plan(self):
+        system = _counter_system()
+        network = UnreliableCausalBroadcast(
+            system, seed=0, duplicate_probability=0.3, drop_probability=0.1
+        )
+        assert network.plan.duplicate_probability == 0.3
+        assert network.plan.drop_probability == 0.1
+
+
+def _gossip_run(plan, seed=0, incs=6):
+    entry = entry_by_name("G-Counter")
+    system = StateBasedSystem(entry.make_crdt(), replicas=("r1", "r2", "r3"))
+    driver = LossyGossipDriver(system, seed=seed, plan=plan)
+    import random
+    rng = random.Random(seed)
+    for _ in range(incs):
+        system.invoke(rng.choice(system.replicas), "inc")
+        driver.tick()
+        driver.gossip_once()
+    driver.run_to_quiescence()
+    return system, driver
+
+
+class TestLossyGossip:
+    def test_duplicate_heavy_gossip_is_idempotent(self):
+        # Merges are joins: delivering the same snapshot many times (and
+        # stale ones out of order) must not inflate the counter.
+        plan = FaultPlan(name="dup-heavy", duplicate_probability=0.9,
+                         stale_probability=0.6)
+        system, driver = _gossip_run(plan, seed=1, incs=8)
+        assert driver.stats.duplicates > 0
+        assert driver.stats.stale_redeliveries > 0
+        values = {sum(system.state(r).values()) for r in system.replicas}
+        assert values == {8}
+
+    def test_lossy_gossip_converges(self):
+        plan = FaultPlan(name="lossy", drop_probability=0.9,
+                         stale_probability=0.3)
+        system, driver = _gossip_run(plan, seed=2)
+        assert driver.stats.drops > 0
+        assert system.outstanding_count() == 0
+        ok, offenders = check_convergence(system.replica_views())
+        assert ok, offenders
+
+    def test_crash_window_delays_but_does_not_diverge(self):
+        plan = FaultPlan(name="crash", drop_probability=0.2,
+                         crashes=(CrashSpec("r3", 2, 12),))
+        system, driver = _gossip_run(plan, seed=3)
+        assert system.outstanding_count() == 0
+        ok, offenders = check_convergence(system.replica_views())
+        assert ok, offenders
+
+    def test_partitioned_pairs_exchange_nothing(self):
+        plan = FaultPlan(name="split", partitions=(
+            PartitionWindow(0, 10_000, (("r1",), ("r2", "r3"))),
+        ))
+        entry = entry_by_name("G-Counter")
+        system = StateBasedSystem(
+            entry.make_crdt(), replicas=("r1", "r2", "r3")
+        )
+        driver = LossyGossipDriver(system, seed=0, plan=plan)
+        system.invoke("r1", "inc")
+        for _ in range(60):
+            driver.tick()
+            driver.gossip_once()
+        # r1 is cut off: its increment never crosses the partition.
+        assert sum(system.state("r2").values()) == 0
+        assert sum(system.state("r3").values()) == 0
+        assert driver.stats.partition_drops > 0
+
+    def test_unrecovered_crash_is_rejected(self):
+        entry = entry_by_name("G-Counter")
+        system = StateBasedSystem(entry.make_crdt())
+        driver = LossyGossipDriver(
+            system, plan=FaultPlan(crashes=(CrashSpec("r1", 1),))
+        )
+        system.invoke("r2", "inc")
+        with pytest.raises(SchedulingError, match="recovery"):
+            driver.run_to_quiescence()
+
+
+class TestDeterminism:
+    def _trace_of(self, seed):
+        entry = entry_by_name("OR-Set")
+        system = OpBasedSystem(entry.make_crdt(), replicas=("r1", "r2", "r3"))
+        plan = FaultPlan(name="mix", drop_probability=0.4,
+                         duplicate_probability=0.3, delay_probability=0.2)
+        trace = AdversaryTrace(seed=seed, plan=plan)
+        network = UnreliableCausalBroadcast(
+            system, seed=seed, plan=plan, trace=trace
+        )
+        import random
+        rng = random.Random(seed)
+        workload = entry.make_workload()
+        for _ in range(8):
+            network.tick()
+            replica = rng.choice(system.replicas)
+            proposal = workload.propose(system.state(replica), rng)
+            system.invoke(replica, *proposal)
+            network.broadcast_new()
+            network.deliver_one()
+        network.run_to_quiescence()
+        return trace
+
+    def test_same_seed_same_trace(self):
+        assert self._trace_of(11) == self._trace_of(11)
+        assert (
+            self._trace_of(11).fingerprint()
+            == self._trace_of(11).fingerprint()
+        )
+
+    def test_different_seed_different_trace(self):
+        assert self._trace_of(11).fingerprint() != \
+            self._trace_of(12).fingerprint()

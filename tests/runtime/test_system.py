@@ -169,3 +169,33 @@ class TestSharedTimestamps:
         first = system.invoke("r1", "addAfter", (ROOT, "a"), obj="o1")
         second = system.invoke("r1", "addAfter", (ROOT, "b"), obj="o2")
         assert first.ts == second.ts  # same (counter, replica) pair
+
+
+class TestOutstanding:
+    def test_outstanding_counts_unseen_labels(self):
+        system = OpBasedSystem(OpCounter(), replicas=("r1", "r2", "r3"))
+        label = system.invoke("r1", "inc")
+        # Unseen at r2 and r3; the origin has seen its own label.
+        assert system.outstanding_count() == 2
+        system.deliver("r2", label)
+        assert system.outstanding_count() == 1
+        system.deliver("r3", label)
+        assert system.outstanding_count() == 0
+
+    def test_outstanding_includes_causally_blocked(self):
+        # pending_count() only counts labels deliverable *right now*; a
+        # causally-blocked label is invisible to it but must still count
+        # as outstanding, else quiescence checks exit early.
+        system = OpBasedSystem(OpRGA(), replicas=("r1", "r2"))
+        first = system.invoke("r1", "addAfter", (ROOT, "a"))
+        second = system.invoke("r1", "addAfter", ("a", "b"))
+        assert system.deliverable("r2") == [first]
+        assert system.pending_count() == 1  # only `first` right now
+        assert system.outstanding_count() == 2  # `second` counts too
+
+    def test_quiescent_system_has_none_outstanding(self):
+        system = OpBasedSystem(OpCounter(), replicas=("r1", "r2"))
+        system.invoke("r1", "inc")
+        system.invoke("r2", "dec")
+        system.deliver_all()
+        assert system.outstanding_count() == 0
