@@ -37,6 +37,7 @@ from .proofs import (
     format_chaos,
     plan_by_name,
     replay_trace,
+    default_jobs,
     format_exhaustive,
     format_metrics,
     format_table,
@@ -97,6 +98,8 @@ def _emit_metrics(args: argparse.Namespace, ins: Instrumentation,
 
 def cmd_table(args: argparse.Namespace) -> int:
     ins = _instrumentation(args)
+    if args.jobs == 0:
+        args.jobs = default_jobs()
     if args.jobs > 1:
         results = verify_entries_parallel(
             ALL_ENTRIES, executions=args.executions,
@@ -220,15 +223,19 @@ def cmd_exhaustive(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
     ins = _instrumentation(args)
+    if args.jobs == 0:
+        args.jobs = default_jobs()
+    symmetry = False if args.no_symmetry else None
     if args.jobs > 1:
         scopes = [(entry, standard_programs(entry), None) for entry in entries]
         merged = verify_scopes_parallel(scopes, jobs=args.jobs,
+                                        symmetry=symmetry,
                                         instrumentation=ins)
         results = [merged[entry.name] for entry in entries]
     else:
         results = [
             exhaustive_verify(entry, standard_programs(entry),
-                              instrumentation=ins)
+                              symmetry=symmetry, instrumentation=ins)
             for entry in entries
         ]
     print(format_exhaustive(
@@ -316,7 +323,8 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--operations", type=int, default=10)
     table.add_argument(
         "--jobs", type=int, default=1,
-        help="verify entries in N worker processes (1 = in-process)",
+        help="verify entries in N worker processes (1 = in-process, "
+             "0 = all cores)",
     )
     table.add_argument(
         "--metrics", metavar="PATH", default=None,
@@ -341,7 +349,12 @@ def build_parser() -> argparse.ArgumentParser:
     exhaustive.add_argument(
         "--jobs", type=int, default=1,
         help="split exploration trees over N worker processes "
-             "(1 = in-process)",
+             "(1 = in-process, 0 = all cores)",
+    )
+    exhaustive.add_argument(
+        "--no-symmetry", action="store_true", dest="no_symmetry",
+        help="disable replica-orbit deduplication (count raw "
+             "configurations instead of orbits; see docs/exploration.md)",
     )
     exhaustive.add_argument(
         "--scope", default=None,

@@ -149,6 +149,15 @@ class Instrumentation:
         m.gauge("explore.peak_frontier", policy="max", **labels).set(
             stats.peak_frontier
         )
+        m.gauge("explore.symmetry.group", policy="max", **labels).set(
+            stats.symmetry_group
+        )
+        m.gauge("explore.symmetry.pinned", policy="max", **labels).set(
+            stats.pinned_replicas
+        )
+        m.gauge("explore.state_fp_cache", policy="max", **labels).set(
+            stats.state_fp_cache_peak
+        )
         if stats.capped:
             m.counter("explore.capped", **labels).inc()
 

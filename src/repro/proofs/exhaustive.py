@@ -145,6 +145,7 @@ def exhaustive_verify(
     max_configurations: Optional[int] = None,
     engine: str = "fast",
     reduction: Optional[bool] = None,
+    symmetry: Optional[bool] = None,
     cache: bool = True,
     jobs: int = 1,
     root_branch: Optional[int] = None,
@@ -160,7 +161,10 @@ def exhaustive_verify(
     ``engine`` selects ``"fast"`` (the default: sleep sets + dedup +
     copy-on-write snapshots) or ``"naive"`` (the raw-interleaving
     baseline, for differential testing and benchmarking).  ``reduction``
-    overrides the entry's escape hatch (``CRDTEntry.reduction``).
+    overrides the entry's escape hatch (``CRDTEntry.reduction``);
+    ``symmetry`` likewise overrides ``CRDTEntry.symmetry`` (replica-orbit
+    dedup — with it on, ``configurations`` counts orbits, not raw
+    configurations).
 
     ``cache=False`` disables the shared verification caches (see
     :func:`_make_visit`).  ``jobs > 1`` fans the exploration out over
@@ -192,7 +196,8 @@ def exhaustive_verify(
         from .parallel import exhaustive_verify_parallel
 
         return exhaustive_verify_parallel(entry, programs, jobs=jobs,
-                                          reduction=reduction, cache=cache,
+                                          reduction=reduction,
+                                          symmetry=symmetry, cache=cache,
                                           instrumentation=ins)
     result = ExhaustiveResult(entry.name)
     visit = _make_visit(entry, result, cache and engine == "fast", ins)
@@ -213,6 +218,7 @@ def exhaustive_verify(
                 make_system, programs, visit,
                 max_configurations=max_configurations,
                 reduction=entry.reduction if reduction is None else reduction,
+                symmetry=entry.symmetry if symmetry is None else symmetry,
                 stats=result.stats,
                 root_branch=root_branch,
                 fingerprints=fingerprints,
@@ -233,6 +239,7 @@ def exhaustive_verify_state(
     max_configurations: Optional[int] = None,
     engine: str = "fast",
     reduction: Optional[bool] = None,
+    symmetry: Optional[bool] = None,
     cache: bool = True,
     jobs: int = 1,
     root_branch: Optional[int] = None,
@@ -244,8 +251,8 @@ def exhaustive_verify_state(
     Explores every interleaving of the programs with up to ``max_gossips``
     gossip steps (see :mod:`repro.runtime.state_explore`) and checks the
     EO/TO candidate linearization plus convergence on each.  ``engine``,
-    ``reduction``, ``cache``, ``jobs`` and ``instrumentation`` behave as
-    in :func:`exhaustive_verify`.
+    ``reduction``, ``symmetry``, ``cache``, ``jobs`` and
+    ``instrumentation`` behave as in :func:`exhaustive_verify`.
     """
     from ..runtime.state_explore import explore_state_programs
     from ..runtime.state_system import StateBasedSystem
@@ -265,7 +272,8 @@ def exhaustive_verify_state(
 
         return exhaustive_verify_parallel(
             entry, programs, jobs=jobs, max_gossips=max_gossips,
-            reduction=reduction, cache=cache, instrumentation=ins,
+            reduction=reduction, symmetry=symmetry, cache=cache,
+            instrumentation=ins,
         )
     result = ExhaustiveResult(entry.name)
     visit = _make_visit(entry, result, cache and engine == "fast", ins)
@@ -288,6 +296,7 @@ def exhaustive_verify_state(
                 max_gossips=max_gossips,
                 max_configurations=max_configurations,
                 reduction=entry.reduction if reduction is None else reduction,
+                symmetry=entry.symmetry if symmetry is None else symmetry,
                 stats=result.stats,
                 root_branch=root_branch,
                 fingerprints=fingerprints,

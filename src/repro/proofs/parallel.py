@@ -38,6 +38,8 @@ from ..core.ralin import CheckStats
 from ..obs.instrument import Instrumentation, NULL_INSTRUMENTATION
 from ..runtime.explore_engine import ExploreStats
 from ..runtime.schedule import Program
+from ..runtime.symmetry import build_group, rename_transition
+from ..runtime.system import DEFAULT_OBJECT
 from .exhaustive import (
     ExhaustiveResult,
     exhaustive_verify,
@@ -47,14 +49,15 @@ from .exhaustive import (
 from .registry import ALL_ENTRIES, CRDTEntry, entry_by_name
 from .report import VerificationResult, verify_entry
 
-#: One work item, picklable:
-#: ``(entry name, programs, max_gossips, reduction, cache, branch, obs)``.
-#: ``max_gossips`` is ``None`` for op-based scopes; ``branch`` is a root
-#: branch index for a frontier-split shard, or ``None`` for the whole tree.
-#: ``obs`` is ``None`` (instrumentation off) or the observability envelope
-#: built by :func:`_obs_envelope`.
+#: One work item, picklable: ``(entry name, programs, max_gossips,
+#: reduction, symmetry, cache, branch, obs)``.  ``max_gossips`` is ``None``
+#: for op-based scopes; ``branch`` is a root branch index for a
+#: frontier-split shard, or ``None`` for the whole tree.  ``obs`` is
+#: ``None`` (instrumentation off) or the observability envelope built by
+#: :func:`_obs_envelope`.
 _BranchTask = Tuple[str, Dict[str, Program], Optional[int], Optional[bool],
-                    bool, Optional[int], Optional[Dict[str, Any]]]
+                    Optional[bool], bool, Optional[int],
+                    Optional[Dict[str, Any]]]
 
 
 def _obs_envelope(ins: Instrumentation) -> Optional[Dict[str, Any]]:
@@ -108,39 +111,75 @@ def _require_registered(entry: CRDTEntry) -> None:
         ) from None
 
 
-def _root_branch_count(
+def _root_transitions(
     kind: str, programs: Dict[str, Program], max_gossips: Optional[int]
-) -> int:
-    """Out-degree of the exploration root (mirrors the domains).
+) -> List[Tuple]:
+    """The exploration root's out-edges, in domain order.
 
     At the root no label has been generated, so the only op-based
     transitions are the first invocations; state-based roots additionally
-    offer every ordered gossip pair while budget remains.
+    offer every ordered gossip pair while budget remains.  Mirrors
+    ``_OpDomain.transitions`` / ``_StateDomain.transitions`` over
+    ``sorted(programs)`` (the replica order both systems are built with).
     """
-    invocations = sum(1 for program in programs.values() if program)
-    if kind == "OB":
-        return invocations
-    replicas = len(programs)
-    gossips = replicas * (replicas - 1) if (max_gossips or 0) > 0 else 0
-    return invocations + gossips
+    replicas = sorted(programs)
+    trans: List[Tuple] = [
+        ("inv", r, 0) for r in replicas if programs[r]
+    ]
+    if kind == "SB" and (max_gossips or 0) > 0:
+        for source in replicas:
+            for target in replicas:
+                if source != target:
+                    trans.append(("gos", source, target))
+    return trans
+
+
+def _symmetric_root_reps(
+    entry: CRDTEntry,
+    transitions: List[Tuple],
+    programs: Dict[str, Program],
+) -> List[int]:
+    """Indices of one root branch per replica-permutation orbit.
+
+    Two root transitions in the same orbit start subtrees whose
+    configurations are replica-renamings of each other; with orbit dedup
+    active inside every worker, fanning out both would do the second
+    subtree's work only to merge it away.  The kept representative is
+    always the orbit's *first* branch, so its sleep-set seeds (the earlier
+    branches) are preserved exactly as the serial engine builds them.
+    """
+    extra = (DEFAULT_OBJECT,) if entry.kind == "OB" else ()
+    group = build_group(programs, extra_names=extra)
+    if not group.enabled:
+        return list(range(len(transitions)))
+    seen_orbits = set()
+    kept = []
+    for index, transition in enumerate(transitions):
+        orbit = min(
+            rename_transition(transition, mapping) for mapping in group.maps
+        )
+        if orbit not in seen_orbits:
+            seen_orbits.add(orbit)
+            kept.append(index)
+    return kept
 
 
 def _branch_worker(task: _BranchTask):
-    name, programs, max_gossips, reduction, cache, branch, obs = task
+    name, programs, max_gossips, reduction, symmetry, cache, branch, obs = task
     ins = _worker_instrumentation(obs)
     entry = entry_by_name(name)
     fingerprints: set = set()
     with ins.span("parallel.task", entry=name, branch=branch):
         if entry.kind == "OB":
             result = exhaustive_verify(
-                entry, programs, reduction=reduction, cache=cache,
-                root_branch=branch, fingerprints=fingerprints,
+                entry, programs, reduction=reduction, symmetry=symmetry,
+                cache=cache, root_branch=branch, fingerprints=fingerprints,
                 instrumentation=ins,
             )
         else:
             result = exhaustive_verify_state(
                 entry, programs, max_gossips=max_gossips or 0,
-                reduction=reduction, cache=cache,
+                reduction=reduction, symmetry=symmetry, cache=cache,
                 root_branch=branch, fingerprints=fingerprints,
                 instrumentation=ins,
             )
@@ -189,6 +228,15 @@ def _merge_branches(
                 merged.stats.wall_time, stats.wall_time
             )
             merged.stats.capped |= stats.capped
+            merged.stats.symmetry_group = max(
+                merged.stats.symmetry_group, stats.symmetry_group
+            )
+            merged.stats.pinned_replicas = max(
+                merged.stats.pinned_replicas, stats.pinned_replicas
+            )
+            merged.stats.state_fp_cache_peak = max(
+                merged.stats.state_fp_cache_peak, stats.state_fp_cache_peak
+            )
         if result.check_stats is not None:
             saw_check_stats = True
             check_stats.checks += result.check_stats.checks
@@ -239,15 +287,20 @@ def _branch_tasks(
     programs: Dict[str, Program],
     max_gossips: Optional[int],
     reduction: Optional[bool],
+    symmetry: Optional[bool],
     cache: bool,
     obs: Optional[Dict[str, Any]] = None,
 ) -> List[_BranchTask]:
     _require_registered(entry)
     gossips = max_gossips if entry.kind == "SB" else None
-    branches = _root_branch_count(entry.kind, programs, gossips)
+    transitions = _root_transitions(entry.kind, programs, gossips)
+    branches = list(range(max(1, len(transitions))))
+    if (entry.symmetry if symmetry is None else symmetry) and transitions:
+        branches = _symmetric_root_reps(entry, transitions, programs)
     return [
-        (entry.name, programs, gossips, reduction, cache, branch, obs)
-        for branch in range(max(1, branches))
+        (entry.name, programs, gossips, reduction, symmetry, cache, branch,
+         obs)
+        for branch in branches
     ]
 
 
@@ -257,6 +310,7 @@ def exhaustive_verify_parallel(
     jobs: Optional[int] = None,
     max_gossips: int = 3,
     reduction: Optional[bool] = None,
+    symmetry: Optional[bool] = None,
     cache: bool = True,
     instrumentation: Optional[Instrumentation] = None,
 ) -> ExhaustiveResult:
@@ -266,7 +320,9 @@ def exhaustive_verify_parallel(
     :func:`exhaustive_verify_state` with the fast engine — same verdict,
     same distinct-configuration count — but the root subtrees are explored
     by ``jobs`` worker processes.  ``max_gossips`` only applies to
-    state-based entries.
+    state-based entries.  With orbit dedup active (``symmetry``), root
+    branches that are replica-renamings of an earlier branch are not
+    fanned out at all (:func:`_symmetric_root_reps`).
 
     With ``instrumentation`` enabled, each worker builds its own handle
     and ships its metrics/trace payload back; *work* counters are summed
@@ -277,8 +333,8 @@ def exhaustive_verify_parallel(
     ins = instrumentation if instrumentation is not None \
         else NULL_INSTRUMENTATION
     jobs = jobs or default_jobs()
-    tasks = _branch_tasks(entry, programs, max_gossips, reduction, cache,
-                          _obs_envelope(ins))
+    tasks = _branch_tasks(entry, programs, max_gossips, reduction, symmetry,
+                          cache, _obs_envelope(ins))
     workers = _worker_count(jobs, len(tasks))
     _record_pool(ins, len(tasks), workers)
     with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -295,6 +351,7 @@ def verify_scopes_parallel(
     scopes: Sequence[Tuple[CRDTEntry, Dict[str, Program], Optional[int]]],
     jobs: Optional[int] = None,
     reduction: Optional[bool] = None,
+    symmetry: Optional[bool] = None,
     cache: bool = True,
     instrumentation: Optional[Instrumentation] = None,
 ) -> "Dict[str, ExhaustiveResult]":
@@ -325,14 +382,15 @@ def verify_scopes_parallel(
     for entry, programs, max_gossips in scopes:
         if split:
             tasks.extend(
-                _branch_tasks(entry, programs, max_gossips, reduction, cache,
-                              obs)
+                _branch_tasks(entry, programs, max_gossips, reduction,
+                              symmetry, cache, obs)
             )
         else:
             _require_registered(entry)
             gossips = max_gossips if entry.kind == "SB" else None
             tasks.append(
-                (entry.name, programs, gossips, reduction, cache, None, obs)
+                (entry.name, programs, gossips, reduction, symmetry, cache,
+                 None, obs)
             )
     workers = _worker_count(jobs, len(tasks))
     _record_pool(ins, len(tasks), workers)

@@ -90,6 +90,16 @@ class CRDTEntry:
     #: modulo state dedup (the escape hatch for entries whose
     #: Commutativity property (Fig. 11) is known to fail).
     reduction: bool = True
+    #: Whether the exhaustive explorer may dedup configurations modulo
+    #: replica permutation (see ``runtime/symmetry.py``).  Sound whenever
+    #: the CRDT never *orders* timestamps minted by concurrent operations
+    #: in a value-observable way — Lamport timestamps tie-break on the
+    #: replica string, so renaming replicas is not an automorphism of the
+    #: timestamp order.  Set False for last-writer-wins semantics and for
+    #: Wooki (its degree/wid ordering is observable); sequence CRDTs that
+    #: only reorder *equal* values under symmetric programs (RGA) stay
+    #: True, guarded by the naive-vs-symmetry differential suite.
+    symmetry: bool = True
     #: Operations per chaos run (``repro chaos`` / the fault-injection
     #: soak).  Sequence CRDTs get a smaller budget: their histories grow
     #: long anchors chains, and the soak multiplies runs across every
@@ -183,6 +193,7 @@ FIGURE_12_ENTRIES: List[CRDTEntry] = [
         make_workload=RegisterWorkload,
         state_timestamps=_lww_register_state_timestamps,
         source="Johnson and Thomas 1975",
+        symmetry=False,
     ),
     CRDTEntry(
         name="Multi-Value Reg.",
@@ -204,6 +215,7 @@ FIGURE_12_ENTRIES: List[CRDTEntry] = [
         make_workload=LWWSetWorkload,
         state_timestamps=_lww_set_state_timestamps,
         source="Shapiro et al. 2011",
+        symmetry=False,
     ),
     CRDTEntry(
         name="2P-Set",
@@ -247,6 +259,7 @@ FIGURE_12_ENTRIES: List[CRDTEntry] = [
         make_workload=WookiWorkload,
         source="Weiss et al. 2007",
         chaos_operations=10,
+        symmetry=False,
     ),
 ]
 
@@ -273,6 +286,7 @@ EXTRA_ENTRIES: List[CRDTEntry] = [
         state_timestamps=_lww_register_state_timestamps,
         in_figure_12=False,
         source="Johnson and Thomas 1975",
+        symmetry=False,
     ),
     CRDTEntry(
         name="G-Counter",

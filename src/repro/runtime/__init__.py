@@ -23,12 +23,15 @@ from .explore_engine import (
     ExploreStats,
     explore_state_programs,
     op_config_key,
+    op_orbit_key,
     state_config_key,
+    state_orbit_key,
 )
 from .explore_naive import (
     explore_op_programs_naive,
     explore_state_programs_naive,
 )
+from .symmetry import SymmetryGroup, build_group, canon_key, replica_classes
 from .recording import dumps, loads, record_schedule, replay_schedule
 from .schedule import (
     explore_op_programs,
@@ -99,7 +102,13 @@ __all__ = [
     "explore_state_programs",
     "explore_state_programs_naive",
     "op_config_key",
+    "op_orbit_key",
     "random_op_execution",
     "random_state_execution",
     "state_config_key",
+    "state_orbit_key",
+    "SymmetryGroup",
+    "build_group",
+    "canon_key",
+    "replica_classes",
 ]

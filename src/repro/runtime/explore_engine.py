@@ -36,11 +36,28 @@ single DFS core with three stacked optimizations:
    immutable CRDT states between snapshots.  CRDTs with mutable states opt
    out via ``snapshot_safe = False`` and get the deepcopy fallback.
 
+4. **Replica-symmetry reduction** (``symmetry=True``, off by default at
+   this layer).  Replicas running identical programs are interchangeable;
+   the fingerprint is mapped to the lexicographically least image under
+   the permutation group of the symmetric replicas
+   (:mod:`repro.runtime.symmetry`), so an orbit of configurations is
+   explored once.  Replicas distinguished by asymmetric programs are
+   pinned.  Sleep sets are translated into the same canonical frame
+   before the subsumption check, keeping reductions 1 and 4 composable.
+
+Fingerprints are computed *incrementally*: each replica-indexed component
+(counter, returns, seen-set, clocks, state fingerprints) lives in a
+per-replica part that ``apply`` dirties and ``push``/``pop`` save and
+restore, so the per-node cost is proportional to the step's delta rather
+than the whole configuration.
+
 Correctness is guarded by a differential oracle (see
-``tests/runtime/test_explore_engine.py``): on every registry entry's
+``tests/runtime/test_explore_engine.py`` and
+``tests/runtime/test_explore_symmetry.py``): on every registry entry's
 standard programs the engine visits the same *set* of final
 configurations — same histories up to label-identity equivalence — as the
-naive explorer.
+naive explorer, and with symmetry on its visits are a system of orbit
+representatives partitioning the naive configuration set.
 
 The engine reports an :class:`ExploreStats` record (configurations,
 dedup hits, sleep-set prunes, peak DFS frontier, wall time) that
@@ -64,7 +81,13 @@ from typing import (
 from ..core.errors import PreconditionViolation
 from ..obs.instrument import Instrumentation, NULL_INSTRUMENTATION
 from .state_system import StateBasedSystem
+from .symmetry import SymmetryReducer, build_group, canon_key
 from .system import OpBasedSystem
+
+#: Per-state fingerprint caches are cleared past this many entries; the
+#: peak size is reported via ``ExploreStats.state_fp_cache_peak`` and the
+#: ``explore.state_fp_cache`` gauge.
+_STATE_FP_CACHE_LIMIT = 1 << 13
 
 #: A straight-line per-replica program: ``(method, args)`` steps, or
 #: ``(method, args, obj)`` when the system hosts several objects.
@@ -104,6 +127,14 @@ class ExploreStats:
     wall_time: float = 0.0
     #: True when ``max_configurations`` stopped the search.
     capped: bool = False
+    #: Order of the replica-permutation group used for orbit dedup
+    #: (1 = symmetry off or fully pinned).
+    symmetry_group: int = 1
+    #: Replicas pinned by asymmetric programs (or by the data-collision
+    #: guard) when symmetry was requested.
+    pinned_replicas: int = 0
+    #: Peak entry count of the per-state fingerprint cache.
+    state_fp_cache_peak: int = 0
 
     @property
     def dedup_ratio(self) -> float:
@@ -124,6 +155,9 @@ class ExploreStats:
             "wall_time": self.wall_time,
             "capped": self.capped,
             "dedup_ratio": self.dedup_ratio,
+            "symmetry_group": self.symmetry_group,
+            "pinned_replicas": self.pinned_replicas,
+            "state_fp_cache_peak": self.state_fp_cache_peak,
         }
 
 
@@ -161,6 +195,7 @@ class _OpDomain:
         require_quiescence: bool,
         reduction: bool,
         stats: ExploreStats,
+        symmetry: bool = False,
     ) -> None:
         self.system = system
         self.programs = programs
@@ -179,9 +214,15 @@ class _OpDomain:
         self._per_origin: Dict[Any, int] = {}
         self._lid_to_label: Dict[Lid, Any] = {}
         self._lid_order: List[Lid] = []
-        #: Generation-order label content, maintained with the lid maps so
-        #: fingerprint() does not re-tuple the whole order per DFS node.
-        self._labels_data: Tuple = ()
+        #: Label content keyed by logical id, maintained with the lid maps
+        #: so fingerprint() does not re-collect the whole order per DFS
+        #: node.  A *set*, not a sequence: the generation order of
+        #: concurrent operations is not observable in the configuration
+        #: (the lid pins each label to its program step, and visibility
+        #: carries the causal structure), and an order-insensitive label
+        #: component is what lets permuted-interleaving orbit members —
+        #: and plain interleaving variants — deduplicate.
+        self._labels_data: FrozenSet[Tuple] = frozenset()
         self._sync_lids()
         # Lid-valued mirrors of the system's seen-sets and visibility,
         # updated alongside apply() (the system's update discipline is
@@ -201,6 +242,26 @@ class _OpDomain:
             ((r, name), crdt)
             for r in self.replicas for name, crdt in self._objs
         ]
+        # Incremental fingerprint parts: one entry of replica-indexed
+        # components per replica, None = dirty (recomputed lazily by
+        # fingerprint()).  apply() dirties only the touched replica;
+        # push()/pop() save and restore the table, so the per-node
+        # fingerprint cost is O(delta), not O(configuration).  With
+        # symmetry on, entries hold the part's *fragment vector* (its
+        # canonical images under every group element) instead of the raw
+        # part; _glob_frags is the analogous vector of the replica-free
+        # component, dirtied only when labels/visibility change.
+        self._parts: Dict[str, Optional[Tuple]] = {
+            r: None for r in self.replicas
+        }
+        self._glob_frags: Optional[Tuple] = None
+        self.sym: Optional[SymmetryReducer] = None
+        if symmetry and len(self.replicas) > 1:
+            group = build_group(programs, extra_names=tuple(system.objects))
+            stats.symmetry_group = group.order
+            stats.pinned_replicas = len(group.pinned)
+            if group.enabled:
+                self.sym = SymmetryReducer(self.replicas, group)
 
     def _sync_lids(self) -> None:
         """Extend the lid maps with labels generated since the last sync."""
@@ -212,10 +273,10 @@ class _OpDomain:
             self._lids[label.uid] = lid
             self._lid_to_label[lid] = label
             self._lid_order.append(lid)
-            self._labels_data += (
-                (label.origin, label.obj, label.method, label.args,
+            self._labels_data |= {
+                (lid, label.obj, label.method, label.args,
                  label.ret, label.ts),
-            )
+            }
 
     def _rebuild_mirrors(self) -> None:
         lids = self._lids
@@ -279,10 +340,13 @@ class _OpDomain:
             self._causal_lids[lid] = frozenset(
                 lids[p.uid] for p in self.system._causal_preds[label]
             )
+            self._parts[replica] = None
+            self._glob_frags = None
             return True
         label = self._lid_to_label[payload]
         self.system.deliver(replica, label)
         self._seen_lids[replica] = self._seen_lids[replica] | {payload}
+        self._parts[replica] = None
         return True
 
     # -- branching ------------------------------------------------------
@@ -306,11 +370,18 @@ class _OpDomain:
             self._labels_data,
             dict(self._seen_lids),
             self._vis_lids,
+            dict(self._parts),
+            self._glob_frags,
         )
 
     def pop(self, token: Tuple) -> None:
         (system_token, counters, returns, lids, per_origin, lid_to_label,
-         lid_order, causal_lids, labels_data, seen_lids, vis_lids) = token
+         lid_order, causal_lids, labels_data, seen_lids, vis_lids,
+         parts, glob_frags) = token
+        # Part entries are immutable values: restoring the shallow copy
+        # re-marks exactly the replicas that were dirty at push time.
+        self._parts = dict(parts)
+        self._glob_frags = glob_frags
         if self.use_snapshots:
             self.system.restore(system_token)
             self._lids = dict(lids)
@@ -330,7 +401,7 @@ class _OpDomain:
             self._per_origin = {}
             self._lid_to_label = {}
             self._lid_order = []
-            self._labels_data = ()
+            self._labels_data = frozenset()
             self._sync_lids()
             self._rebuild_mirrors()
             self._objs = sorted(self.system.objects.items())
@@ -386,32 +457,72 @@ class _OpDomain:
     # -- fingerprinting -------------------------------------------------
 
     def _state_fp(self, crdt, state) -> Any:
-        cached = self._state_fps.get(id(state))
+        cache = self._state_fps
+        cached = cache.get(id(state))
         if cached is not None and cached[0] is state:
             return cached[1]
         fp = crdt.fingerprint(state)
-        self._state_fps[id(state)] = (state, fp)
+        if len(cache) >= _STATE_FP_CACHE_LIMIT:
+            cache.clear()
+        cache[id(state)] = (state, fp)
+        if len(cache) > self.stats.state_fp_cache_peak:
+            self.stats.state_fp_cache_peak = len(cache)
         return fp
 
-    def fingerprint(self) -> Tuple:
+    def _compute_part(self, replica: str) -> Tuple:
+        """The replica-indexed fingerprint components of one replica."""
         system = self.system
-        labels_data = self._labels_data
-        system_states = system._states
-        state_fp = self._state_fp
-        states = tuple(
-            [state_fp(crdt, system_states[key])
-             for key, crdt in self._state_keys]
-        )
-        seen = tuple(self._seen_lids[r] for r in self.replicas)
-        vis = self._vis_lids
+        states = system._states
         generators = system._generators
-        clocks = tuple(
-            (name, tuple(sorted(generators[name]._clocks.items())))
-            for name in self._gen_names
+        state_fp = self._state_fp
+        return (
+            self.counters[replica],
+            tuple(self.returns[replica]),
+            self._seen_lids[replica],
+            tuple(
+                generators[name].clock(replica) for name in self._gen_names
+            ),
+            tuple(
+                state_fp(crdt, states[(replica, name)])
+                for name, crdt in self._objs
+            ),
         )
-        counters = tuple(self.counters[r] for r in self.replicas)
-        rets = tuple(tuple(self.returns[r]) for r in self.replicas)
-        return (counters, rets, labels_data, states, seen, vis, clocks)
+
+    def fingerprint(self) -> Any:
+        parts = self._parts
+        sym = self.sym
+        if sym is None:
+            for replica in self.replicas:
+                if parts[replica] is None:
+                    parts[replica] = self._compute_part(replica)
+            return (
+                tuple(parts[r] for r in self.replicas),
+                (self._labels_data, self._vis_lids),
+            )
+        for replica in self.replicas:
+            if parts[replica] is None:
+                parts[replica] = sym.part_fragments(
+                    self._compute_part(replica)
+                )
+        if self._glob_frags is None:
+            self._glob_frags = sym.glob_fragments(
+                (self._labels_data, self._vis_lids)
+            )
+        return sym.canonical(parts, self._glob_frags)
+
+    def canon_sleep(self, sleep: FrozenSet[Transition]) -> Any:
+        """Translate a sleep set into the frame of the latest fingerprint.
+
+        With symmetry on, the fingerprint is the image of the
+        configuration under the minimizing permutation π*; sleep sets
+        recorded against it must live in the same frame, so subsumption
+        compares schedules of the *canonical* configuration, not of
+        whichever orbit member happened to arrive.
+        """
+        sym = self.sym
+        if sym is None or not sleep:
+            return sleep
+        return sym.rename_transitions(sleep)
 
     def visit_args(self) -> Tuple[Any, Dict[str, List[Any]]]:
         return self.system, self.returns
@@ -427,6 +538,7 @@ class _StateDomain:
         max_gossips: int,
         reduction: bool,
         stats: ExploreStats,
+        symmetry: bool = False,
     ) -> None:
         self.system = system
         self.programs = programs
@@ -439,10 +551,22 @@ class _StateDomain:
         self.returns: Dict[str, List[Any]] = {r: [] for r in programs}
         self._lids: Dict[int, Lid] = {}
         self._per_origin: Dict[Any, int] = {}
-        self._labels_data: Tuple = ()
+        self._labels_data: FrozenSet[Tuple] = frozenset()
         self._sync_lids()
         self._rebuild_mirrors()
         self._state_fps: Dict[int, Tuple[Any, Any]] = {}
+        # Incremental fingerprint parts — same discipline as _OpDomain.
+        self._parts: Dict[str, Optional[Tuple]] = {
+            r: None for r in self.replicas
+        }
+        self._glob_frags: Optional[Tuple] = None
+        self.sym: Optional[SymmetryReducer] = None
+        if symmetry and len(self.replicas) > 1:
+            group = build_group(programs)
+            stats.symmetry_group = group.order
+            stats.pinned_replicas = len(group.pinned)
+            if group.enabled:
+                self.sym = SymmetryReducer(self.replicas, group)
 
     def _sync_lids(self) -> None:
         """Extend the lid map with labels generated since the last sync."""
@@ -450,10 +574,11 @@ class _StateDomain:
         for label in order[len(self._lids):]:
             seq = self._per_origin.get(label.origin, 0)
             self._per_origin[label.origin] = seq + 1
-            self._lids[label.uid] = (label.origin, seq)
-            self._labels_data += (
-                (label.origin, label.method, label.args, label.ret, label.ts),
-            )
+            lid = (label.origin, seq)
+            self._lids[label.uid] = lid
+            self._labels_data |= {
+                (lid, label.method, label.args, label.ret, label.ts),
+            }
 
     def _rebuild_mirrors(self) -> None:
         """Recompute the lid-based seen/vis mirrors from the system."""
@@ -500,10 +625,16 @@ class _StateDomain:
             seen = self._seen_lids[first]
             self._vis_lids |= {(prior, lid) for prior in seen}
             self._seen_lids[first] = seen | {lid}
+            self._parts[first] = None
+            self._glob_frags = None
             return True
         self.system.gossip(first, second)
         self._seen_lids[second] = self._seen_lids[second] | self._seen_lids[first]
         self.budget -= 1
+        # Gossip mutates only the target replica (the source is read) —
+        # plus the global budget, which lives in the glob component.
+        self._parts[second] = None
+        self._glob_frags = None
         return True
 
     # -- branching ------------------------------------------------------
@@ -525,11 +656,15 @@ class _StateDomain:
             self._labels_data,
             dict(self._seen_lids),
             self._vis_lids,
+            dict(self._parts),
+            self._glob_frags,
         )
 
     def pop(self, token: Tuple) -> None:
         (system_token, counters, returns, budget, lids, per_origin,
-         labels_data, seen_lids, vis_lids) = token
+         labels_data, seen_lids, vis_lids, parts, glob_frags) = token
+        self._parts = dict(parts)
+        self._glob_frags = glob_frags
         if self.use_snapshots:
             self.system.restore(system_token)
             self._lids = dict(lids)
@@ -542,7 +677,7 @@ class _StateDomain:
             self.system = copy.deepcopy(system_token)
             self._lids = {}
             self._per_origin = {}
-            self._labels_data = ()
+            self._labels_data = frozenset()
             self._sync_lids()
             self._rebuild_mirrors()
         self.counters = dict(counters)
@@ -591,31 +726,60 @@ class _StateDomain:
     # -- fingerprinting -------------------------------------------------
 
     def _state_fp(self, state) -> Any:
-        cached = self._state_fps.get(id(state))
+        cache = self._state_fps
+        cached = cache.get(id(state))
         if cached is not None and cached[0] is state:
             return cached[1]
         fp = self.system.crdt.fingerprint(state)
-        self._state_fps[id(state)] = (state, fp)
+        if len(cache) >= _STATE_FP_CACHE_LIMIT:
+            cache.clear()
+        cache[id(state)] = (state, fp)
+        if len(cache) > self.stats.state_fp_cache_peak:
+            self.stats.state_fp_cache_peak = len(cache)
         return fp
 
-    def fingerprint(self) -> Tuple:
+    def _compute_part(self, replica: str) -> Tuple:
+        """The replica-indexed fingerprint components of one replica."""
         system = self.system
-        labels_data = self._labels_data
-        states = tuple(
-            self._state_fp(system._states[r]) for r in self.replicas
+        return (
+            self.counters[replica],
+            tuple(self.returns[replica]),
+            self._seen_lids[replica],
+            system._generator.clock(replica),
+            self._state_fp(system._states[replica]),
         )
-        seen = tuple(self._seen_lids[r] for r in self.replicas)
-        vis = self._vis_lids
-        clocks = tuple(sorted(system._generator._clocks.items()))
-        counters = tuple(self.counters[r] for r in self.replicas)
-        rets = tuple(tuple(self.returns[r]) for r in self.replicas)
+
+    def fingerprint(self) -> Any:
+        parts = self._parts
+        sym = self.sym
         # The message/event logs are excluded deliberately: exploration
         # never re-reads old messages (gossip snapshots afresh), and the
         # visit callbacks observe history/states only.
-        return (
-            counters, rets, labels_data, states, seen, vis, clocks,
-            self.budget,
-        )
+        if sym is None:
+            for replica in self.replicas:
+                if parts[replica] is None:
+                    parts[replica] = self._compute_part(replica)
+            return (
+                tuple(parts[r] for r in self.replicas),
+                (self._labels_data, self._vis_lids, self.budget),
+            )
+        for replica in self.replicas:
+            if parts[replica] is None:
+                parts[replica] = sym.part_fragments(
+                    self._compute_part(replica)
+                )
+        if self._glob_frags is None:
+            self._glob_frags = sym.glob_fragments(
+                (self._labels_data, self._vis_lids, self.budget)
+            )
+        return sym.canonical(parts, self._glob_frags)
+
+    def canon_sleep(self, sleep: FrozenSet[Transition]) -> Any:
+        """See :meth:`_OpDomain.canon_sleep`."""
+        sym = self.sym
+        if sym is None or not sleep:
+            return sleep
+        return sym.rename_transitions(sleep)
 
     def visit_args(self) -> Tuple[Any, Dict[str, List[Any]]]:
         return self.system, self.returns
@@ -737,14 +901,19 @@ class _Engine:
         if not transitions:
             return
         if self.dedup:
+            # Sleep sets are compared in the canonical frame: under
+            # symmetry, orbit members arriving with differently-named
+            # schedules must subsume each other iff their canonical
+            # images do (canon_sleep is the identity with symmetry off).
+            sleep_key = domain.canon_sleep(sleep)
             # One setdefault = one hash of the (large, nested) fingerprint
             # tuple; a get-then-setdefault pair would hash it twice.
             recorded_sets = self._expanded.setdefault(fingerprint, [])
             for recorded in recorded_sets:
-                if recorded <= sleep:
+                if recorded <= sleep_key:
                     stats.states_deduped += 1
                     return
-            recorded_sets.append(sleep)
+            recorded_sets.append(sleep_key)
         token = domain.push()
         done: List[Transition] = []
         for transition in transitions:
@@ -782,6 +951,7 @@ def explore_op_programs(
     root_branch: Optional[int] = None,
     fingerprints: Optional[set] = None,
     instrumentation: Optional[Instrumentation] = None,
+    symmetry: bool = False,
 ) -> int:
     """Run per-replica ``programs`` under every op-based interleaving.
 
@@ -794,6 +964,9 @@ def explore_op_programs(
     ``reduction=False`` disables the commutativity-based sleep sets (the
     per-entry escape hatch); ``dedup=False`` additionally disables
     fingerprint deduplication, recovering the naive enumeration order.
+    ``symmetry=True`` dedups on orbit representatives under replica
+    permutation (see :mod:`repro.runtime.symmetry`): ``visit`` then fires
+    once per orbit and ``max_configurations`` caps the *orbit* count.
     ``stats`` may be a caller-provided :class:`ExploreStats` to fill in.
 
     ``root_branch=i`` explores only the subtree under the i-th initial
@@ -809,10 +982,11 @@ def explore_op_programs(
     ins = instrumentation if instrumentation is not None \
         else NULL_INSTRUMENTATION
     domain = _OpDomain(
-        make_system(), programs, require_quiescence, reduction, stats
+        make_system(), programs, require_quiescence, reduction, stats,
+        symmetry=symmetry,
     )
     with ins.span("explore.op", replicas=len(programs),
-                  root_branch=root_branch) as span:
+                  root_branch=root_branch, symmetry=symmetry) as span:
         _Engine(
             domain, visit, max_configurations, dedup, stats,
             fingerprints=fingerprints,
@@ -836,22 +1010,25 @@ def explore_state_programs(
     root_branch: Optional[int] = None,
     fingerprints: Optional[set] = None,
     instrumentation: Optional[Instrumentation] = None,
+    symmetry: bool = False,
 ) -> int:
     """Run ``programs`` under every bounded state-based interleaving.
 
-    Same optimization/escape-hatch knobs (and instrumentation hook) as
-    :func:`explore_op_programs`; ``visit`` fires on every configuration
-    whose programs have finished, including ones with leftover gossip
-    budget (partial propagation).
+    Same optimization/escape-hatch knobs (``symmetry`` included) and
+    instrumentation hook as :func:`explore_op_programs`; ``visit`` fires
+    on every configuration whose programs have finished, including ones
+    with leftover gossip budget (partial propagation).
     """
     stats = stats if stats is not None else ExploreStats()
     ins = instrumentation if instrumentation is not None \
         else NULL_INSTRUMENTATION
     domain = _StateDomain(
-        make_system(), programs, max_gossips, reduction, stats
+        make_system(), programs, max_gossips, reduction, stats,
+        symmetry=symmetry,
     )
     with ins.span("explore.state", replicas=len(programs),
-                  max_gossips=max_gossips, root_branch=root_branch) as span:
+                  max_gossips=max_gossips, root_branch=root_branch,
+                  symmetry=symmetry) as span:
         _Engine(
             domain, visit, max_configurations, dedup, stats,
             fingerprints=fingerprints,
@@ -918,3 +1095,50 @@ def state_config_key(
     )
     rets = tuple(sorted((r, tuple(v)) for r, v in returns.items()))
     return (labels, vis, seen, states, rets)
+
+
+# ----------------------------------------------------------------------
+# Orbit keys (the symmetry-differential-oracle equivalence)
+# ----------------------------------------------------------------------
+
+
+def op_orbit_key(
+    system: OpBasedSystem,
+    returns: Dict[str, List[Any]],
+    programs: Dict[str, Program],
+) -> Tuple:
+    """The canonical orbit key of a final configuration.
+
+    Two final configurations get equal orbit keys iff their
+    :func:`op_config_key` keys are images of each other under a
+    permutation of the symmetric replicas of ``programs`` (identity
+    included) — the same group the engine dedups over with
+    ``symmetry=True``, applied to the *order-insensitive* config key (the
+    engine's internal fingerprint additionally distinguishes generation
+    order, which the sleep-set reduction deliberately prunes).  The
+    symmetry-differential tests group the naive explorer's configurations
+    by this key — a partition — and check the fast engine visited a
+    representative of every part and nothing outside.
+    """
+    group = build_group(programs, extra_names=tuple(system.objects))
+    labels, vis, seen, states, rets = op_config_key(system, returns)
+    # The per-replica components are tuples *ordered by replica name*;
+    # renaming inside an ordered tuple would not reorder the slots, so
+    # turn them into sets first (entries stay unique — each is keyed by
+    # its replica name) and let canon_key sort them after renaming.
+    key = (labels, vis, frozenset(seen), frozenset(states), frozenset(rets))
+    return min(canon_key(key, mapping) for mapping in group.maps)
+
+
+def state_orbit_key(
+    system: StateBasedSystem,
+    returns: Dict[str, List[Any]],
+    programs: Dict[str, Program],
+) -> Tuple:
+    """State-based analogue of :func:`op_orbit_key` (over
+    :func:`state_config_key`, which already collapses leftover-budget
+    duplicates identically on the naive and engine sides)."""
+    group = build_group(programs)
+    labels, vis, seen, states, rets = state_config_key(system, returns)
+    key = (labels, vis, frozenset(seen), frozenset(states), frozenset(rets))
+    return min(canon_key(key, mapping) for mapping in group.maps)

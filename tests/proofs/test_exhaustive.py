@@ -59,3 +59,38 @@ def test_unknown_engine_rejected():
     entry = entry_by_name("Counter")
     with pytest.raises(ValueError, match="unknown engine"):
         exhaustive_verify(entry, standard_programs(entry), engine="fastt")
+
+
+class TestSymmetryThreading:
+    """The ``symmetry`` override and the ``CRDTEntry.symmetry`` default."""
+
+    SYM_PROGRAMS = {
+        "r1": [("inc", ()), ("read", ())],
+        "r2": [("inc", ()), ("read", ())],
+    }
+
+    def test_verdict_matches_naive_engine(self):
+        entry = entry_by_name("Counter")
+        naive = exhaustive_verify(entry, self.SYM_PROGRAMS, engine="naive")
+        fast = exhaustive_verify(entry, self.SYM_PROGRAMS)
+        assert fast.ok == naive.ok
+        assert fast.stats.symmetry_group == 2
+
+    def test_override_beats_entry_default(self):
+        entry = entry_by_name("Counter")
+        on = exhaustive_verify(entry, self.SYM_PROGRAMS)
+        off = exhaustive_verify(entry, self.SYM_PROGRAMS, symmetry=False)
+        assert off.stats.symmetry_group == 1
+        assert on.configurations < off.configurations
+        assert on.ok == off.ok
+
+    def test_hatched_entry_defaults_to_no_symmetry(self):
+        entry = entry_by_name("LWW-Register")
+        programs = {
+            "r1": [("write", ("a",)), ("read", ())],
+            "r2": [("write", ("a",)), ("read", ())],
+        }
+        result = exhaustive_verify(entry, programs)
+        assert result.stats.symmetry_group == 1
+        forced = exhaustive_verify(entry, programs, symmetry=True)
+        assert forced.stats.symmetry_group == 2

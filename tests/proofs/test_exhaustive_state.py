@@ -21,7 +21,9 @@ def test_state_based_small_scope(entry):
     assert result.ok, result.failures
     # Distinct final configurations, not raw interleavings (the engine
     # dedups and prunes commuting schedules; see docs/exploration.md).
-    assert result.configurations >= 40
+    # G-Counter's standard programs are replica-symmetric, so its count
+    # is *orbits* under replica permutation (32 vs 59 raw).
+    assert result.configurations >= 30
     assert result.stats is not None and result.stats.states_deduped > 0
 
 

@@ -102,3 +102,56 @@ class TestGuards:
         assert _worker_count(4, 0) == 1  # floor of one
         import os
         assert _worker_count(64, 64) <= (os.cpu_count() or 64)
+
+
+class TestSymmetricSharding:
+    """Orbit-aware frontier split: symmetric root branches are not fanned
+    out, and the merged result still equals the serial symmetric run."""
+
+    SYM_PROGRAMS = {
+        "r1": [("inc", ()), ("read", ())],
+        "r2": [("inc", ()), ("read", ())],
+    }
+
+    def test_op_based_matches_serial_with_symmetry(self):
+        entry = entry_by_name("Counter")
+        serial = exhaustive_verify(entry, self.SYM_PROGRAMS)
+        split = exhaustive_verify_parallel(entry, self.SYM_PROGRAMS, jobs=4)
+        assert split.ok == serial.ok
+        assert split.configurations == serial.configurations
+        assert split.stats.symmetry_group == 2
+
+    def test_state_based_matches_serial_with_symmetry(self):
+        entry = entry_by_name("G-Counter")
+        serial = exhaustive_verify_state(
+            entry, self.SYM_PROGRAMS, max_gossips=2
+        )
+        split = exhaustive_verify_parallel(
+            entry, self.SYM_PROGRAMS, jobs=4, max_gossips=2
+        )
+        assert split.ok == serial.ok
+        assert split.configurations == serial.configurations
+
+    def test_symmetry_override_off_matches_serial(self):
+        entry = entry_by_name("Counter")
+        serial = exhaustive_verify(entry, self.SYM_PROGRAMS, symmetry=False)
+        split = exhaustive_verify_parallel(
+            entry, self.SYM_PROGRAMS, jobs=4, symmetry=False
+        )
+        assert split.configurations == serial.configurations
+        assert split.configurations > exhaustive_verify_parallel(
+            entry, self.SYM_PROGRAMS, jobs=4
+        ).configurations
+
+    def test_symmetric_branches_are_skipped(self):
+        from repro.proofs.parallel import _branch_tasks, _root_transitions
+
+        entry = entry_by_name("Counter")
+        transitions = _root_transitions("OB", self.SYM_PROGRAMS, None)
+        assert len(transitions) == 2
+        tasks = _branch_tasks(entry, self.SYM_PROGRAMS, None, None, None,
+                              True)
+        assert [task[6] for task in tasks] == [0]  # second branch ≅ first
+        tasks_off = _branch_tasks(entry, self.SYM_PROGRAMS, None, None,
+                                  False, True)
+        assert [task[6] for task in tasks_off] == [0, 1]

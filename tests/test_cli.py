@@ -68,6 +68,26 @@ class TestObservability:
         err = capsys.readouterr().err
         assert "unknown scope" in err and "or_set" in err
 
+    def test_exhaustive_no_symmetry_flag(self, capsys):
+        assert main(["exhaustive", "--scope", "counter",
+                     "--no-symmetry"]) == 0
+        out = capsys.readouterr().out
+        assert "Counter" in out and "ok" in out
+
+    def test_jobs_zero_means_all_cores(self, capsys):
+        # 0 resolves to default_jobs() (all cores); the verdict and the
+        # configuration count must match the serial run.
+        assert main(["exhaustive", "--scope", "counter"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["exhaustive", "--scope", "counter",
+                     "--jobs", "0"]) == 0
+        parallel = capsys.readouterr().out
+        serial_row = next(l for l in serial.splitlines() if "Counter" in l)
+        parallel_row = next(
+            l for l in parallel.splitlines() if "Counter" in l
+        )
+        assert serial_row.split()[1] == parallel_row.split()[1]  # configs
+
     def test_exhaustive_metrics_stats_round_trip(self, capsys, tmp_path):
         path = str(tmp_path / "metrics.json")
         assert main(["exhaustive", "--scope", "counter",
