@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-explore bench-verify figures table mutants exhaustive chaos examples all
+.PHONY: install test bench bench-explore bench-steal bench-verify figures table mutants exhaustive chaos examples all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,6 +18,12 @@ bench:
 # Add -m slow for the 3-replica scopes (minutes).
 bench-explore:
 	$(PYTHON) -m pytest benchmarks/test_bench_explore_engine.py --benchmark-only -s
+
+# Work-stealing scheduler vs. static fan-out + fingerprint-store
+# memory tiers; merges steal_3r / fp_store sections into
+# BENCH_explore.json.  Add -m slow for the 4-replica spill scope.
+bench-steal:
+	$(PYTHON) -m pytest benchmarks/test_bench_steal.py --benchmark-only -s
 
 # PR-1 serial baseline vs. incremental checking vs. --jobs 4; refreshes
 # BENCH_verify.json.  Needs git history for the pinned baseline commit.

@@ -230,12 +230,14 @@ def cmd_exhaustive(args: argparse.Namespace) -> int:
         scopes = [(entry, standard_programs(entry), None) for entry in entries]
         merged = verify_scopes_parallel(scopes, jobs=args.jobs,
                                         symmetry=symmetry,
+                                        steal=args.steal, spill=args.spill,
                                         instrumentation=ins)
         results = [merged[entry.name] for entry in entries]
     else:
         results = [
             exhaustive_verify(entry, standard_programs(entry),
-                              symmetry=symmetry, instrumentation=ins)
+                              symmetry=symmetry, spill=args.spill,
+                              instrumentation=ins)
             for entry in entries
         ]
     print(format_exhaustive(
@@ -355,6 +357,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-symmetry", action="store_true", dest="no_symmetry",
         help="disable replica-orbit deduplication (count raw "
              "configurations instead of orbits; see docs/exploration.md)",
+    )
+    exhaustive.add_argument(
+        "--steal", action="store_true", dest="steal", default=None,
+        help="with --jobs N, re-balance skewed subtrees via the "
+             "work-stealing scheduler (the default; see "
+             "docs/performance.md)",
+    )
+    exhaustive.add_argument(
+        "--no-steal", action="store_false", dest="steal",
+        help="with --jobs N, use the static root-branch frontier split "
+             "instead of work stealing",
+    )
+    exhaustive.add_argument(
+        "--spill", metavar="DIR", default=None,
+        help="intern fingerprints as fixed-width digests and spill the "
+             "visited/expanded records to a scratch sqlite file under DIR "
+             "(bounded-memory exploration for large scopes)",
     )
     exhaustive.add_argument(
         "--scope", default=None,

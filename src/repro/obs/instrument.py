@@ -160,6 +160,50 @@ class Instrumentation:
         )
         if stats.capped:
             m.counter("explore.capped", **labels).inc()
+        if stats.steal_splits:
+            m.counter("explore.steal.splits", **labels).inc(
+                stats.steal_splits
+            )
+        if stats.steal_spawned:
+            m.counter("explore.steal.spawned", **labels).inc(
+                stats.steal_spawned
+            )
+
+    def record_steal(self, stats: Any) -> None:
+        """Record one work-stealing pool run's scheduler counters.
+
+        All ``explore.steal.*`` instruments are *work* metrics: how the
+        dynamic scheduler carved the search into tasks is load- and
+        timing-dependent, so totals vary run-to-run even though the
+        merged verification result does not.
+        """
+        if self.metrics is None:
+            return
+        m = self.metrics
+        m.gauge("explore.steal.workers", policy="max").set(stats.workers)
+        m.counter("explore.steal.tasks").inc(stats.tasks)
+        m.counter("explore.steal.seed_tasks").inc(stats.seed_tasks)
+        m.counter("explore.steal.stolen_tasks").inc(stats.stolen_tasks)
+        m.counter("explore.steal.idle_seconds").inc(stats.idle_seconds)
+        m.counter("explore.steal.wall_seconds").inc(stats.wall_time)
+
+    def record_fp_store(self, stats: Any,
+                        entry: Optional[str] = None) -> None:
+        """Record one :class:`FingerprintStore`'s counters (work metrics)."""
+        if self.metrics is None:
+            return
+        m = self.metrics
+        labels = {"entry": entry} if entry is not None else {}
+        m.counter("explore.fp_store.lookups", **labels).inc(stats.lookups)
+        m.counter("explore.fp_store.hits", **labels).inc(stats.hits)
+        m.counter("explore.fp_store.unique", **labels).inc(stats.unique)
+        m.counter("explore.fp_store.evictions", **labels).inc(
+            stats.evictions
+        )
+        m.counter("explore.fp_store.spilled", **labels).inc(stats.spilled)
+        m.counter("explore.fp_store.unchecked_hits", **labels).inc(
+            stats.unchecked_hits
+        )
 
     def record_check(self, stats: Any, entry: Optional[str] = None) -> None:
         """Fold one :class:`RACheckContext`'s :class:`CheckStats` in."""

@@ -33,6 +33,12 @@ from .parallel import (
     verify_scopes_parallel,
 )
 from .refinement import RefinementReport, check_refinement
+from .steal import (
+    STEAL_DEFAULT,
+    StealStats,
+    exhaustive_verify_steal,
+    verify_scopes_steal,
+)
 from .registry import (
     ALL_ENTRIES,
     EXTRA_ENTRIES,
@@ -83,6 +89,10 @@ __all__ = [
     "verify_entries_parallel",
     "verify_mutant",
     "verify_scopes_parallel",
+    "STEAL_DEFAULT",
+    "StealStats",
+    "exhaustive_verify_steal",
+    "verify_scopes_steal",
     "ALL_ENTRIES",
     "CRDTEntry",
     "CommutativityViolation",

@@ -31,6 +31,7 @@ from ..runtime.explore_naive import (
     explore_op_programs_naive,
     explore_state_programs_naive,
 )
+from ..runtime.fp_store import FingerprintStore, FPStoreStats
 from ..runtime.schedule import Program, explore_op_programs
 from ..runtime.system import OpBasedSystem
 from .registry import CRDTEntry
@@ -50,6 +51,9 @@ class ExhaustiveResult:
     #: Verification-cache counters (verdict memo, frontier trie); None
     #: when caching was disabled (``cache=False``).
     check_stats: Optional[CheckStats] = None
+    #: Fingerprint-store counters when digest interning was active
+    #: (``--spill`` or the work-stealing path); None otherwise.
+    fp_store: Optional[FPStoreStats] = None
 
     def record(self, message: str) -> None:
         self.ok = False
@@ -151,6 +155,10 @@ def exhaustive_verify(
     root_branch: Optional[int] = None,
     fingerprints: Optional[set] = None,
     instrumentation: Optional[Instrumentation] = None,
+    steal: Optional[bool] = None,
+    spill: Optional[str] = None,
+    fp_store: bool = False,
+    oversubscribe: bool = False,
 ) -> ExhaustiveResult:
     """Check every interleaving of ``programs`` against the entry's class.
 
@@ -168,11 +176,22 @@ def exhaustive_verify(
 
     ``cache=False`` disables the shared verification caches (see
     :func:`_make_visit`).  ``jobs > 1`` fans the exploration out over
-    worker processes (frontier split; see :mod:`repro.proofs.parallel`) —
-    incompatible with ``max_configurations`` (the cap is a sequential
-    notion) and with the naive engine.  ``root_branch``/``fingerprints``
-    are the worker-side hooks of that fan-out and are rarely useful
-    directly.
+    worker processes — by default the work-stealing scheduler
+    (:mod:`repro.proofs.steal`), or the static root-branch fan-out with
+    ``steal=False`` (see :mod:`repro.proofs.parallel`).  The stealing
+    path shares ``max_configurations`` as a cross-worker budget so the
+    parallel cutoff lands on exactly the serial count; the static path
+    remains incompatible with it.  Neither supports the naive engine.
+    ``root_branch``/``fingerprints`` are the worker-side hooks of the
+    static fan-out and are rarely useful directly.
+
+    ``spill DIR`` interns fingerprints as fixed-width digests behind a
+    collision-checked :class:`FingerprintStore` and spills the
+    visited/expanded records to a scratch sqlite file under ``DIR`` with
+    an LRU in-memory tier — the 4-replica-scope memory valve (see
+    ``docs/performance.md``).  ``fp_store=True`` turns on digest
+    interning without the disk tier (compact in-memory fingerprints,
+    unbounded growth).
 
     ``instrumentation`` threads the observability handle through the
     whole run (scope span, exploration/cache metrics, the deterministic
@@ -189,18 +208,26 @@ def exhaustive_verify(
     ins = instrumentation if instrumentation is not None \
         else NULL_INSTRUMENTATION
     if jobs > 1:
-        if max_configurations is not None:
-            raise ValueError("jobs > 1 is incompatible with max_configurations")
         if engine == "naive":
             raise ValueError("jobs > 1 requires the fast engine")
         from .parallel import exhaustive_verify_parallel
 
-        return exhaustive_verify_parallel(entry, programs, jobs=jobs,
-                                          reduction=reduction,
-                                          symmetry=symmetry, cache=cache,
-                                          instrumentation=ins)
+        return exhaustive_verify_parallel(
+            entry, programs, jobs=jobs, reduction=reduction,
+            symmetry=symmetry, cache=cache, instrumentation=ins,
+            steal=steal, spill=spill,
+            max_configurations=max_configurations,
+            oversubscribe=oversubscribe,
+        )
     result = ExhaustiveResult(entry.name)
     visit = _make_visit(entry, result, cache and engine == "fast", ins)
+    store: Optional[FingerprintStore] = None
+    expanded = None
+    if (spill is not None or fp_store) and engine == "fast":
+        store = FingerprintStore(spill_dir=spill)
+        if fingerprints is None:
+            fingerprints = store.visited_set()
+        expanded = store.expanded_map()
 
     def make_system() -> OpBasedSystem:
         return OpBasedSystem(entry.make_crdt(), replicas=sorted(programs))
@@ -223,7 +250,14 @@ def exhaustive_verify(
                 root_branch=root_branch,
                 fingerprints=fingerprints,
                 instrumentation=ins,
+                fp_store=store,
+                expanded=expanded,
             )
+    if store is not None:
+        result.fp_store = store.stats
+        if ins.enabled:
+            ins.record_fp_store(store.stats, entry=entry.name)
+        store.close()
     if ins.enabled:
         if result.check_stats is not None:
             ins.record_check(result.check_stats, entry=entry.name)
@@ -245,14 +279,18 @@ def exhaustive_verify_state(
     root_branch: Optional[int] = None,
     fingerprints: Optional[set] = None,
     instrumentation: Optional[Instrumentation] = None,
+    steal: Optional[bool] = None,
+    spill: Optional[str] = None,
+    fp_store: bool = False,
+    oversubscribe: bool = False,
 ) -> ExhaustiveResult:
     """Bounded exhaustive verification of a state-based entry.
 
     Explores every interleaving of the programs with up to ``max_gossips``
     gossip steps (see :mod:`repro.runtime.state_explore`) and checks the
     EO/TO candidate linearization plus convergence on each.  ``engine``,
-    ``reduction``, ``symmetry``, ``cache``, ``jobs`` and
-    ``instrumentation`` behave as in :func:`exhaustive_verify`.
+    ``reduction``, ``symmetry``, ``cache``, ``jobs``, ``steal``, ``spill``
+    and ``instrumentation`` behave as in :func:`exhaustive_verify`.
     """
     from ..runtime.state_explore import explore_state_programs
     from ..runtime.state_system import StateBasedSystem
@@ -264,8 +302,6 @@ def exhaustive_verify_state(
     ins = instrumentation if instrumentation is not None \
         else NULL_INSTRUMENTATION
     if jobs > 1:
-        if max_configurations is not None:
-            raise ValueError("jobs > 1 is incompatible with max_configurations")
         if engine == "naive":
             raise ValueError("jobs > 1 requires the fast engine")
         from .parallel import exhaustive_verify_parallel
@@ -273,10 +309,19 @@ def exhaustive_verify_state(
         return exhaustive_verify_parallel(
             entry, programs, jobs=jobs, max_gossips=max_gossips,
             reduction=reduction, symmetry=symmetry, cache=cache,
-            instrumentation=ins,
+            instrumentation=ins, steal=steal, spill=spill,
+            max_configurations=max_configurations,
+            oversubscribe=oversubscribe,
         )
     result = ExhaustiveResult(entry.name)
     visit = _make_visit(entry, result, cache and engine == "fast", ins)
+    store: Optional[FingerprintStore] = None
+    expanded = None
+    if (spill is not None or fp_store) and engine == "fast":
+        store = FingerprintStore(spill_dir=spill)
+        if fingerprints is None:
+            fingerprints = store.visited_set()
+        expanded = store.expanded_map()
 
     def make_system() -> StateBasedSystem:
         return StateBasedSystem(entry.make_crdt(), replicas=sorted(programs))
@@ -301,7 +346,14 @@ def exhaustive_verify_state(
                 root_branch=root_branch,
                 fingerprints=fingerprints,
                 instrumentation=ins,
+                fp_store=store,
+                expanded=expanded,
             )
+    if store is not None:
+        result.fp_store = store.stats
+        if ins.enabled:
+            ins.record_fp_store(store.stats, entry=entry.name)
+        store.close()
     if ins.enabled:
         if result.check_stats is not None:
             ins.record_check(result.check_stats, entry=entry.name)

@@ -1,7 +1,9 @@
 """Process-parallel verification fan-out.
 
-Two sharding axes, both built on :class:`concurrent.futures.
-ProcessPoolExecutor`:
+By default the within-scope paths here delegate to the work-stealing
+scheduler (:mod:`repro.proofs.steal`, ``STEAL_DEFAULT``); ``steal=False``
+selects the static strategies below.  Two static sharding axes, both
+built on :class:`concurrent.futures.ProcessPoolExecutor`:
 
 * **Across registry entries** — :func:`verify_entries_parallel` runs the
   Fig. 12 randomized harness (``verify_entry``) for several catalogue
@@ -37,6 +39,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from ..core.ralin import CheckStats
 from ..obs.instrument import Instrumentation, NULL_INSTRUMENTATION
 from ..runtime.explore_engine import ExploreStats
+from ..runtime.fp_store import FPStoreStats
 from ..runtime.schedule import Program
 from ..runtime.symmetry import build_group, rename_transition
 from ..runtime.system import DEFAULT_OBJECT
@@ -48,6 +51,11 @@ from .exhaustive import (
 )
 from .registry import ALL_ENTRIES, CRDTEntry, entry_by_name
 from .report import VerificationResult, verify_entry
+
+#: Parallel exhaustive paths use the work-stealing scheduler
+#: (:mod:`repro.proofs.steal`) unless the caller opts out
+#: (``steal=False`` / ``--no-steal``).
+STEAL_DEFAULT = True
 
 #: One work item, picklable: ``(entry name, programs, max_gossips,
 #: reduction, symmetry, cache, branch, obs)``.  ``max_gossips`` is ``None``
@@ -90,15 +98,21 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def _worker_count(jobs: int, tasks: int) -> int:
+def _worker_count(jobs: int, tasks: int, oversubscribe: bool = False) -> int:
     """Effective pool size: ``jobs``, capped by tasks and physical cores.
 
     Verification workers are CPU-bound, so running more processes than
     cores never helps — it only adds context-switch and cache-contention
     overhead (measured ~15% on the exhaustive suite).  ``--jobs`` above
-    ``os.cpu_count()`` is therefore treated as "use every core".
+    ``os.cpu_count()`` is therefore treated as "use every core";
+    ``oversubscribe=True`` lifts the core cap (tests and benches that
+    need real multi-process behavior on small machines).  The task cap
+    always applies — idle processes would be pure fork overhead — and
+    ``tasks == 0`` collapses to 1 so callers can treat the result as a
+    pool size unconditionally.
     """
-    return max(1, min(jobs, tasks, os.cpu_count() or jobs))
+    capped = jobs if oversubscribe else min(jobs, os.cpu_count() or jobs)
+    return max(1, min(capped, tasks))
 
 
 def _require_registered(entry: CRDTEntry) -> None:
@@ -237,6 +251,12 @@ def _merge_branches(
             merged.stats.state_fp_cache_peak = max(
                 merged.stats.state_fp_cache_peak, stats.state_fp_cache_peak
             )
+            merged.stats.steal_splits += stats.steal_splits
+            merged.stats.steal_spawned += stats.steal_spawned
+        if result.fp_store is not None:
+            if merged.fp_store is None:
+                merged.fp_store = FPStoreStats()
+            merged.fp_store.merge(result.fp_store)
         if result.check_stats is not None:
             saw_check_stats = True
             check_stats.checks += result.check_stats.checks
@@ -282,6 +302,21 @@ def _record_pool(ins: Instrumentation, tasks: int, workers: int) -> None:
         ins.metrics.gauge("parallel.workers", policy="max").set(workers)
 
 
+def _run_branch_tasks(tasks: List[_BranchTask], workers: int) -> List[Tuple]:
+    """Map ``_branch_worker`` over ``tasks``, inline when the pool is 1.
+
+    A one-worker pool would serialize the tasks anyway; running them in
+    this process skips the fork, pickling, and pipe costs entirely (and
+    keeps single-core machines off the multiprocessing machinery).
+    """
+    if not tasks:
+        return []
+    if workers <= 1:
+        return [_branch_worker(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_branch_worker, tasks))
+
+
 def _branch_tasks(
     entry: CRDTEntry,
     programs: Dict[str, Program],
@@ -313,16 +348,28 @@ def exhaustive_verify_parallel(
     symmetry: Optional[bool] = None,
     cache: bool = True,
     instrumentation: Optional[Instrumentation] = None,
+    steal: Optional[bool] = None,
+    spill: Optional[str] = None,
+    max_configurations: Optional[int] = None,
+    oversubscribe: bool = False,
 ) -> ExhaustiveResult:
-    """Frontier-split exhaustive verification of one registry entry.
+    """Parallel exhaustive verification of one registry entry.
 
     Semantically identical to :func:`exhaustive_verify` /
     :func:`exhaustive_verify_state` with the fast engine — same verdict,
-    same distinct-configuration count — but the root subtrees are explored
-    by ``jobs`` worker processes.  ``max_gossips`` only applies to
-    state-based entries.  With orbit dedup active (``symmetry``), root
-    branches that are replica-renamings of an earlier branch are not
-    fanned out at all (:func:`_symmetric_root_reps`).
+    same distinct-configuration count — but explored by ``jobs`` worker
+    processes.  ``steal`` picks the scheduler: the work-stealing pool
+    (default, :mod:`repro.proofs.steal`) re-balances skewed subtrees at
+    runtime, ``steal=False`` is the static root-branch frontier split.
+    ``max_gossips`` only applies to state-based entries.  With orbit
+    dedup active (``symmetry``), root branches that are replica-renamings
+    of an earlier branch are not fanned out at all
+    (:func:`_symmetric_root_reps`).
+
+    ``max_configurations`` and ``spill`` require the stealing scheduler
+    (the shared budget and the fingerprint store are its machinery); the
+    static path rejects them.  An effective pool of one worker runs the
+    serial algorithm inline — no processes are spawned.
 
     With ``instrumentation`` enabled, each worker builds its own handle
     and ships its metrics/trace payload back; *work* counters are summed
@@ -332,13 +379,31 @@ def exhaustive_verify_parallel(
     """
     ins = instrumentation if instrumentation is not None \
         else NULL_INSTRUMENTATION
+    if steal or steal is None and STEAL_DEFAULT:
+        from .steal import exhaustive_verify_steal
+
+        return exhaustive_verify_steal(
+            entry, programs, jobs=jobs, max_gossips=max_gossips,
+            reduction=reduction, symmetry=symmetry, cache=cache,
+            max_configurations=max_configurations, spill=spill,
+            instrumentation=ins, oversubscribe=oversubscribe,
+        )
+    if max_configurations is not None:
+        raise ValueError(
+            "max_configurations under parallel exploration requires the "
+            "work-stealing scheduler (steal=True)"
+        )
+    if spill is not None:
+        raise ValueError(
+            "spill under parallel exploration requires the work-stealing "
+            "scheduler (steal=True)"
+        )
     jobs = jobs or default_jobs()
     tasks = _branch_tasks(entry, programs, max_gossips, reduction, symmetry,
                           cache, _obs_envelope(ins))
-    workers = _worker_count(jobs, len(tasks))
+    workers = _worker_count(jobs, len(tasks), oversubscribe)
     _record_pool(ins, len(tasks), workers)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        outcomes = list(pool.map(_branch_worker, tasks))
+    outcomes = _run_branch_tasks(tasks, workers)
     outcomes = _absorb_payloads(ins, outcomes)
     with ins.span("parallel.merge", entry=entry.name, shards=len(outcomes)):
         merged = _merge_branches(entry.name, outcomes)
@@ -354,6 +419,10 @@ def verify_scopes_parallel(
     symmetry: Optional[bool] = None,
     cache: bool = True,
     instrumentation: Optional[Instrumentation] = None,
+    steal: Optional[bool] = None,
+    spill: Optional[str] = None,
+    max_configurations: Optional[int] = None,
+    oversubscribe: bool = False,
 ) -> "Dict[str, ExhaustiveResult]":
     """Run many exhaustive scopes through one shared worker pool.
 
@@ -361,6 +430,12 @@ def verify_scopes_parallel(
     (``max_gossips`` ignored for op-based entries).  All scopes' tasks run
     through a single pool so late scopes keep early workers busy.  Returns
     ``{entry.name: merged result}`` preserving the input order.
+
+    ``steal`` (default on) routes the whole batch through the
+    work-stealing pool (:func:`repro.proofs.steal.verify_scopes_steal`),
+    which also carries ``max_configurations`` (shared budget) and
+    ``spill`` (disk-backed fingerprint store); with ``steal=False`` the
+    static strategy below applies and rejects both.
 
     Task granularity adapts to the pool: with at least ``jobs`` scopes,
     each scope is one whole-tree task — frontier-splitting would only
@@ -375,6 +450,24 @@ def verify_scopes_parallel(
     """
     ins = instrumentation if instrumentation is not None \
         else NULL_INSTRUMENTATION
+    if steal or steal is None and STEAL_DEFAULT:
+        from .steal import verify_scopes_steal
+
+        return verify_scopes_steal(
+            scopes, jobs=jobs, reduction=reduction, symmetry=symmetry,
+            cache=cache, max_configurations=max_configurations,
+            spill=spill, instrumentation=ins, oversubscribe=oversubscribe,
+        )
+    if max_configurations is not None:
+        raise ValueError(
+            "max_configurations under parallel exploration requires the "
+            "work-stealing scheduler (steal=True)"
+        )
+    if spill is not None:
+        raise ValueError(
+            "spill under parallel exploration requires the work-stealing "
+            "scheduler (steal=True)"
+        )
     jobs = jobs or default_jobs()
     obs = _obs_envelope(ins)
     tasks: List[_BranchTask] = []
@@ -392,10 +485,9 @@ def verify_scopes_parallel(
                 (entry.name, programs, gossips, reduction, symmetry, cache,
                  None, obs)
             )
-    workers = _worker_count(jobs, len(tasks))
+    workers = _worker_count(jobs, len(tasks), oversubscribe)
     _record_pool(ins, len(tasks), workers)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        outcomes = list(pool.map(_branch_worker, tasks))
+    outcomes = _run_branch_tasks(tasks, workers)
     outcomes = _absorb_payloads(ins, outcomes)
     by_entry: Dict[str, List[Tuple[Optional[int], ExhaustiveResult, set]]] = {}
     for task, outcome in zip(tasks, outcomes):
@@ -471,8 +563,11 @@ def verify_entries_parallel(
     ]
     workers = _worker_count(jobs, len(tasks))
     _record_pool(ins, len(tasks), workers)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        outcomes = list(pool.map(_entry_worker, tasks))
+    if workers <= 1:
+        outcomes = [_entry_worker(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_entry_worker, tasks))
     results: List[VerificationResult] = []
     for result, payload in outcomes:
         ins.absorb_worker(payload)

@@ -19,7 +19,7 @@ a ``--metrics`` artifact (the ``repro stats`` command).
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Any, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..core.convergence import check_convergence
 from ..core.linearization import history_timestamp, ts_sort_key
@@ -324,6 +324,44 @@ def format_metrics(artifact: Mapping[str, Any]) -> str:
         lines.append("deterministic (serial == --jobs N):")
         for key, dumped in deterministic:
             lines.append(f"  {key:<52} {fmt_value(dumped['value']):>12}")
+
+    # Scheduler digest: the work-stealing and fingerprint-store counters
+    # summed across their per-entry label variants, with the derived
+    # ratios an operator actually reads (how much was stolen, how long
+    # workers waited, how well digest interning deduplicated).
+    totals: Dict[str, float] = {}
+    for key in instruments:
+        name = key.split("{", 1)[0]
+        if name.startswith(("explore.steal.", "explore.fp_store.")):
+            value = instruments[key].get("value")
+            if value is not None:
+                totals[name] = totals.get(name, 0.0) + value
+    if totals:
+        lines.append("")
+        lines.append("scheduler (work stealing / fingerprint store):")
+
+        def total(name: str) -> float:
+            return totals.get(name, 0.0)
+
+        rows = [
+            ("workers", total("explore.steal.workers")),
+            ("tasks (seed + stolen)", total("explore.steal.tasks")),
+            ("tasks stolen", total("explore.steal.stolen_tasks")),
+            ("splits", total("explore.steal.splits")),
+            ("subtrees spawned", total("explore.steal.spawned")),
+            ("idle-wait seconds", total("explore.steal.idle_seconds")),
+            ("pool wall seconds", total("explore.steal.wall_seconds")),
+            ("fp-store lookups", total("explore.fp_store.lookups")),
+            ("fp-store evictions", total("explore.fp_store.evictions")),
+            ("fp-store spilled", total("explore.fp_store.spilled")),
+        ]
+        for label, value in rows:
+            if value:
+                lines.append(f"  {label:<52} {fmt_value(value):>12}")
+        lookups = total("explore.fp_store.lookups")
+        if lookups:
+            ratio = total("explore.fp_store.hits") / lookups
+            lines.append(f"  {'fp-store hit ratio':<52} {ratio:>12.4f}")
     if counters:
         lines.append("")
         lines.append("work counters:")

@@ -135,6 +135,11 @@ class ExploreStats:
     pinned_replicas: int = 0
     #: Peak entry count of the per-state fingerprint cache.
     state_fp_cache_peak: int = 0
+    #: Work-stealing only: nodes whose unexplored siblings were offloaded
+    #: back onto the shared task queue.
+    steal_splits: int = 0
+    #: Work-stealing only: subtree tasks spawned by those splits.
+    steal_spawned: int = 0
 
     @property
     def dedup_ratio(self) -> float:
@@ -158,6 +163,8 @@ class ExploreStats:
             "symmetry_group": self.symmetry_group,
             "pinned_replicas": self.pinned_replicas,
             "state_fp_cache_peak": self.state_fp_cache_peak,
+            "steal_splits": self.steal_splits,
+            "steal_spawned": self.steal_spawned,
         }
 
 
@@ -801,36 +808,100 @@ class _Engine:
         dedup: bool,
         stats: ExploreStats,
         fingerprints: Optional[set] = None,
+        expanded: Optional[Dict] = None,
+        fp_store: Optional[Any] = None,
+        scheduler: Optional[Any] = None,
+        budget: Optional[Any] = None,
     ) -> None:
         self.domain = domain
         self.visit = visit
         self.max_configurations = max_configurations
         self.dedup = dedup
         self.stats = stats
+        #: Optional :class:`~repro.runtime.fp_store.FingerprintStore`:
+        #: when set, the visited/expanded records are keyed by fixed-width
+        #: digests instead of raw fingerprint tuples.
+        self.fp_store = fp_store
+        #: Optional work-stealing hook (``should_split(depth)`` /
+        #: ``offload(path, sleep)``); when set, the engine tracks the
+        #: transition path from the root so unexplored siblings can be
+        #: handed off as replayable subtree tasks.
+        self.scheduler = scheduler
+        #: Optional cross-worker configuration budget (``claim(fp)`` /
+        #: ``exhausted()``) implementing an exact shared
+        #: ``max_configurations`` cutoff under parallel exploration.
+        self.budget = budget
+        self._path: List[Transition] = []
         #: Fingerprints of configurations already reported to ``visit``.
         #: A caller-provided set is used in place (and thus observable
         #: afterwards) — the parallel frontier-split merge unions the
         #: per-branch sets to count distinct configurations globally.
-        self._visited_fps: set = (
+        self._visited_fps: Any = (
             fingerprints if fingerprints is not None else set()
         )
         #: fingerprint -> sleep sets the subtree was explored under.  A new
         #: arrival is subsumed if some recorded sleep set is contained in
         #: the current one (then every schedule allowed now was allowed —
         #: and explored — before).
-        self._expanded: Dict[Any, List[FrozenSet[Transition]]] = {}
+        self._expanded: Any = expanded if expanded is not None else {}
 
-    def run(self, root_branch: Optional[int] = None) -> ExploreStats:
+    def _fingerprint(self) -> Any:
+        fp = self.domain.fingerprint()
+        if self.fp_store is not None:
+            return self.fp_store.intern(fp)
+        return fp
+
+    def run(
+        self,
+        root_branch: Optional[int] = None,
+        path: Optional[Sequence[Transition]] = None,
+        sleep: FrozenSet[Transition] = frozenset(),
+    ) -> ExploreStats:
+        """Explore the whole tree, one root branch, or a stolen subtree.
+
+        ``path`` replays a transition sequence from the root and runs the
+        DFS below it under ``sleep`` — the work-stealing task unit.  Wall
+        time *accumulates* so an engine reused across stolen tasks
+        reports its total exploration time.
+        """
         started = time.perf_counter()
         try:
-            if root_branch is None:
+            if path is not None:
+                self._run_path(path, sleep)
+            elif root_branch is None:
                 self._dfs(frozenset(), 1)
             else:
                 self._run_root_branch(root_branch)
         except _SearchCapped:
             self.stats.capped = True
-        self.stats.wall_time = time.perf_counter() - started
+        self.stats.wall_time += time.perf_counter() - started
         return self.stats
+
+    def _run_path(
+        self, path: Sequence[Transition], sleep: FrozenSet[Transition]
+    ) -> None:
+        """Replay ``path`` from the root, then DFS under ``sleep``.
+
+        The path was produced by a worker that successfully applied every
+        transition on it, and apply() failures are deterministic in the
+        configuration, so a replay failure means the task is corrupt —
+        raise rather than silently dropping a subtree.
+        """
+        domain = self.domain
+        token = domain.push()
+        try:
+            for transition in path:
+                if not domain.apply(transition):
+                    raise RuntimeError(
+                        f"stolen subtree failed to replay at {transition!r}"
+                    )
+            self._path = list(path)
+            self._dfs(frozenset(sleep), len(path) + 1)
+        finally:
+            # Restore the root even when capped mid-subtree, so a worker
+            # session stays reusable for its next task.
+            self._path = []
+            domain.pop(token)
 
     def _run_root_branch(self, branch: int) -> None:
         """Explore only the subtree under the ``branch``-th root transition.
@@ -846,7 +917,7 @@ class _Engine:
         """
         domain, stats = self.domain, self.stats
         transitions = domain.transitions()
-        fingerprint = self.dedup and domain.fingerprint()
+        fingerprint = self.dedup and self._fingerprint()
         if branch == 0:
             stats.states_visited += 1
             stats.peak_frontier = max(stats.peak_frontier, 1)
@@ -873,14 +944,32 @@ class _Engine:
             other for other in done if domain.independent(other, target)
         )
         if domain.apply(target):
-            self._dfs(child_sleep, 2)
-            domain.pop(token)
+            self._path = [target]
+            try:
+                self._dfs(child_sleep, 2)
+            finally:
+                self._path = []
+                domain.pop(token)
 
     def _report(self, fingerprint: Any) -> None:
         if self.dedup:
             if fingerprint in self._visited_fps:
                 return
-            self._visited_fps.add(fingerprint)
+            if self.budget is not None:
+                # claim() is three-valued: 1 = newly claimed (count and
+                # check it here), 0 = another worker already counted it
+                # (keep it in our visited set — the merged union then
+                # still counts it exactly once), -1 = the shared cap was
+                # reached before this configuration (do NOT record it:
+                # nobody counted it, so it must not survive the union).
+                claim = self.budget.claim(fingerprint)
+                if claim < 0:
+                    raise _SearchCapped
+                self._visited_fps.add(fingerprint)
+                if claim == 0:
+                    return
+            else:
+                self._visited_fps.add(fingerprint)
         self.stats.configurations += 1
         self.visit(*self.domain.visit_args())
         if (
@@ -888,14 +977,18 @@ class _Engine:
             and self.stats.configurations >= self.max_configurations
         ):
             raise _SearchCapped
+        if self.budget is not None and self.budget.exhausted():
+            raise _SearchCapped
 
     def _dfs(self, sleep: FrozenSet[Transition], depth: int) -> None:
         domain, stats = self.domain, self.stats
         stats.states_visited += 1
         if depth > stats.peak_frontier:
             stats.peak_frontier = depth
+        if self.budget is not None and self.budget.exhausted():
+            raise _SearchCapped
         transitions = domain.transitions()
-        fingerprint = self.dedup and domain.fingerprint()
+        fingerprint = self.dedup and self._fingerprint()
         if domain.should_visit(transitions):
             self._report(fingerprint)
         if not transitions:
@@ -914,8 +1007,11 @@ class _Engine:
                     stats.states_deduped += 1
                     return
             recorded_sets.append(sleep_key)
+        scheduler = self.scheduler
         token = domain.push()
         done: List[Transition] = []
+        explored_locally = False
+        did_split = False
         for transition in transitions:
             if transition in sleep:
                 stats.branches_pruned += 1
@@ -927,11 +1023,90 @@ class _Engine:
                 for other in sleep.union(done)
                 if domain.independent(other, transition)
             )
+            if (
+                scheduler is not None
+                and explored_locally
+                and scheduler.should_split(depth)
+            ):
+                # The pool is hungry: hand this sibling's subtree to an
+                # idle worker instead of exploring it here.  Test-apply
+                # keeps serial semantics — a failed apply() is skipped by
+                # the serial loop too, and ``done``/``child_sleep`` are
+                # exactly what the serial DFS would have used.
+                if domain.apply(transition):
+                    domain.pop(token)
+                    scheduler.offload(
+                        tuple(self._path) + (transition,), child_sleep
+                    )
+                    stats.steal_spawned += 1
+                    if not did_split:
+                        did_split = True
+                        stats.steal_splits += 1
+                    done.append(transition)
+                continue
             if not domain.apply(transition):
                 continue
-            self._dfs(child_sleep, depth + 1)
+            if scheduler is not None:
+                self._path.append(transition)
+                self._dfs(child_sleep, depth + 1)
+                self._path.pop()
+            else:
+                self._dfs(child_sleep, depth + 1)
             domain.pop(token)
             done.append(transition)
+            explored_locally = True
+
+
+# ----------------------------------------------------------------------
+# Session factory (the work-stealing workers' entry point)
+# ----------------------------------------------------------------------
+
+
+def build_engine(
+    kind: str,
+    make_system: Callable[[], Any],
+    programs: Dict[str, Program],
+    visit: Callable[[Any, Dict[str, List[Any]]], None],
+    require_quiescence: bool = True,
+    max_gossips: int = 3,
+    max_configurations: Optional[int] = None,
+    reduction: bool = True,
+    dedup: bool = True,
+    stats: Optional[ExploreStats] = None,
+    fingerprints: Optional[set] = None,
+    expanded: Optional[Dict] = None,
+    fp_store: Optional[Any] = None,
+    scheduler: Optional[Any] = None,
+    budget: Optional[Any] = None,
+    symmetry: bool = False,
+) -> _Engine:
+    """Build a reusable exploration engine for ``kind`` (``op``/``state``).
+
+    Unlike :func:`explore_op_programs`/:func:`explore_state_programs`,
+    which run one exploration and return, the engine handle persists its
+    domain, visited/expanded records, and statistics across multiple
+    :meth:`_Engine.run` calls — the work-stealing workers run many
+    subtree tasks of the same scope through one session, so dedup and
+    verdict caches warm up exactly like a serial run's.
+    """
+    stats = stats if stats is not None else ExploreStats()
+    if kind == "op":
+        domain: Any = _OpDomain(
+            make_system(), programs, require_quiescence, reduction, stats,
+            symmetry=symmetry,
+        )
+    elif kind == "state":
+        domain = _StateDomain(
+            make_system(), programs, max_gossips, reduction, stats,
+            symmetry=symmetry,
+        )
+    else:  # pragma: no cover - caller bug
+        raise ValueError(f"unknown exploration kind {kind!r}")
+    return _Engine(
+        domain, visit, max_configurations, dedup, stats,
+        fingerprints=fingerprints, expanded=expanded, fp_store=fp_store,
+        scheduler=scheduler, budget=budget,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -952,6 +1127,8 @@ def explore_op_programs(
     fingerprints: Optional[set] = None,
     instrumentation: Optional[Instrumentation] = None,
     symmetry: bool = False,
+    fp_store: Optional[Any] = None,
+    expanded: Optional[Dict] = None,
 ) -> int:
     """Run per-replica ``programs`` under every op-based interleaving.
 
@@ -989,7 +1166,8 @@ def explore_op_programs(
                   root_branch=root_branch, symmetry=symmetry) as span:
         _Engine(
             domain, visit, max_configurations, dedup, stats,
-            fingerprints=fingerprints,
+            fingerprints=fingerprints, expanded=expanded,
+            fp_store=fp_store,
         ).run(root_branch)
         span.set(configurations=stats.configurations,
                  states_visited=stats.states_visited)
@@ -1011,6 +1189,8 @@ def explore_state_programs(
     fingerprints: Optional[set] = None,
     instrumentation: Optional[Instrumentation] = None,
     symmetry: bool = False,
+    fp_store: Optional[Any] = None,
+    expanded: Optional[Dict] = None,
 ) -> int:
     """Run ``programs`` under every bounded state-based interleaving.
 
@@ -1031,7 +1211,8 @@ def explore_state_programs(
                   symmetry=symmetry) as span:
         _Engine(
             domain, visit, max_configurations, dedup, stats,
-            fingerprints=fingerprints,
+            fingerprints=fingerprints, expanded=expanded,
+            fp_store=fp_store,
         ).run(root_branch)
         span.set(configurations=stats.configurations,
                  states_visited=stats.states_visited)

@@ -1,0 +1,457 @@
+"""Compact fingerprint interning with collision checks and disk spill.
+
+The exploration engine dedups configurations on canonical fingerprints —
+large nested tuples (per-replica parts, label data, visibility) or
+:class:`~repro.runtime.symmetry.CanonFP` orbit keys.  Holding millions of
+them in the visited/expanded sets is what makes 4-replica scopes blow
+past RAM before they blow past time.  A :class:`FingerprintStore` interns
+each fingerprint as a fixed-width digest:
+
+* **Stable encoding.**  :func:`stable_encode` maps a fingerprint to a
+  canonical byte string that depends only on the *value* — never on hash
+  seeds, object identity, or dict order — so digests computed in
+  different worker processes compare and union exactly (the same
+  contract :func:`~repro.runtime.symmetry.canon_key` gives the symmetry
+  reducer).  Unordered containers are sorted by their elements'
+  encodings, which totally orders even heterogeneous elements.  Numeric
+  leaves are encoded by value (``True == 1 == 1.0`` share an encoding),
+  mirroring the equality semantics the plain-``set`` dedup path uses.
+
+* **Fixed-width digests.**  The encoding is hashed with ``blake2b``
+  (keyless, deterministic across processes) to ``digest_size`` bytes.
+  Sets of digests are what the engine stores and what the parallel
+  merge unions — 16 bytes per configuration instead of a nested tuple.
+
+* **Collision checking.**  Digest equality is trusted only after the
+  store has compared encodings: a ledger maps each digest to the
+  encoding that produced it, in an LRU in-memory tier backed by the
+  optional sqlite spill.  A mismatch raises
+  :class:`FingerprintCollisionError` instead of silently merging two
+  distinct configurations (2^128 makes this astronomically unlikely;
+  the check turns "unlikely" into "detected").  Without a spill
+  directory, entries evicted from the LRU become best-effort
+  (``unchecked_hits`` counts lookups that could not be re-verified).
+
+* **Disk spill.**  With ``spill_dir`` set, :meth:`visited_set` and
+  :meth:`expanded_map` return :class:`SpillSet`/:class:`SpillMap`
+  drop-ins for the engine's visited-fingerprint set and expanded
+  (fingerprint → sleep sets) table: an LRU in-memory tier in front of a
+  private sqlite file, so the working set stays bounded while the full
+  record remains exact.
+
+The store is *optional* everywhere: the serial engine defaults to raw
+fingerprints, and the differential equality suites run both ways, which
+is what guards the encoding against losing or double-counting
+configurations.
+"""
+
+import os
+import pickle
+import sqlite3
+import struct
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, fields, is_dataclass
+from hashlib import blake2b
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..core.freeze import FrozenDict
+from ..core.timestamp import BOTTOM
+from .symmetry import CanonFP
+
+#: Default entry cap for each in-memory LRU tier (ledger, spill-set hot
+#: tier, spill-map hot tier).
+DEFAULT_MEMORY_LIMIT = 1 << 16
+
+#: Evicted spill-tier entries are buffered and written to sqlite in
+#: batches of this many rows.
+_FLUSH_BATCH = 512
+
+_U32 = struct.Struct(">I")
+
+
+class FingerprintCollisionError(RuntimeError):
+    """Two distinct fingerprint encodings hashed to the same digest."""
+
+
+def _pack_len(data: bytes) -> bytes:
+    return _U32.pack(len(data)) + data
+
+
+def stable_encode(value: Any, memo: Optional[Dict[int, Tuple[Any, bytes]]]
+                  = None) -> bytes:
+    """A canonical, process-stable, injective byte encoding of ``value``.
+
+    Equal values (under Python equality, including cross-type numeric
+    equality) produce equal encodings; unequal values produce different
+    encodings.  ``memo`` is an optional identity cache ``id -> (obj,
+    encoding)`` for container nodes; callers must bound and clear it
+    themselves (the stored object reference pins the id against reuse).
+    """
+    t = type(value)
+    if t is str:
+        return b"s" + _pack_len(value.encode("utf-8"))
+    if t is int or t is bool:
+        return b"n" + _pack_len(str(int(value)).encode("ascii"))
+    if t is float:
+        # Integral floats share the int encoding (1.0 == 1 in the plain
+        # set-dedup path, so they must share a digest too).
+        if value.is_integer():
+            return b"n" + _pack_len(str(int(value)).encode("ascii"))
+        return b"x" + _pack_len(repr(value).encode("ascii"))
+    if value is None:
+        return b"z"
+    if value is BOTTOM:
+        return b"B"
+    if t is bytes:
+        return b"y" + _pack_len(value)
+    if memo is not None:
+        cached = memo.get(id(value))
+        if cached is not None and cached[0] is value:
+            return cached[1]
+    if t is tuple:
+        enc = b"t" + _U32.pack(len(value)) + b"".join(
+            stable_encode(item, memo) for item in value
+        )
+    elif t is frozenset or t is set:
+        enc = b"S" + _U32.pack(len(value)) + b"".join(
+            sorted(stable_encode(item, memo) for item in value)
+        )
+    elif t is FrozenDict or t is dict:
+        enc = b"D" + _U32.pack(len(value)) + b"".join(
+            sorted(
+                stable_encode(k, memo) + stable_encode(v, memo)
+                for k, v in value.items()
+            )
+        )
+    elif t is CanonFP:
+        cached = getattr(value, "_enc", None)
+        if cached is None:
+            cached = b"F" + stable_encode(value.key, memo)
+            value._enc = cached
+        enc = cached
+    elif is_dataclass(value):
+        enc = (
+            b"C"
+            + _pack_len(t.__name__.encode("utf-8"))
+            + _U32.pack(len(fields(value)))
+            + b"".join(
+                stable_encode(getattr(value, f.name), memo)
+                for f in fields(value)
+            )
+        )
+    else:
+        # Opaque leaf: reprs in this codebase are deterministic value
+        # renders (same contract canon_key relies on).
+        enc = (
+            b"o"
+            + _pack_len(t.__name__.encode("utf-8"))
+            + _pack_len(repr(value).encode("utf-8"))
+        )
+    if memo is not None:
+        memo[id(value)] = (value, enc)
+    return enc
+
+
+@dataclass
+class FPStoreStats:
+    """Counters describing one :class:`FingerprintStore`'s activity."""
+
+    #: intern() calls.
+    lookups: int = 0
+    #: intern() calls whose digest was already in the store.
+    hits: int = 0
+    #: Distinct digests interned.
+    unique: int = 0
+    #: Ledger entries evicted from the in-memory tier.
+    evictions: int = 0
+    #: Rows written to the sqlite spill (ledger + visited + expanded).
+    spilled: int = 0
+    #: Repeat lookups whose encoding could no longer be compared because
+    #: the ledger entry was evicted with no spill tier configured.
+    unchecked_hits: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "FPStoreStats") -> None:
+        """Fold another store's counters in (cross-worker aggregation)."""
+        self.lookups += other.lookups
+        self.hits += other.hits
+        self.unique += other.unique
+        self.evictions += other.evictions
+        self.spilled += other.spilled
+        self.unchecked_hits += other.unchecked_hits
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "unique": self.unique,
+            "evictions": self.evictions,
+            "spilled": self.spilled,
+            "unchecked_hits": self.unchecked_hits,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+class _DiskTier:
+    """A private sqlite file holding the spilled tiers of one store.
+
+    Scratch storage, not a durable artifact: journaling and fsync are
+    off, and the file is unlinked on :meth:`close`.
+    """
+
+    def __init__(self, spill_dir: str) -> None:
+        os.makedirs(spill_dir, exist_ok=True)
+        fd, self.path = tempfile.mkstemp(
+            prefix="fp-store-", suffix=".sqlite", dir=spill_dir
+        )
+        os.close(fd)
+        self.conn = sqlite3.connect(self.path)
+        self.conn.execute("PRAGMA journal_mode=OFF")
+        self.conn.execute("PRAGMA synchronous=OFF")
+        for table in ("ledger", "expanded"):
+            self.conn.execute(
+                f"CREATE TABLE {table} (d BLOB PRIMARY KEY, v BLOB)"
+            )
+        self.conn.execute("CREATE TABLE visited (d BLOB PRIMARY KEY)")
+
+    def put_many(self, table: str, rows: List[Tuple]) -> None:
+        marks = "(?, ?)" if table != "visited" else "(?)"
+        self.conn.executemany(
+            f"INSERT OR REPLACE INTO {table} VALUES {marks}", rows
+        )
+
+    def get(self, table: str, digest: bytes) -> Optional[bytes]:
+        row = self.conn.execute(
+            f"SELECT v FROM {table} WHERE d = ?", (digest,)
+        ).fetchone()
+        return row[0] if row is not None else None
+
+    def contains(self, table: str, digest: bytes) -> bool:
+        row = self.conn.execute(
+            f"SELECT 1 FROM {table} WHERE d = ?", (digest,)
+        ).fetchone()
+        return row is not None
+
+    def iter_keys(self, table: str) -> Iterator[bytes]:
+        for (digest,) in self.conn.execute(f"SELECT d FROM {table}"):
+            yield digest
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        finally:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+
+class SpillSet:
+    """A set of digests with an LRU in-memory tier over the disk tier.
+
+    Drop-in for the engine's visited-fingerprint set: supports ``in``,
+    ``add``, ``len`` and iteration (the parallel merge iterates to union
+    per-worker sets).  Exact — eviction moves entries to sqlite, never
+    drops them.
+    """
+
+    def __init__(self, disk: _DiskTier, stats: FPStoreStats,
+                 memory_limit: int = DEFAULT_MEMORY_LIMIT) -> None:
+        self._disk = disk
+        self._stats = stats
+        self._limit = memory_limit
+        self._hot: "OrderedDict[bytes, None]" = OrderedDict()
+        self._pending: Dict[bytes, None] = {}
+        self._len = 0
+
+    def __contains__(self, digest: bytes) -> bool:
+        if digest in self._hot:
+            self._hot.move_to_end(digest)
+            return True
+        if digest in self._pending:
+            return True
+        return self._disk.contains("visited", digest)
+
+    def add(self, digest: bytes) -> None:
+        if digest in self:
+            return
+        self._hot[digest] = None
+        self._len += 1
+        if len(self._hot) > self._limit:
+            evicted, _ = self._hot.popitem(last=False)
+            self._pending[evicted] = None
+            self._stats.evictions += 1
+            if len(self._pending) >= _FLUSH_BATCH:
+                self._flush()
+
+    def _flush(self) -> None:
+        if self._pending:
+            self._stats.spilled += len(self._pending)
+            self._disk.put_many(
+                "visited", [(d,) for d in self._pending]
+            )
+            self._pending.clear()
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __iter__(self) -> Iterator[bytes]:
+        self._flush()
+        seen_hot = set(self._hot)
+        yield from seen_hot
+        for digest in self._disk.iter_keys("visited"):
+            if digest not in seen_hot:
+                yield digest
+
+
+class SpillMap:
+    """The expanded-table analogue of :class:`SpillSet`.
+
+    Supports exactly the engine's access pattern: ``setdefault(digest,
+    [])`` returning a mutable list that the caller finishes appending to
+    *before* the next ``setdefault`` call (eviction pickles the list's
+    state at eviction time, so a reference appended to after its entry
+    was evicted would be lost — the DFS never does that).
+    """
+
+    def __init__(self, disk: _DiskTier, stats: FPStoreStats,
+                 memory_limit: int = DEFAULT_MEMORY_LIMIT) -> None:
+        self._disk = disk
+        self._stats = stats
+        self._limit = memory_limit
+        self._hot: "OrderedDict[bytes, List]" = OrderedDict()
+        self._pending: Dict[bytes, List] = {}
+
+    def setdefault(self, digest: bytes, default: List) -> List:
+        hot = self._hot
+        value = hot.get(digest)
+        if value is not None:
+            hot.move_to_end(digest)
+            return value
+        value = self._pending.pop(digest, None)
+        if value is None:
+            raw = self._disk.get("expanded", digest)
+            value = pickle.loads(raw) if raw is not None else default
+        hot[digest] = value
+        if len(hot) > self._limit:
+            evicted, entry = hot.popitem(last=False)
+            self._pending[evicted] = entry
+            self._stats.evictions += 1
+            if len(self._pending) >= _FLUSH_BATCH:
+                self._stats.spilled += len(self._pending)
+                self._disk.put_many(
+                    "expanded",
+                    [
+                        (d, pickle.dumps(v, pickle.HIGHEST_PROTOCOL))
+                        for d, v in self._pending.items()
+                    ],
+                )
+                self._pending.clear()
+        return value
+
+
+class FingerprintStore:
+    """Interns canonical fingerprints as collision-checked digests.
+
+    One store per process: digests are process-stable by construction,
+    so per-worker stores agree without sharing state, and the existing
+    merge path unions their digest sets exactly as it unioned raw
+    fingerprint sets.
+    """
+
+    def __init__(
+        self,
+        spill_dir: Optional[str] = None,
+        memory_limit: int = DEFAULT_MEMORY_LIMIT,
+        digest_size: int = 16,
+    ) -> None:
+        self.stats = FPStoreStats()
+        self.digest_size = digest_size
+        self._memory_limit = memory_limit
+        self._ledger: "OrderedDict[bytes, bytes]" = OrderedDict()
+        self._disk: Optional[_DiskTier] = None
+        self._spill_dir = spill_dir
+        if spill_dir is not None:
+            self._disk = _DiskTier(spill_dir)
+        self._ledger_pending: Dict[bytes, bytes] = {}
+        self._enc_memo: Dict[int, Tuple[Any, bytes]] = {}
+
+    # -- interning ------------------------------------------------------
+
+    def intern(self, fingerprint: Any) -> bytes:
+        """The digest of ``fingerprint``; raises on digest collision."""
+        stats = self.stats
+        stats.lookups += 1
+        if len(self._enc_memo) > self._memory_limit:
+            self._enc_memo.clear()
+        encoding = stable_encode(fingerprint, self._enc_memo)
+        digest = blake2b(encoding, digest_size=self.digest_size).digest()
+        known = self._ledger.get(digest)
+        if known is not None:
+            self._ledger.move_to_end(digest)
+        else:
+            known = self._ledger_pending.get(digest)
+        if known is None and self._disk is not None:
+            known = self._disk.get("ledger", digest)
+        if known is not None:
+            if known != encoding:
+                raise FingerprintCollisionError(
+                    f"digest collision at {digest.hex()}: two distinct "
+                    f"fingerprint encodings ({len(known)} vs "
+                    f"{len(encoding)} bytes) — widen digest_size"
+                )
+            stats.hits += 1
+            return digest
+        if self._disk is None and stats.evictions > 0:
+            # The digest may have been seen and evicted; without a disk
+            # tier the encoding comparison is impossible.  Count it so
+            # the best-effort window is visible in the stats.
+            stats.unchecked_hits += 1
+        stats.unique += 1
+        self._ledger[digest] = encoding
+        if len(self._ledger) > self._memory_limit:
+            evicted, enc = self._ledger.popitem(last=False)
+            stats.evictions += 1
+            if self._disk is not None:
+                self._ledger_pending[evicted] = enc
+                if len(self._ledger_pending) >= _FLUSH_BATCH:
+                    self._flush_ledger()
+        return digest
+
+    def _flush_ledger(self) -> None:
+        if self._ledger_pending and self._disk is not None:
+            self.stats.spilled += len(self._ledger_pending)
+            self._disk.put_many(
+                "ledger", list(self._ledger_pending.items())
+            )
+            self._ledger_pending.clear()
+
+    # -- engine-facing tiers --------------------------------------------
+
+    def visited_set(self):
+        """A visited-fingerprint set: spill-backed when configured."""
+        if self._disk is not None:
+            return SpillSet(self._disk, self.stats, self._memory_limit)
+        return set()
+
+    def expanded_map(self):
+        """An expanded table (digest → sleep sets): spill-backed when
+        configured."""
+        if self._disk is not None:
+            return SpillMap(self._disk, self.stats, self._memory_limit)
+        return {}
+
+    def close(self) -> None:
+        if self._disk is not None:
+            self._disk.close()
+            self._disk = None
+
+    def __enter__(self) -> "FingerprintStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

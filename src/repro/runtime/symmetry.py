@@ -232,11 +232,15 @@ class CanonFP:
     keeps it valid under per-process string-hash randomization.
     """
 
-    __slots__ = ("key", "_hash")
+    __slots__ = ("key", "_hash", "_enc")
 
     def __init__(self, key: Tuple) -> None:
         self.key = key
         self._hash = hash(key)
+        #: Stable byte encoding, filled lazily by the fingerprint store
+        #: (:mod:`repro.runtime.fp_store`); not pickled — digests are
+        #: recomputed locally in each process.
+        self._enc: Any = None
 
     def __hash__(self) -> int:
         return self._hash

@@ -103,6 +103,48 @@ class TestGuards:
         import os
         assert _worker_count(64, 64) <= (os.cpu_count() or 64)
 
+    def test_worker_count_clamp_matrix(self, monkeypatch):
+        monkeypatch.setattr("repro.proofs.parallel.os.cpu_count", lambda: 4)
+        # --jobs 0 maps to default_jobs() = all cores; with fewer tasks
+        # than cores the pool must not spawn idle processes.
+        from repro.proofs.parallel import default_jobs
+        assert default_jobs() == 4
+        assert _worker_count(default_jobs(), 2) == 2
+        assert _worker_count(8, 100) == 4  # physical-core cap
+        assert _worker_count(8, 100, oversubscribe=True) == 8  # cap lifted
+        assert _worker_count(8, 3, oversubscribe=True) == 3  # task cap stays
+        assert _worker_count(2, 1) == 1
+        assert _worker_count(0, 10) == 1  # degenerate jobs floor to one
+        monkeypatch.setattr(
+            "repro.proofs.parallel.os.cpu_count", lambda: None
+        )
+        assert _worker_count(8, 100) == 8  # unknown core count: trust jobs
+
+    def test_single_worker_runs_inline(self, monkeypatch):
+        # One effective worker (task count or core cap) must run in the
+        # calling process — no executor, no fork/pickle overhead.
+        def _boom(*args, **kwargs):
+            raise AssertionError("executor used for a 1-worker pool")
+
+        monkeypatch.setattr(
+            "repro.proofs.parallel.ProcessPoolExecutor", _boom
+        )
+        monkeypatch.setattr("repro.proofs.parallel.os.cpu_count", lambda: 1)
+        entry = entry_by_name("Counter")
+        programs = standard_programs(entry)
+        serial = exhaustive_verify(entry, programs)
+        inline = exhaustive_verify_parallel(
+            entry, programs, jobs=4, steal=False
+        )
+        assert inline.configurations == serial.configurations
+        results = verify_entries_parallel(
+            ALL_ENTRIES[:2], executions=2, operations=4, jobs=1
+        )
+        assert results == [
+            verify_entry(e, executions=2, operations=4)
+            for e in ALL_ENTRIES[:2]
+        ]
+
 
 class TestSymmetricSharding:
     """Orbit-aware frontier split: symmetric root branches are not fanned

@@ -201,3 +201,62 @@ class TestChaos:
         assert main(["chaos", "--replay", str(path)]) == 2
         err = capsys.readouterr().err
         assert "cannot replay trace" in err
+
+
+class TestStealCLI:
+    """The --steal/--no-steal/--spill flags and the stats digest."""
+
+    def _configs(self, out):
+        row = next(l for l in out.splitlines() if "Counter" in l)
+        return row.split()[1]
+
+    def test_steal_flags_match_serial(self, capsys):
+        assert main(["exhaustive", "--scope", "counter"]) == 0
+        serial = self._configs(capsys.readouterr().out)
+        assert main(["exhaustive", "--scope", "counter", "--jobs", "2",
+                     "--steal"]) == 0
+        assert self._configs(capsys.readouterr().out) == serial
+        assert main(["exhaustive", "--scope", "counter", "--jobs", "2",
+                     "--no-steal"]) == 0
+        assert self._configs(capsys.readouterr().out) == serial
+
+    def test_spill_serial_round_trip(self, capsys, tmp_path):
+        spill_dir = tmp_path / "spill"
+        spill_dir.mkdir()
+        path = str(tmp_path / "metrics.json")
+        assert main(["exhaustive", "--scope", "counter",
+                     "--spill", str(spill_dir), "--metrics", path]) == 0
+        capsys.readouterr()
+        artifact = json.loads(open(path).read())
+        instruments = artifact["metrics"]["instruments"]
+        assert "explore.fp_store.lookups{entry=Counter}" in instruments
+        assert not list(spill_dir.iterdir())  # scratch cleaned up
+
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler (work stealing / fingerprint store):" in out
+        assert "fp-store lookups" in out
+        assert "fp-store hit ratio" in out
+
+    def test_stats_renders_scheduler_counters(self, capsys, tmp_path):
+        # A real forced-split pool run, written through the artifact
+        # round trip: `repro stats` must surface the scheduler digest.
+        from repro.obs import Instrumentation
+        from repro.obs.instrument import write_artifact
+        from repro.proofs import entry_by_name, exhaustive_verify_steal
+        from repro.proofs.exhaustive import standard_programs
+
+        ins = Instrumentation.on()
+        entry = entry_by_name("Counter")
+        exhaustive_verify_steal(
+            entry, standard_programs(entry), jobs=2, oversubscribe=True,
+            pending_target=10**6, split_interval=1, instrumentation=ins,
+        )
+        path = str(tmp_path / "steal.json")
+        write_artifact(path, ins, "exhaustive", {})
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler (work stealing / fingerprint store):" in out
+        assert "tasks stolen" in out
+        assert "workers" in out
+        assert "idle-wait seconds" in out
