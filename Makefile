@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-explore bench-steal bench-verify figures table mutants exhaustive chaos examples all
+.PHONY: install test bench bench-explore bench-dpor bench-steal bench-verify figures table mutants exhaustive chaos examples all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,6 +18,11 @@ bench:
 # Add -m slow for the 3-replica scopes (minutes).
 bench-explore:
 	$(PYTHON) -m pytest benchmarks/test_bench_explore_engine.py --benchmark-only -s
+
+# Source-DPOR + persistent snapshots vs. the sleep-set engine on
+# 3-replica scopes; merges the dpor_3r section into BENCH_explore.json.
+bench-dpor:
+	$(PYTHON) -m pytest benchmarks/test_bench_dpor.py --benchmark-only -s
 
 # Work-stealing scheduler vs. static fan-out + fingerprint-store
 # memory tiers; merges steal_3r / fp_store sections into

@@ -99,15 +99,26 @@ class TimestampGenerator:
 
     The shared-timestamp composition ⊗ts (Sec. 5.3) is obtained by handing
     the *same* generator instance to several objects.
+
+    ``persistent=True`` switches the clock table to copy-on-write: every
+    mutation replaces ``_clocks`` with a fresh dict, so :meth:`snapshot`
+    can return the table itself by reference (O(1)) instead of copying it.
+    The exploration engine's persistent-snapshot mode takes hundreds of
+    thousands of snapshots over tables of a handful of replicas — the
+    reference snapshot is the win; the per-mutation copy is a few entries.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, persistent: bool = False) -> None:
         self._clocks: Dict[str, int] = {}
+        self._persistent = persistent
 
     def fresh(self, replica: str) -> Timestamp:
         """Sample a fresh timestamp at ``replica``."""
         counter = self._clocks.get(replica, 0) + 1
-        self._clocks[replica] = counter
+        if self._persistent:
+            self._clocks = {**self._clocks, replica: counter}
+        else:
+            self._clocks[replica] = counter
         return Timestamp(counter, replica)
 
     def observe(self, replica: str, ts: object) -> None:
@@ -115,25 +126,36 @@ class TimestampGenerator:
         if isinstance(ts, Timestamp):
             current = self._clocks.get(replica, 0)
             if ts.counter > current:
-                self._clocks[replica] = ts.counter
+                if self._persistent:
+                    self._clocks = {**self._clocks, replica: ts.counter}
+                else:
+                    self._clocks[replica] = ts.counter
 
     def clock(self, replica: str) -> int:
         """Current logical clock value at ``replica`` (0 if never used)."""
         return self._clocks.get(replica, 0)
 
-    def snapshot(self) -> Dict[str, int]:
+    def snapshot(self) -> Mapping[str, int]:
         """A token capturing every replica clock, for :meth:`restore`.
 
         The public face of the generator's state: runtime systems
         snapshot/restore through this pair instead of reaching into the
-        private clock table.  The token is an independent copy — later
-        ``fresh``/``observe`` calls do not invalidate it.
+        private clock table.  The token is independent of later
+        ``fresh``/``observe`` calls — an explicit copy normally, the
+        never-mutated table itself under ``persistent=True``.
         """
+        if self._persistent:
+            return self._clocks
         return dict(self._clocks)
 
     def restore(self, token: Mapping[str, int]) -> None:
         """Rewind the clocks to a :meth:`snapshot` token (reusable)."""
-        self._clocks = dict(token)
+        if self._persistent:
+            # The token is an immutable-by-convention table: adopt it as-is
+            # and keep it unmutated (the next mutation replaces the dict).
+            self._clocks = dict(token) if not isinstance(token, dict) else token
+        else:
+            self._clocks = dict(token)
 
 
 @dataclass(frozen=True)

@@ -168,6 +168,28 @@ class Instrumentation:
             m.counter("explore.steal.spawned", **labels).inc(
                 stats.steal_spawned
             )
+        if stats.dpor_races:
+            m.counter("explore.dpor.races", **labels).inc(stats.dpor_races)
+        if stats.dpor_redundant_avoided:
+            m.counter("explore.dpor.redundant_avoided", **labels).inc(
+                stats.dpor_redundant_avoided
+            )
+        if stats.dpor_deferred:
+            m.counter("explore.dpor.deferred", **labels).inc(
+                stats.dpor_deferred
+            )
+        if stats.dpor_full_expansions:
+            m.counter("explore.dpor.full_expansions", **labels).inc(
+                stats.dpor_full_expansions
+            )
+        if stats.pstate_copied:
+            m.counter("explore.pstate.nodes_copied", **labels).inc(
+                stats.pstate_copied
+            )
+        if stats.pstate_shared:
+            m.counter("explore.pstate.nodes_shared", **labels).inc(
+                stats.pstate_shared
+            )
 
     def record_steal(self, stats: Any) -> None:
         """Record one work-stealing pool run's scheduler counters.

@@ -159,6 +159,7 @@ def exhaustive_verify(
     spill: Optional[str] = None,
     fp_store: bool = False,
     oversubscribe: bool = False,
+    por: str = "sleep",
 ) -> ExhaustiveResult:
     """Check every interleaving of ``programs`` against the entry's class.
 
@@ -197,6 +198,13 @@ def exhaustive_verify(
     whole run (scope span, exploration/cache metrics, the deterministic
     ``verify.*`` counters — recorded here only for whole-tree runs; the
     parallel merge records them for frontier-split shards).
+
+    ``por`` selects the partial-order-reduction flavor: ``"sleep"``
+    (classic sleep sets, the differential oracle) or ``"source"``
+    (source-DPOR — race-driven source sets over the sleep sets, plus
+    persistent structural-sharing snapshots in the runtime systems).
+    Both visit the same configuration set; source explores fewer
+    interleavings to get there.
     """
     if entry.kind != "OB":
         raise ValueError(
@@ -217,7 +225,7 @@ def exhaustive_verify(
             symmetry=symmetry, cache=cache, instrumentation=ins,
             steal=steal, spill=spill,
             max_configurations=max_configurations,
-            oversubscribe=oversubscribe,
+            oversubscribe=oversubscribe, por=por,
         )
     result = ExhaustiveResult(entry.name)
     visit = _make_visit(entry, result, cache and engine == "fast", ins)
@@ -230,7 +238,13 @@ def exhaustive_verify(
         expanded = store.expanded_map()
 
     def make_system() -> OpBasedSystem:
-        return OpBasedSystem(entry.make_crdt(), replicas=sorted(programs))
+        # Source-DPOR branches orders of magnitude more often than it
+        # mutates; the persistent (hash-trie) containers make each branch
+        # point O(delta) instead of O(configuration).
+        return OpBasedSystem(
+            entry.make_crdt(), replicas=sorted(programs),
+            persistent=(por == "source"),
+        )
 
     with ins.span("exhaustive.scope", entry=entry.name, kind="OB",
                   root_branch=root_branch):
@@ -252,6 +266,7 @@ def exhaustive_verify(
                 instrumentation=ins,
                 fp_store=store,
                 expanded=expanded,
+                por=por,
             )
     if store is not None:
         result.fp_store = store.stats
@@ -283,14 +298,16 @@ def exhaustive_verify_state(
     spill: Optional[str] = None,
     fp_store: bool = False,
     oversubscribe: bool = False,
+    por: str = "sleep",
 ) -> ExhaustiveResult:
     """Bounded exhaustive verification of a state-based entry.
 
     Explores every interleaving of the programs with up to ``max_gossips``
     gossip steps (see :mod:`repro.runtime.state_explore`) and checks the
     EO/TO candidate linearization plus convergence on each.  ``engine``,
-    ``reduction``, ``symmetry``, ``cache``, ``jobs``, ``steal``, ``spill``
-    and ``instrumentation`` behave as in :func:`exhaustive_verify`.
+    ``reduction``, ``symmetry``, ``cache``, ``jobs``, ``steal``,
+    ``spill``, ``por`` and ``instrumentation`` behave as in
+    :func:`exhaustive_verify`.
     """
     from ..runtime.state_explore import explore_state_programs
     from ..runtime.state_system import StateBasedSystem
@@ -311,7 +328,7 @@ def exhaustive_verify_state(
             reduction=reduction, symmetry=symmetry, cache=cache,
             instrumentation=ins, steal=steal, spill=spill,
             max_configurations=max_configurations,
-            oversubscribe=oversubscribe,
+            oversubscribe=oversubscribe, por=por,
         )
     result = ExhaustiveResult(entry.name)
     visit = _make_visit(entry, result, cache and engine == "fast", ins)
@@ -324,7 +341,10 @@ def exhaustive_verify_state(
         expanded = store.expanded_map()
 
     def make_system() -> StateBasedSystem:
-        return StateBasedSystem(entry.make_crdt(), replicas=sorted(programs))
+        return StateBasedSystem(
+            entry.make_crdt(), replicas=sorted(programs),
+            persistent=(por == "source"),
+        )
 
     with ins.span("exhaustive.scope", entry=entry.name, kind="SB",
                   root_branch=root_branch):
@@ -348,6 +368,7 @@ def exhaustive_verify_state(
                 instrumentation=ins,
                 fp_store=store,
                 expanded=expanded,
+                por=por,
             )
     if store is not None:
         result.fp_store = store.stats

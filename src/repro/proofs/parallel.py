@@ -58,14 +58,15 @@ from .report import VerificationResult, verify_entry
 STEAL_DEFAULT = True
 
 #: One work item, picklable: ``(entry name, programs, max_gossips,
-#: reduction, symmetry, cache, branch, obs)``.  ``max_gossips`` is ``None``
-#: for op-based scopes; ``branch`` is a root branch index for a
+#: reduction, symmetry, cache, branch, obs, por)``.  ``max_gossips`` is
+#: ``None`` for op-based scopes; ``branch`` is a root branch index for a
 #: frontier-split shard, or ``None`` for the whole tree.  ``obs`` is
 #: ``None`` (instrumentation off) or the observability envelope built by
-#: :func:`_obs_envelope`.
+#: :func:`_obs_envelope`.  ``por`` picks the reduction flavor the worker
+#: engine runs (``"sleep"`` or ``"source"``).
 _BranchTask = Tuple[str, Dict[str, Program], Optional[int], Optional[bool],
                     Optional[bool], bool, Optional[int],
-                    Optional[Dict[str, Any]]]
+                    Optional[Dict[str, Any]], str]
 
 
 def _obs_envelope(ins: Instrumentation) -> Optional[Dict[str, Any]]:
@@ -179,7 +180,8 @@ def _symmetric_root_reps(
 
 
 def _branch_worker(task: _BranchTask):
-    name, programs, max_gossips, reduction, symmetry, cache, branch, obs = task
+    (name, programs, max_gossips, reduction, symmetry, cache, branch, obs,
+     por) = task
     ins = _worker_instrumentation(obs)
     entry = entry_by_name(name)
     fingerprints: set = set()
@@ -188,14 +190,14 @@ def _branch_worker(task: _BranchTask):
             result = exhaustive_verify(
                 entry, programs, reduction=reduction, symmetry=symmetry,
                 cache=cache, root_branch=branch, fingerprints=fingerprints,
-                instrumentation=ins,
+                instrumentation=ins, por=por,
             )
         else:
             result = exhaustive_verify_state(
                 entry, programs, max_gossips=max_gossips or 0,
                 reduction=reduction, symmetry=symmetry, cache=cache,
                 root_branch=branch, fingerprints=fingerprints,
-                instrumentation=ins,
+                instrumentation=ins, por=por,
             )
     payload = ins.worker_payload() if obs is not None else None
     if branch is None:
@@ -253,6 +255,14 @@ def _merge_branches(
             )
             merged.stats.steal_splits += stats.steal_splits
             merged.stats.steal_spawned += stats.steal_spawned
+            merged.stats.dpor_races += stats.dpor_races
+            merged.stats.dpor_redundant_avoided += (
+                stats.dpor_redundant_avoided
+            )
+            merged.stats.dpor_deferred += stats.dpor_deferred
+            merged.stats.dpor_full_expansions += stats.dpor_full_expansions
+            merged.stats.pstate_copied += stats.pstate_copied
+            merged.stats.pstate_shared += stats.pstate_shared
         if result.fp_store is not None:
             if merged.fp_store is None:
                 merged.fp_store = FPStoreStats()
@@ -325,6 +335,7 @@ def _branch_tasks(
     symmetry: Optional[bool],
     cache: bool,
     obs: Optional[Dict[str, Any]] = None,
+    por: str = "sleep",
 ) -> List[_BranchTask]:
     _require_registered(entry)
     gossips = max_gossips if entry.kind == "SB" else None
@@ -334,7 +345,7 @@ def _branch_tasks(
         branches = _symmetric_root_reps(entry, transitions, programs)
     return [
         (entry.name, programs, gossips, reduction, symmetry, cache, branch,
-         obs)
+         obs, por)
         for branch in branches
     ]
 
@@ -352,6 +363,7 @@ def exhaustive_verify_parallel(
     spill: Optional[str] = None,
     max_configurations: Optional[int] = None,
     oversubscribe: bool = False,
+    por: str = "sleep",
 ) -> ExhaustiveResult:
     """Parallel exhaustive verification of one registry entry.
 
@@ -386,7 +398,7 @@ def exhaustive_verify_parallel(
             entry, programs, jobs=jobs, max_gossips=max_gossips,
             reduction=reduction, symmetry=symmetry, cache=cache,
             max_configurations=max_configurations, spill=spill,
-            instrumentation=ins, oversubscribe=oversubscribe,
+            instrumentation=ins, oversubscribe=oversubscribe, por=por,
         )
     if max_configurations is not None:
         raise ValueError(
@@ -400,7 +412,7 @@ def exhaustive_verify_parallel(
         )
     jobs = jobs or default_jobs()
     tasks = _branch_tasks(entry, programs, max_gossips, reduction, symmetry,
-                          cache, _obs_envelope(ins))
+                          cache, _obs_envelope(ins), por)
     workers = _worker_count(jobs, len(tasks), oversubscribe)
     _record_pool(ins, len(tasks), workers)
     outcomes = _run_branch_tasks(tasks, workers)
@@ -423,6 +435,7 @@ def verify_scopes_parallel(
     spill: Optional[str] = None,
     max_configurations: Optional[int] = None,
     oversubscribe: bool = False,
+    por: str = "sleep",
 ) -> "Dict[str, ExhaustiveResult]":
     """Run many exhaustive scopes through one shared worker pool.
 
@@ -457,6 +470,7 @@ def verify_scopes_parallel(
             scopes, jobs=jobs, reduction=reduction, symmetry=symmetry,
             cache=cache, max_configurations=max_configurations,
             spill=spill, instrumentation=ins, oversubscribe=oversubscribe,
+            por=por,
         )
     if max_configurations is not None:
         raise ValueError(
@@ -476,14 +490,14 @@ def verify_scopes_parallel(
         if split:
             tasks.extend(
                 _branch_tasks(entry, programs, max_gossips, reduction,
-                              symmetry, cache, obs)
+                              symmetry, cache, obs, por)
             )
         else:
             _require_registered(entry)
             gossips = max_gossips if entry.kind == "SB" else None
             tasks.append(
                 (entry.name, programs, gossips, reduction, symmetry, cache,
-                 None, obs)
+                 None, obs, por)
             )
     workers = _worker_count(jobs, len(tasks), oversubscribe)
     _record_pool(ins, len(tasks), workers)

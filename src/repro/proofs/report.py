@@ -332,7 +332,8 @@ def format_metrics(artifact: Mapping[str, Any]) -> str:
     totals: Dict[str, float] = {}
     for key in instruments:
         name = key.split("{", 1)[0]
-        if name.startswith(("explore.steal.", "explore.fp_store.")):
+        if name.startswith(("explore.steal.", "explore.fp_store.",
+                            "explore.dpor.", "explore.pstate.")):
             value = instruments[key].get("value")
             if value is not None:
                 totals[name] = totals.get(name, 0.0) + value
@@ -354,6 +355,13 @@ def format_metrics(artifact: Mapping[str, Any]) -> str:
             ("fp-store lookups", total("explore.fp_store.lookups")),
             ("fp-store evictions", total("explore.fp_store.evictions")),
             ("fp-store spilled", total("explore.fp_store.spilled")),
+            ("dpor races analyzed", total("explore.dpor.races")),
+            ("dpor redundant avoided",
+             total("explore.dpor.redundant_avoided")),
+            ("dpor reversals deferred", total("explore.dpor.deferred")),
+            ("dpor full expansions", total("explore.dpor.full_expansions")),
+            ("pstate nodes copied", total("explore.pstate.nodes_copied")),
+            ("pstate nodes shared", total("explore.pstate.nodes_shared")),
         ]
         for label, value in rows:
             if value:
@@ -362,6 +370,13 @@ def format_metrics(artifact: Mapping[str, Any]) -> str:
         if lookups:
             ratio = total("explore.fp_store.hits") / lookups
             lines.append(f"  {'fp-store hit ratio':<52} {ratio:>12.4f}")
+        copied = total("explore.pstate.nodes_copied")
+        shared = total("explore.pstate.nodes_shared")
+        if copied or shared:
+            # The observable O(delta) claim: how many trie nodes each
+            # branch point reused instead of copying.
+            ratio = shared / (copied + shared) if copied + shared else 0.0
+            lines.append(f"  {'pstate sharing ratio':<52} {ratio:>12.4f}")
     if counters:
         lines.append("")
         lines.append("work counters:")

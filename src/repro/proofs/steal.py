@@ -199,14 +199,19 @@ class _WorkerScheduler:
                 self._qsize_ok = False
         return False
 
-    def offload(self, path: Sequence[Tuple], sleep: Any) -> None:
+    def offload(self, path: Sequence[Tuple], sleep: Any,
+                frames: Optional[Tuple] = None) -> None:
+        # ``frames`` (source-DPOR only) carries the victim's per-prefix-node
+        # sleep sets so the thief can process race reversals that land on
+        # the replayed prefix; sleep-mode offloads stay 2-argument.
         self._seq += 1
         task_id = ("w", self.worker_id, self._seq)
         self.spawn_times[task_id] = time.perf_counter()
         self.spawned.append(task_id)
         self.task_q.put(
             (task_id, self.current_task, self.scope_index, None,
-             tuple(path), frozenset(sleep))
+             tuple(path), frozenset(sleep),
+             tuple(frames) if frames is not None else None)
         )
 
 
@@ -238,9 +243,9 @@ def _take(task_q, idle, stop, idle_box: List[float]):
 
 
 #: One scope's picklable build spec: ``(entry name, programs,
-#: max_gossips, reduction, symmetry, cache)``.
+#: max_gossips, reduction, symmetry, cache, por)``.
 _ScopeSpec = Tuple[str, Dict[str, Program], Optional[int], Optional[bool],
-                   Optional[bool], bool]
+                   Optional[bool], bool, str]
 
 
 class _Session:
@@ -258,7 +263,7 @@ class _Session:
     def __init__(self, spec: _ScopeSpec, budget, scheduler,
                  spill_dir: Optional[str], use_fp_store: bool,
                  ins: Instrumentation) -> None:
-        name, programs, max_gossips, reduction, symmetry, cache = spec
+        name, programs, max_gossips, reduction, symmetry, cache, por = spec
         entry = entry_by_name(name)
         self.entry = entry
         self.result = ExhaustiveResult(name)
@@ -274,18 +279,21 @@ class _Session:
         expanded = (
             self.store.expanded_map() if self.store is not None else None
         )
+        persistent = por == "source"
         if entry.kind == "OB":
             kind = "op"
 
             def make_system():
                 return OpBasedSystem(entry.make_crdt(),
-                                     replicas=sorted(programs))
+                                     replicas=sorted(programs),
+                                     persistent=persistent)
         else:
             kind = "state"
 
             def make_system():
                 return StateBasedSystem(entry.make_crdt(),
-                                        replicas=sorted(programs))
+                                        replicas=sorted(programs),
+                                        persistent=persistent)
         self.kind = kind
         self.engine = build_engine(
             kind, make_system, programs, visit,
@@ -298,12 +306,14 @@ class _Session:
             fp_store=self.store,
             scheduler=scheduler,
             budget=budget,
+            por=por,
         )
 
     def run(self, branch: Optional[int], path: Optional[Tuple],
-            sleep: Any) -> None:
+            sleep: Any, frames: Optional[Tuple] = None) -> None:
         self.engine.run(root_branch=branch, path=path,
-                        sleep=frozenset(sleep) if sleep else frozenset())
+                        sleep=frozenset(sleep) if sleep else frozenset(),
+                        frames=frames)
 
     def harvest(self, scope_index: int, ins: Instrumentation):
         """Close out the session: ``(scope_index, result, fingerprints)``."""
@@ -346,7 +356,8 @@ def _steal_worker_main(worker_id: int, scope_table: List[_ScopeSpec],
             task = _take(task_q, idle, stop, idle_box)
             if task is None:
                 break
-            task_id, parent_id, scope_index, branch, path, sleep = task
+            task_id, parent_id, scope_index, branch, path, sleep, frames = \
+                task
             session = sessions.get(scope_index)
             if session is None:
                 session = _Session(scope_table[scope_index], budget,
@@ -357,7 +368,7 @@ def _steal_worker_main(worker_id: int, scope_table: List[_ScopeSpec],
             if budget is None or not budget.exhausted():
                 with ins.span("steal.task", worker=worker_id,
                               scope=scope_index):
-                    session.run(branch, path, sleep)
+                    session.run(branch, path, sleep, frames)
             timeline.append(
                 (task_id, parent_id, scope_index, started,
                  time.perf_counter())
@@ -395,6 +406,7 @@ def _seed_tasks(
     reduction: Optional[bool],
     symmetry: Optional[bool],
     cache: bool,
+    por: str = "sleep",
 ) -> Tuple[List[_ScopeSpec], List[Tuple]]:
     """Static root-branch seeds (orbit-filtered) plus the scope table."""
     from .parallel import (
@@ -409,7 +421,7 @@ def _seed_tasks(
         _require_registered(entry)
         gossips = max_gossips if entry.kind == "SB" else None
         scope_table.append(
-            (entry.name, programs, gossips, reduction, symmetry, cache)
+            (entry.name, programs, gossips, reduction, symmetry, cache, por)
         )
         transitions = _root_transitions(entry.kind, programs, gossips)
         branches = list(range(max(1, len(transitions))))
@@ -418,7 +430,7 @@ def _seed_tasks(
         for branch in branches:
             seeds.append(
                 (("s", scope_index, branch), None, scope_index, branch,
-                 None, frozenset())
+                 None, frozenset(), None)
             )
     return scope_table, seeds
 
@@ -431,6 +443,7 @@ def _verify_scopes_inline(
     max_configurations: Optional[int],
     spill: Optional[str],
     ins: Instrumentation,
+    por: str = "sleep",
 ) -> Dict[str, ExhaustiveResult]:
     """Serial fallback when the effective pool is one worker.
 
@@ -445,14 +458,14 @@ def _verify_scopes_inline(
             result = exhaustive_verify(
                 entry, programs, max_configurations=max_configurations,
                 reduction=reduction, symmetry=symmetry, cache=cache,
-                spill=spill, instrumentation=ins,
+                spill=spill, instrumentation=ins, por=por,
             )
         else:
             result = exhaustive_verify_state(
                 entry, programs, max_gossips=max_gossips or 0,
                 max_configurations=max_configurations,
                 reduction=reduction, symmetry=symmetry, cache=cache,
-                spill=spill, instrumentation=ins,
+                spill=spill, instrumentation=ins, por=por,
             )
         merged[entry.name] = result
     return merged
@@ -473,6 +486,7 @@ def verify_scopes_steal(
     split_interval: int = SPLIT_INTERVAL,
     stats_sink: Optional[Dict[str, Any]] = None,
     force_pool: bool = False,
+    por: str = "sleep",
 ) -> Dict[str, ExhaustiveResult]:
     """Run many exhaustive scopes through one work-stealing pool.
 
@@ -503,7 +517,7 @@ def verify_scopes_steal(
         else NULL_INSTRUMENTATION
     jobs = jobs or default_jobs()
     workers = steal_workers(jobs, oversubscribe)
-    scope_table, seeds = _seed_tasks(scopes, reduction, symmetry, cache)
+    scope_table, seeds = _seed_tasks(scopes, reduction, symmetry, cache, por)
     order: List[str] = []
     for entry, _, _ in scopes:
         if entry.name not in order:
@@ -511,7 +525,7 @@ def verify_scopes_steal(
     if (workers <= 1 and not force_pool) or not seeds:
         merged = _verify_scopes_inline(
             scopes, reduction, symmetry, cache, max_configurations, spill,
-            ins,
+            ins, por,
         )
         if stats_sink is not None:
             stats_sink["steal"] = StealStats(
@@ -645,6 +659,7 @@ def exhaustive_verify_steal(
     split_interval: int = SPLIT_INTERVAL,
     stats_sink: Optional[Dict[str, Any]] = None,
     force_pool: bool = False,
+    por: str = "sleep",
 ) -> ExhaustiveResult:
     """Work-stealing exhaustive verification of one registry entry."""
     gossips = max_gossips if entry.kind == "SB" else None
@@ -655,6 +670,6 @@ def exhaustive_verify_steal(
         fp_store=fp_store, instrumentation=instrumentation,
         oversubscribe=oversubscribe, pending_target=pending_target,
         split_interval=split_interval, stats_sink=stats_sink,
-        force_pool=force_pool,
+        force_pool=force_pool, por=por,
     )
     return merged[entry.name]

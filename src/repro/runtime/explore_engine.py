@@ -80,8 +80,13 @@ from typing import (
 
 from ..core.errors import PreconditionViolation
 from ..obs.instrument import Instrumentation, NULL_INSTRUMENTATION
+from . import pstate
 from .state_system import StateBasedSystem
-from .symmetry import SymmetryReducer, build_group, canon_key
+from .symmetry import (
+    SymmetryReducer,
+    build_group,
+    canon_key,
+)
 from .system import OpBasedSystem
 
 #: Per-state fingerprint caches are cleared past this many entries; the
@@ -101,6 +106,10 @@ Transition = Tuple[Any, ...]
 #: stable across branches, unlike ``Label.uid`` which is freshly drawn on
 #: every re-execution of the same program step.
 Lid = Tuple[str, int]
+
+#: Shared empty sleep set — the overwhelmingly common child sleep in the
+#: source-DPOR loop, interned to skip per-step frozenset construction.
+_EMPTY_SLEEP: FrozenSet[Transition] = frozenset()
 
 
 @dataclass
@@ -140,6 +149,23 @@ class ExploreStats:
     steal_splits: int = 0
     #: Work-stealing only: subtree tasks spawned by those splits.
     steal_spawned: int = 0
+    #: Source-DPOR only: reversible races detected along executions.
+    dpor_races: int = 0
+    #: Source-DPOR only: enabled transitions never scheduled because no
+    #: race required them — the interleavings sleep sets alone would
+    #: still have explored.
+    dpor_redundant_avoided: int = 0
+    #: Source-DPOR only: race reversals at stolen-prefix nodes, re-run
+    #: locally as deferred subtree tasks.
+    dpor_deferred: int = 0
+    #: Source-DPOR only: frames conservatively re-expanded to the full
+    #: enabled set (missing footprint or disabled race candidate).
+    dpor_full_expansions: int = 0
+    #: Persistent-snapshot mode: hash-trie nodes allocated (path copies).
+    pstate_copied: int = 0
+    #: Persistent-snapshot mode: child pointers reused by those copies —
+    #: structure shared instead of duplicated.
+    pstate_shared: int = 0
 
     @property
     def dedup_ratio(self) -> float:
@@ -165,6 +191,12 @@ class ExploreStats:
             "state_fp_cache_peak": self.state_fp_cache_peak,
             "steal_splits": self.steal_splits,
             "steal_spawned": self.steal_spawned,
+            "dpor_races": self.dpor_races,
+            "dpor_redundant_avoided": self.dpor_redundant_avoided,
+            "dpor_deferred": self.dpor_deferred,
+            "dpor_full_expansions": self.dpor_full_expansions,
+            "pstate_copied": self.pstate_copied,
+            "pstate_shared": self.pstate_shared,
         }
 
 
@@ -307,8 +339,9 @@ class _OpDomain:
             if self.counters[replica] < len(self.programs[replica]):
                 trans.append(("inv", replica, self.counters[replica]))
         # Causal delivery over the lid mirrors (same condition as
-        # ``system.deliverable``; ``deliver`` re-validates it label-wise,
-        # so a mirror divergence raises instead of mis-exploring).
+        # ``system.deliverable``; apply() passes ``prechecked=True`` so
+        # the system does not re-derive it — the naive differential
+        # oracle pins the mirrors against mis-scheduling).
         causal = self._causal_lids
         for replica in self.replicas:
             seen = self._seen_lids[replica]
@@ -351,7 +384,9 @@ class _OpDomain:
             self._glob_frags = None
             return True
         label = self._lid_to_label[payload]
-        self.system.deliver(replica, label)
+        # prechecked: transitions() established deliverability from the
+        # lid mirrors at this exact configuration.
+        self.system.deliver(replica, label, prechecked=True)
         self._seen_lids[replica] = self._seen_lids[replica] | {payload}
         self._parts[replica] = None
         return True
@@ -460,6 +495,137 @@ class _OpDomain:
         one_two = crdt.apply_effector(crdt.apply_effector(state, eff1), eff2)
         two_one = crdt.apply_effector(crdt.apply_effector(state, eff2), eff1)
         return one_two == two_one
+
+    # -- happens-before / races (the source-DPOR relations) -------------
+
+    def hb_dependent(self, a: Transition, b: Transition) -> bool:
+        """Structural dependence of a later event ``b`` on an earlier ``a``.
+
+        This is the *coarse* relation source-DPOR computes races over; it
+        may be coarser than :meth:`independent` (which additionally probes
+        dynamic effector commutation) — a coarser happens-before merges
+        fewer executions into one trace class, which only means more races
+        are considered, never fewer, so mixing the two stays sound.
+
+        Op-based events touch replica-local data (state, seen-set, clock),
+        so two events are dependent iff they share a replica — plus the
+        creation edge: a delivery depends on the invocation that generated
+        its label (the k-th invocation at replica ``r`` has logical id
+        ``(r, k)``, which is exactly ``("inv", r, k)``'s payload).
+
+        With ``require_quiescence=False`` the visit hook observes interior
+        configurations, where commuting adjacent events is not
+        prefix-preserving; the engine demotes ``por="source"`` to the
+        sleep path outright in that mode, and this relation answering
+        "everything is dependent" is defense-in-depth should a caller
+        reach the source machinery anyway.
+        """
+        if not self.require_quiescence:
+            return True
+        if a[1] == b[1]:
+            return True
+        if a[0] == "inv" and b[0] == "del" and b[2] == (a[1], a[2]):
+            return True
+        if b[0] == "inv" and a[0] == "del" and a[2] == (b[1], b[2]):
+            return True  # symmetric guard; cannot occur in program order
+        return False
+
+    def race_reversible(self, a: Transition, b: Transition) -> bool:
+        """Whether the race ``a`` before ``b`` has an executable reversal.
+
+        Program order (two invocations at one replica), the creation edge
+        (an invocation before a delivery of its own label), and causal
+        delivery (a delivery before a same-replica delivery of a causal
+        successor) are *enforced* orders — the reversed execution does not
+        exist, so no backtrack point is needed.
+        """
+        if a[0] == "inv":
+            if b[0] == "inv":
+                return False  # program order at one replica
+            if b[2] == (a[1], a[2]):
+                return False  # creation: b delivers a's label
+            return True
+        if b[0] == "del" and a[0] == "del" and a[1] == b[1]:
+            # Same-replica deliveries: irreversible when a's label is a
+            # causal predecessor of b's (b was not deliverable before a).
+            preds = self._causal_lids.get(b[2])
+            if preds is not None and a[2] in preds:
+                return False
+        return True
+
+    def must_schedule(self, transition: Transition) -> bool:
+        """Whether a node must schedule ``transition`` unconditionally.
+
+        Race reversals only ever request events that *occur* in explored
+        executions, which covers a transition iff every maximal execution
+        eventually takes it.  Op-based transitions all qualify —
+        invocations run their programs out and deliveries stay enabled
+        until taken, so leaves are exactly the quiescent configurations —
+        hence nothing needs forced scheduling.
+        """
+        return False
+
+    #: No transition ever needs forcing (see :meth:`must_schedule`): the
+    #: engine skips the per-node seeding scan entirely.
+    forces_schedule = False
+
+    def residual_transitions(self) -> List[Transition]:
+        """Every event that can still occur from this configuration.
+
+        Dedup cuts replay these against the open frames in place of the
+        pruned subtree's actual events.  Under quiescence the two sets
+        coincide exactly: every maximal execution below this node runs
+        all remaining invocations and drains every delivery, so the
+        residual alphabet *is* the subtree footprint — no recording, no
+        canonical-frame renaming, O(remaining work) to enumerate.
+        """
+        res: List[Transition] = []
+        for replica in self.replicas:
+            for i in range(
+                self.counters[replica], len(self.programs[replica])
+            ):
+                res.append(("inv", replica, i))
+        for target in self.replicas:
+            seen = self._seen_lids[target]
+            for replica in self.replicas:
+                if replica == target:
+                    continue  # origins see their own labels immediately
+                done = self.counters[replica]
+                for i in range(len(self.programs[replica])):
+                    if i >= done or (replica, i) not in seen:
+                        res.append(("del", target, (replica, i)))
+        return res
+
+    # Incremental happens-before masks: the engine notes each path event
+    # once, and ``hb_dep_mask`` answers "which path indices is this event
+    # hb-dependent on" as a bitmask in O(1) dict lookups instead of an
+    # O(path) relation loop per event.  Must stay equivalent to
+    # :meth:`hb_dependent`; the differential suite pins the pair.
+
+    def hb_reset(self) -> None:
+        self._hb_replica_masks: Dict[str, int] = {}
+        self._hb_mk_bit: Dict[Lid, int] = {}
+
+    def hb_note(self, transition: Transition, index: int) -> None:
+        bit = 1 << index
+        masks = self._hb_replica_masks
+        masks[transition[1]] = masks.get(transition[1], 0) | bit
+        if transition[0] == "inv":
+            self._hb_mk_bit[(transition[1], transition[2])] = bit
+
+    def hb_unnote(self, transition: Transition, index: int) -> None:
+        self._hb_replica_masks[transition[1]] &= ~(1 << index)
+        if transition[0] == "inv":
+            self._hb_mk_bit.pop((transition[1], transition[2]), None)
+
+    def hb_dep_mask(self, transition: Transition, length: int) -> int:
+        if not self.require_quiescence:
+            return (1 << length) - 1
+        mask = self._hb_replica_masks.get(transition[1], 0)
+        if transition[0] == "del":
+            # The creation edge: the inv that generated this label.
+            mask |= self._hb_mk_bit.get(transition[2], 0)
+        return mask
 
     # -- fingerprinting -------------------------------------------------
 
@@ -730,6 +896,101 @@ class _StateDomain:
             crdt.merge(base, two), one
         )
 
+    # -- happens-before / races (the source-DPOR relations) -------------
+
+    def hb_dependent(self, a: Transition, b: Transition) -> bool:
+        """Structural dependence for the state-based semantics.
+
+        Gossips are declared dependent on *everything* — deliberately
+        coarser than :meth:`independent`.  The state-based visit hook
+        fires on interior configurations too (program-complete nodes with
+        leftover gossip budget), and source-DPOR only preserves maximal
+        executions per trace class; making every gossip an ordering
+        barrier forces each explored linearization to pass through every
+        visitable interior configuration of its class (invocation-only
+        commutations never change a program-complete prefix's
+        configuration set), so the visited set stays exactly the sleep-set
+        engine's.  The reduction then prunes invocation interleavings
+        between gossips — and the persistent snapshots carry the rest.
+        """
+        if a[0] == "gos" or b[0] == "gos":
+            return True
+        return a[1] == b[1]
+
+    def race_reversible(self, a: Transition, b: Transition) -> bool:
+        """See :meth:`_OpDomain.race_reversible`.
+
+        Only program order is enforced here: gossips are enabled whenever
+        budget remains (it is never smaller earlier in the execution), so
+        every non-program-order race has an executable reversal.
+        """
+        return not (a[0] == "inv" and b[0] == "inv" and a[1] == b[1])
+
+    def must_schedule(self, transition: Transition) -> bool:
+        """Gossips are *alternatives*, not mandatory events: they drain a
+        shared budget, so a maximal execution that spends it on one
+        gossip never contains the others — no explored execution need
+        mention ``gos(2→1)``, and the race mechanism (which only reverses
+        events that occur) would silently drop its configurations.  Every
+        enabled gossip is therefore force-seeded into each node's source
+        set; the reduction prunes invocation interleavings only.
+        """
+        return transition[0] == "gos"
+
+    #: Gossips need forcing — the engine runs the per-node seeding scan.
+    forces_schedule = True
+
+    def residual_transitions(self) -> List[Transition]:
+        """See :meth:`_OpDomain.residual_transitions`.
+
+        Remaining invocations occur in every maximal execution below
+        this node; gossips are alternatives (budget-bounded), so the
+        residual alphabet over-approximates any one subtree's footprint
+        — extra replayed races cost work, never soundness, and gossip
+        reversals are almost always already covered (every open frame
+        force-seeds its enabled gossips via :meth:`must_schedule`).
+        """
+        res: List[Transition] = []
+        for replica in self.replicas:
+            for i in range(
+                self.counters[replica], len(self.programs[replica])
+            ):
+                res.append(("inv", replica, i))
+        if self.budget > 0:
+            for source in self.replicas:
+                for target in self.replicas:
+                    if source != target:
+                        res.append(("gos", source, target))
+        return res
+
+    # Incremental happens-before masks — see :class:`_OpDomain`.
+
+    def hb_reset(self) -> None:
+        self._hb_replica_masks: Dict[str, int] = {}
+        self._hb_gos_mask = 0
+
+    def hb_note(self, transition: Transition, index: int) -> None:
+        bit = 1 << index
+        if transition[0] == "gos":
+            self._hb_gos_mask |= bit
+        else:
+            masks = self._hb_replica_masks
+            masks[transition[1]] = masks.get(transition[1], 0) | bit
+
+    def hb_unnote(self, transition: Transition, index: int) -> None:
+        if transition[0] == "gos":
+            self._hb_gos_mask &= ~(1 << index)
+        else:
+            self._hb_replica_masks[transition[1]] &= ~(1 << index)
+
+    def hb_dep_mask(self, transition: Transition, length: int) -> int:
+        if transition[0] == "gos":
+            return (1 << length) - 1  # the global ordering barrier
+        return (
+            self._hb_replica_masks.get(transition[1], 0)
+            | self._hb_gos_mask
+        )
+
     # -- fingerprinting -------------------------------------------------
 
     def _state_fp(self, state) -> Any:
@@ -793,12 +1054,65 @@ class _StateDomain:
 
 
 # ----------------------------------------------------------------------
-# The DFS core: sleep sets + dedup over a domain
+# The DFS core: sleep sets / source sets + dedup over a domain
 # ----------------------------------------------------------------------
 
 
+class _Frame:
+    """Per-node scheduling state of the source-DPOR search.
+
+    ``mode`` distinguishes how race reversals landing here are handled:
+
+    * ``"real"`` — a live node of this engine's DFS: reversals join the
+      node's ``backtrack`` set and its candidate loop explores them.
+    * ``"defer"`` — a replayed prefix node of a stolen subtree task: the
+      node's sibling loop ran (or runs) on another worker, so reversals
+      become fresh subtree tasks on this engine's deferred queue.
+    * ``"ignore"`` — the root node of a static root-branch split: every
+      root transition is seeded as its own branch task, so any reversal
+      is already covered.
+    """
+
+    __slots__ = (
+        "mode", "enabled", "enabled_set", "sleep", "backtrack", "tried",
+        "done", "race_added", "progressed",
+    )
+
+    def __init__(
+        self,
+        mode: str,
+        enabled: List[Transition],
+        sleep: FrozenSet[Transition],
+    ) -> None:
+        self.mode = mode
+        self.enabled = enabled
+        #: Lazily materialized by :meth:`is_enabled` — most frames never
+        #: receive a race reversal, so the set would be wasted work.
+        self.enabled_set = None
+        self.sleep = sleep
+        #: Insertion-ordered candidate set (dict keys): the source set.
+        self.backtrack: Dict[Transition, None] = {}
+        self.tried: set = set()
+        self.done: List[Transition] = []
+        self.race_added: set = set()
+        self.progressed = False
+
+    def next_candidate(self) -> Optional[Transition]:
+        for transition in self.backtrack:
+            if transition not in self.tried:
+                return transition
+        return None
+
+    def is_enabled(self, transition: Transition) -> bool:
+        enabled_set = self.enabled_set
+        if enabled_set is None:
+            enabled_set = self.enabled_set = set(self.enabled)
+        return transition in enabled_set
+
+
 class _Engine:
-    """Depth-first search with sleep sets and fingerprint deduplication."""
+    """Depth-first search with sleep sets (or source-DPOR) and
+    fingerprint deduplication."""
 
     def __init__(
         self,
@@ -812,6 +1126,7 @@ class _Engine:
         fp_store: Optional[Any] = None,
         scheduler: Optional[Any] = None,
         budget: Optional[Any] = None,
+        por: str = "sleep",
     ) -> None:
         self.domain = domain
         self.visit = visit
@@ -844,6 +1159,36 @@ class _Engine:
         #: the current one (then every schedule allowed now was allowed —
         #: and explored — before).
         self._expanded: Any = expanded if expanded is not None else {}
+        if por not in ("sleep", "source"):  # pragma: no cover - caller bug
+            raise ValueError(f"unknown por mode {por!r}")
+        if por == "source" and not getattr(domain, "reduction", True):
+            # reduction=False means "explore every interleaving" (the
+            # per-entry escape hatch / naive parity mode); the sleep path
+            # with empty sleep sets is exactly that.
+            por = "sleep"
+        if por == "source" and not getattr(
+            domain, "require_quiescence", True
+        ):
+            # Non-quiescent op exploration visits *interior*
+            # configurations, which source-DPOR's maximal-execution
+            # guarantee does not preserve (two trace-equivalent
+            # executions pass through different interiors).  Fall back
+            # to sleep sets, which visit every non-pruned node.
+            por = "sleep"
+        #: Partial-order reduction flavor: classic sleep sets, or
+        #: source-DPOR (sleep sets + race-driven source sets).
+        self.por = por
+        #: Source-DPOR frame stack, aligned with ``_path`` (frame i is
+        #: the node reached by ``_path[:i]``).
+        self._frames: List[_Frame] = []
+        #: Happens-before predecessor bitmask per path event.
+        self._hb: List[int] = []
+        #: Race reversals landing on defer-mode (stolen-prefix) frames,
+        #: run locally as (path, sleep, frame-sleeps) subtree tasks.
+        self._deferred: List[Tuple] = []
+        self._deferred_seen: set = set()
+        if self.por == "source":
+            domain.hb_reset()
 
     def _fingerprint(self) -> Any:
         fp = self.domain.fingerprint()
@@ -856,51 +1201,124 @@ class _Engine:
         root_branch: Optional[int] = None,
         path: Optional[Sequence[Transition]] = None,
         sleep: FrozenSet[Transition] = frozenset(),
+        frames: Optional[Sequence[FrozenSet[Transition]]] = None,
     ) -> ExploreStats:
         """Explore the whole tree, one root branch, or a stolen subtree.
 
         ``path`` replays a transition sequence from the root and runs the
-        DFS below it under ``sleep`` — the work-stealing task unit.  Wall
-        time *accumulates* so an engine reused across stolen tasks
-        reports its total exploration time.
+        DFS below it under ``sleep`` — the work-stealing task unit.
+        ``frames`` (source-DPOR tasks only) carries the per-prefix-node
+        sleep sets, so race reversals landing on the replayed prefix can
+        be re-run with the right schedule filters.  Wall time
+        *accumulates* so an engine reused across stolen tasks reports its
+        total exploration time.
+
+        Source-DPOR reversals that land on replayed prefix nodes are
+        queued and drained here, after the primary unit: they never go
+        back through the work-stealing queue (the ack protocol only
+        accounts for victim-offloaded tasks), and exploring them locally
+        at worst duplicates work another worker also covers — the merged
+        fingerprint union is unchanged.
         """
         started = time.perf_counter()
+        pstate_mark = pstate.STATS.snapshot()
         try:
             if path is not None:
-                self._run_path(path, sleep)
+                self._run_path(path, sleep, frames)
             elif root_branch is None:
-                self._dfs(frozenset(), 1)
+                if self.por == "source":
+                    self._run_source_root()
+                else:
+                    self._dfs(frozenset(), 1)
             else:
                 self._run_root_branch(root_branch)
+            while self._deferred:
+                task_path, task_sleep, task_frames = self._deferred.pop()
+                self._run_path(
+                    task_path, task_sleep, task_frames, race_task=True
+                )
         except _SearchCapped:
             self.stats.capped = True
+        copied, shared = pstate.STATS.snapshot()
+        self.stats.pstate_copied += copied - pstate_mark[0]
+        self.stats.pstate_shared += shared - pstate_mark[1]
         self.stats.wall_time += time.perf_counter() - started
         return self.stats
 
+    def _reset_stacks(self) -> None:
+        """Clear the per-unit search stacks (they do not survive a cap)."""
+        self._path = []
+        self._frames = []
+        self._hb = []
+        if self.por == "source":
+            self.domain.hb_reset()
+
+    def _run_source_root(self) -> None:
+        try:
+            self._dfs_source(frozenset(), 1)
+        finally:
+            self._reset_stacks()
+
     def _run_path(
-        self, path: Sequence[Transition], sleep: FrozenSet[Transition]
+        self,
+        path: Sequence[Transition],
+        sleep: FrozenSet[Transition],
+        frames: Optional[Sequence[FrozenSet[Transition]]] = None,
+        race_task: bool = False,
     ) -> None:
         """Replay ``path`` from the root, then DFS under ``sleep``.
 
         The path was produced by a worker that successfully applied every
         transition on it, and apply() failures are deterministic in the
         configuration, so a replay failure means the task is corrupt —
-        raise rather than silently dropping a subtree.
+        raise rather than silently dropping a subtree.  The one exception
+        is the *last* transition of a deferred race task (``race_task``):
+        a race candidate is enabled structurally but may still fail its
+        precondition at the branch point, in which case the reversal is
+        covered by fully re-expanding that node instead.
         """
         domain = self.domain
         token = domain.push()
         try:
-            for transition in path:
-                if not domain.apply(transition):
-                    raise RuntimeError(
-                        f"stolen subtree failed to replay at {transition!r}"
+            if self.por == "source":
+                for index, transition in enumerate(path):
+                    frame_sleep = (
+                        frames[index]
+                        if frames is not None and index < len(frames)
+                        else frozenset()
                     )
-            self._path = list(path)
-            self._dfs(frozenset(sleep), len(path) + 1)
+                    self._frames.append(_Frame(
+                        "defer", domain.transitions(), frame_sleep,
+                    ))
+                    if not domain.apply(transition):
+                        if race_task and index == len(path) - 1:
+                            self._full_expand_defer(index)
+                            return
+                        raise RuntimeError(
+                            "stolen subtree failed to replay at "
+                            f"{transition!r}"
+                        )
+                    # Record happens-before only: races *among* prefix
+                    # events were processed by the victim when it first
+                    # executed them.
+                    _, hb_mask = self._analyze_event(transition)
+                    domain.hb_note(transition, len(self._path))
+                    self._path.append(transition)
+                    self._hb.append(hb_mask)
+                self._dfs_source(frozenset(sleep), len(path) + 1)
+            else:
+                for transition in path:
+                    if not domain.apply(transition):
+                        raise RuntimeError(
+                            "stolen subtree failed to replay at "
+                            f"{transition!r}"
+                        )
+                self._path = list(path)
+                self._dfs(frozenset(sleep), len(path) + 1)
         finally:
             # Restore the root even when capped mid-subtree, so a worker
             # session stays reusable for its next task.
-            self._path = []
+            self._reset_stacks()
             domain.pop(token)
 
     def _run_root_branch(self, branch: int) -> None:
@@ -914,6 +1332,12 @@ class _Engine:
         ordinary DFS below it.  Branch 0 additionally owns the root
         configuration itself, so across workers it is reported once.
         A ``branch`` beyond the root's out-degree is a no-op.
+
+        Under source-DPOR the root node gets an ``"ignore"`` frame: every
+        root transition is statically seeded as a branch of its own (the
+        orbit filter only drops transitions covered by a symmetric
+        representative), so the full root expansion subsumes any source
+        set a race reversal could request.
         """
         domain, stats = self.domain, self.stats
         transitions = domain.transitions()
@@ -944,12 +1368,24 @@ class _Engine:
             other for other in done if domain.independent(other, target)
         )
         if domain.apply(target):
-            self._path = [target]
-            try:
-                self._dfs(child_sleep, 2)
-            finally:
-                self._path = []
-                domain.pop(token)
+            if self.por == "source":
+                self._frames.append(_Frame("ignore", transitions,
+                                           frozenset()))
+                try:
+                    domain.hb_note(target, 0)
+                    self._path.append(target)
+                    self._hb.append(0)
+                    self._dfs_source(child_sleep, 2)
+                finally:
+                    self._reset_stacks()
+                    domain.pop(token)
+            else:
+                self._path = [target]
+                try:
+                    self._dfs(child_sleep, 2)
+                finally:
+                    self._path = []
+                    domain.pop(token)
 
     def _report(self, fingerprint: Any) -> None:
         if self.dedup:
@@ -1056,6 +1492,326 @@ class _Engine:
             done.append(transition)
             explored_locally = True
 
+    # -- source-DPOR ----------------------------------------------------
+
+    def _dfs_source(
+        self, sleep: FrozenSet[Transition], depth: int
+    ) -> None:
+        """The source-DPOR node loop.
+
+        Unlike :meth:`_dfs`, which schedules *every* enabled transition
+        outside the sleep set, this loop schedules only the node's
+        **source set**: the first non-slept transition, plus whatever race
+        reversals detected along deeper executions add to the node's
+        backtrack set (lazily, while the node is still on the stack).
+        Enabled transitions never demanded by a race are provably
+        redundant — their interleavings reach already-covered
+        Mazurkiewicz traces — and are counted in
+        ``dpor_redundant_avoided`` instead of explored.
+        """
+        domain, stats = self.domain, self.stats
+        stats.states_visited += 1
+        if depth > stats.peak_frontier:
+            stats.peak_frontier = depth
+        if self.budget is not None and self.budget.exhausted():
+            raise _SearchCapped
+        transitions = domain.transitions()
+        fingerprint = self.dedup and self._fingerprint()
+        if domain.should_visit(transitions):
+            self._report(fingerprint)
+        if not transitions:
+            return
+        if self.dedup:
+            sleep_key = domain.canon_sleep(sleep)
+            recorded_sets = self._expanded.setdefault(fingerprint, [])
+            for recorded in recorded_sets:
+                if recorded <= sleep_key:
+                    stats.states_deduped += 1
+                    # The subtree below an equivalent node is not run
+                    # again — but its events can still race with *this*
+                    # path's prefix, so replay the residual alphabet
+                    # against the open frames.
+                    self._replay_residual()
+                    return
+            recorded_sets.append(sleep_key)
+        frame = _Frame("real", transitions, sleep)
+        self._frames.append(frame)
+        scheduler = self.scheduler
+        token = domain.push()
+        explored_locally = False
+        did_split = False
+        try:
+            for transition in transitions:
+                if transition not in sleep:
+                    frame.backtrack[transition] = None
+                    break
+            if domain.forces_schedule:
+                for transition in transitions:
+                    if (
+                        transition not in sleep
+                        and domain.must_schedule(transition)
+                    ):
+                        frame.backtrack[transition] = None
+            while True:
+                transition = frame.next_candidate()
+                if transition is None:
+                    if not frame.progressed:
+                        # Every candidate failed its precondition; seed
+                        # the next untried enabled transition, exactly as
+                        # the serial loop skips a failed apply().
+                        seeded = False
+                        for candidate in transitions:
+                            if (
+                                candidate not in sleep
+                                and candidate not in frame.tried
+                            ):
+                                frame.backtrack[candidate] = None
+                                seeded = True
+                                break
+                        if seeded:
+                            continue
+                    break
+                frame.tried.add(transition)
+                if frame.done:
+                    base = frame.sleep.union(frame.done)
+                elif frame.sleep:
+                    base = frame.sleep
+                else:
+                    base = None
+                if base:
+                    child_sleep = frozenset(
+                        other
+                        for other in base
+                        if domain.independent(other, transition)
+                    )
+                else:
+                    child_sleep = _EMPTY_SLEEP
+                if (
+                    scheduler is not None
+                    and explored_locally
+                    and scheduler.should_split(depth)
+                ):
+                    if domain.apply(transition):
+                        domain.pop(token)
+                        scheduler.offload(
+                            tuple(self._path) + (transition,),
+                            child_sleep,
+                            tuple(f.sleep for f in self._frames),
+                        )
+                        stats.steal_spawned += 1
+                        if not did_split:
+                            did_split = True
+                            stats.steal_splits += 1
+                        frame.done.append(transition)
+                        frame.progressed = True
+                    continue
+                if not domain.apply(transition):
+                    if transition in frame.race_added:
+                        # A race demanded this reversal but the
+                        # transition is disabled here after all; cover
+                        # the reversal by scheduling everything.
+                        self._full_expand(frame)
+                    continue
+                self._record_event(transition)
+                self._dfs_source(child_sleep, depth + 1)
+                self._path.pop()
+                self._hb.pop()
+                domain.hb_unnote(transition, len(self._path))
+                domain.pop(token)
+                frame.done.append(transition)
+                frame.progressed = True
+                explored_locally = True
+        finally:
+            self._frames.pop()
+        for transition in transitions:
+            if transition in sleep:
+                stats.branches_pruned += 1
+            elif transition not in frame.tried:
+                stats.dpor_redundant_avoided += 1
+
+    def _analyze_event(self, transition: Transition) -> Tuple[int, int]:
+        """Happens-before masks of ``transition`` as the next path event.
+
+        Returns ``(adjacent, hb_mask)``: the bitmask of path indices the
+        event is *hb-adjacent* to (dependent and not already ordered
+        through a later dependent event — the race candidates), and the
+        full happens-before predecessor mask to push onto ``_hb``.
+        """
+        hb = self._hb
+        dep = self.domain.hb_dep_mask(transition, len(self._path))
+        covered = 0
+        mask = dep
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            covered |= hb[low.bit_length() - 1]
+        return dep & ~covered, dep | covered
+
+    def _record_event(self, transition: Transition) -> None:
+        """Append ``transition`` to the path, processing its races."""
+        adjacent, hb_mask = self._analyze_event(transition)
+        domain, path = self.domain, self._path
+        k = len(path)
+        mask = adjacent
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            j = low.bit_length() - 1
+            if self._frames[j].mode == "ignore":
+                continue
+            if not domain.race_reversible(path[j], transition):
+                continue
+            self.stats.dpor_races += 1
+            self._reverse_race(j, k, transition, hb_mask)
+        domain.hb_note(transition, k)
+        path.append(transition)
+        self._hb.append(hb_mask)
+
+    def _reverse_race(
+        self, j: int, k: int, transition: Transition, hb_mask: int
+    ) -> None:
+        """Reverse the race ``path[j]`` ↔ ``transition`` at frame ``j``.
+
+        Walks the initials of ``v = notdep(path[j], E) · transition`` —
+        the first events of the execution fragment that runs
+        ``transition``'s side of the race before ``path[j]``.  The
+        source-set condition: if some initial is already slept, the
+        reversal is covered by the branch that put it to sleep; if some
+        initial is in the backtrack set (or ran, or — on a defer frame —
+        is the prefix transition itself), this node already explores it;
+        the walk short-circuits on the first such hit, which in the
+        common case is the immediately following event.  Only when no
+        initial covers the reversal is the first one scheduled: added to
+        the backtrack set of a real frame, queued as a subtree task for
+        a defer frame.
+        """
+        frame = self._frames[j]
+        real = frame.mode == "real"
+        # On a "defer" frame the sibling loop belongs to the stealing
+        # victim, so reversals become local subtree tasks instead.
+        taken = None if real else self._path[j]
+        path, hb = self._path, self._hb
+        sleep = frame.sleep
+        backtrack, tried = frame.backtrack, frame.tried
+        first: Optional[Transition] = None
+        v_mask = 0
+        for m in range(j + 1, k):
+            hbm = hb[m]
+            if (hbm >> j) & 1:
+                continue  # depends on path[j]: not part of v
+            if not (hbm & v_mask):
+                w = path[m]
+                if w in sleep:
+                    return
+                if real:
+                    if w in backtrack or w in tried:
+                        return
+                elif w == taken:
+                    return
+                if first is None:
+                    first = w
+            v_mask |= 1 << m
+        if not (hb_mask & v_mask):
+            w = transition
+            if w in sleep:
+                return
+            if real:
+                if w in backtrack or w in tried:
+                    return
+            elif w == taken:
+                return
+            if first is None:
+                first = w
+        if first is None:  # pragma: no cover - v always has an initial
+            return
+        if real:
+            if frame.is_enabled(first):
+                backtrack[first] = None
+                frame.race_added.add(first)
+            else:
+                self._full_expand(frame)
+        elif frame.is_enabled(first):
+            self._defer(j, first)
+        else:
+            self._full_expand_defer(j, taken=taken)
+
+    def _full_expand(self, frame: _Frame) -> None:
+        """Degrade a frame to the sleep-set schedule (every non-slept
+        enabled transition), the conservative fallback when precise race
+        coverage is unavailable."""
+        self.stats.dpor_full_expansions += 1
+        for transition in frame.enabled:
+            if (
+                transition not in frame.sleep
+                and transition not in frame.tried
+                and transition not in frame.backtrack
+            ):
+                # Deliberately not race_added: if a fallback candidate
+                # fails to apply it is skipped, as in the sleep engine.
+                frame.backtrack[transition] = None
+
+    def _full_expand_defer(
+        self, j: int, taken: Optional[Transition] = None
+    ) -> None:
+        """Defer-frame analogue of :meth:`_full_expand`: enqueue every
+        non-slept enabled transition at prefix node ``j`` as a subtree
+        task (minus ``taken``, whose subtree the victim explored)."""
+        self.stats.dpor_full_expansions += 1
+        frame = self._frames[j]
+        for transition in frame.enabled:
+            if transition not in frame.sleep and transition != taken:
+                self._defer(j, transition)
+
+    def _defer(self, j: int, w: Transition) -> None:
+        """Queue the subtree task ``path[:j] + (w,)`` (deduplicated)."""
+        prefix = tuple(self._path[:j])
+        key = (prefix, w)
+        if key in self._deferred_seen:
+            return
+        self._deferred_seen.add(key)
+        domain = self.domain
+        frame = self._frames[j]
+        task_sleep = frozenset(
+            s for s in frame.sleep if domain.independent(s, w)
+        )
+        frame_sleeps = tuple(f.sleep for f in self._frames[:j + 1])
+        self._deferred.append((prefix + (w,), task_sleep, frame_sleeps))
+        self.stats.dpor_deferred += 1
+
+    def _replay_residual(self) -> None:
+        """Re-run race detection for a dedup-cut subtree.
+
+        The subtree below this node is not executed again — but its
+        events can race with the *current* path prefix, which differs
+        from the one an equivalent subtree was first explored under.  The
+        domain's residual alphabet (every event that can still occur from
+        here) stands in for the subtree: each residual transition is
+        analyzed against the live frames exactly as if it ran next.
+        Under quiescence the residual alphabet equals the footprint of
+        every maximal execution below this node, and it is computed from
+        the *live* configuration — so nothing is recorded, no canonical-
+        frame renaming is needed, and whether the equivalent subtree was
+        itself cut short (offloaded, capped) is irrelevant.  Positional
+        information is over-approximated (a deep subtree event is
+        analyzed as if it ran immediately) — extra backtrack points cost
+        work, never soundness.
+        """
+        domain, path = self.domain, self._path
+        k = len(path)
+        for u in domain.residual_transitions():
+            adjacent, hb_mask = self._analyze_event(u)
+            mask = adjacent
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                j = low.bit_length() - 1
+                if self._frames[j].mode == "ignore":
+                    continue
+                if not domain.race_reversible(path[j], u):
+                    continue
+                self.stats.dpor_races += 1
+                self._reverse_race(j, k, u, hb_mask)
+
 
 # ----------------------------------------------------------------------
 # Session factory (the work-stealing workers' entry point)
@@ -1079,6 +1835,7 @@ def build_engine(
     scheduler: Optional[Any] = None,
     budget: Optional[Any] = None,
     symmetry: bool = False,
+    por: str = "sleep",
 ) -> _Engine:
     """Build a reusable exploration engine for ``kind`` (``op``/``state``).
 
@@ -1105,7 +1862,7 @@ def build_engine(
     return _Engine(
         domain, visit, max_configurations, dedup, stats,
         fingerprints=fingerprints, expanded=expanded, fp_store=fp_store,
-        scheduler=scheduler, budget=budget,
+        scheduler=scheduler, budget=budget, por=por,
     )
 
 
@@ -1129,6 +1886,7 @@ def explore_op_programs(
     symmetry: bool = False,
     fp_store: Optional[Any] = None,
     expanded: Optional[Dict] = None,
+    por: str = "sleep",
 ) -> int:
     """Run per-replica ``programs`` under every op-based interleaving.
 
@@ -1163,11 +1921,12 @@ def explore_op_programs(
         symmetry=symmetry,
     )
     with ins.span("explore.op", replicas=len(programs),
-                  root_branch=root_branch, symmetry=symmetry) as span:
+                  root_branch=root_branch, symmetry=symmetry,
+                  por=por) as span:
         _Engine(
             domain, visit, max_configurations, dedup, stats,
             fingerprints=fingerprints, expanded=expanded,
-            fp_store=fp_store,
+            fp_store=fp_store, por=por,
         ).run(root_branch)
         span.set(configurations=stats.configurations,
                  states_visited=stats.states_visited)
@@ -1191,6 +1950,7 @@ def explore_state_programs(
     symmetry: bool = False,
     fp_store: Optional[Any] = None,
     expanded: Optional[Dict] = None,
+    por: str = "sleep",
 ) -> int:
     """Run ``programs`` under every bounded state-based interleaving.
 
@@ -1208,11 +1968,11 @@ def explore_state_programs(
     )
     with ins.span("explore.state", replicas=len(programs),
                   max_gossips=max_gossips, root_branch=root_branch,
-                  symmetry=symmetry) as span:
+                  symmetry=symmetry, por=por) as span:
         _Engine(
             domain, visit, max_configurations, dedup, stats,
             fingerprints=fingerprints, expanded=expanded,
-            fp_store=fp_store,
+            fp_store=fp_store, por=por,
         ).run(root_branch)
         span.set(configurations=stats.configurations,
                  states_visited=stats.states_visited)

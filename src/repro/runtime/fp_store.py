@@ -23,14 +23,19 @@ each fingerprint as a fixed-width digest:
   merge unions — 16 bytes per configuration instead of a nested tuple.
 
 * **Collision checking.**  Digest equality is trusted only after the
-  store has compared encodings: a ledger maps each digest to the
-  encoding that produced it, in an LRU in-memory tier backed by the
-  optional sqlite spill.  A mismatch raises
+  store has compared *check digests*: a ledger maps each primary digest
+  to an independent 32-byte blake2b digest of the same encoding (keyed
+  with a distinct personalization string), in an LRU in-memory tier
+  backed by the optional sqlite spill.  A mismatch raises
   :class:`FingerprintCollisionError` instead of silently merging two
-  distinct configurations (2^128 makes this astronomically unlikely;
-  the check turns "unlikely" into "detected").  Without a spill
-  directory, entries evicted from the LRU become best-effort
-  (``unchecked_hits`` counts lookups that could not be re-verified).
+  distinct configurations — a silent merge now requires a simultaneous
+  collision in two independently-keyed hashes (≥ 2^128+2^256 work; the
+  check turns "astronomically unlikely" into "detected").  The ledger
+  entry is a fixed 32 bytes instead of the full variable-length
+  encoding, so the collision ledger costs O(1) per configuration no
+  matter how large the fingerprints grow.  Without a spill directory,
+  entries evicted from the LRU become best-effort (``unchecked_hits``
+  counts lookups that could not be re-verified).
 
 * **Disk spill.**  With ``spill_dir`` set, :meth:`visited_set` and
   :meth:`expanded_map` return :class:`SpillSet`/:class:`SpillMap`
@@ -68,6 +73,11 @@ DEFAULT_MEMORY_LIMIT = 1 << 16
 _FLUSH_BATCH = 512
 
 _U32 = struct.Struct(">I")
+
+#: Personalization for the ledger's check digests: keyed differently from
+#: the primary digest so the two hashes are independent functions of the
+#: encoding.
+_CHECK_PERSON = b"fp-ledger-check"
 
 
 class FingerprintCollisionError(RuntimeError):
@@ -200,7 +210,14 @@ class _DiskTier:
     """A private sqlite file holding the spilled tiers of one store.
 
     Scratch storage, not a durable artifact: journaling and fsync are
-    off, and the file is unlinked on :meth:`close`.
+    off, and the scratch file is *unlinked immediately after connecting*
+    — sqlite keeps working through its open file descriptor, and the
+    kernel reclaims the space as soon as the descriptor closes, however
+    the process ends.  A work-stealing worker killed mid-run (terminate,
+    OOM, ctrl-C) therefore leaves nothing behind in ``--spill DIR``;
+    before this, abnormal exits accumulated orphaned ``fp-store-*``
+    files that only a manual sweep removed.  On platforms that refuse to
+    unlink an open file the path is kept and removed on :meth:`close`.
     """
 
     def __init__(self, spill_dir: str) -> None:
@@ -217,6 +234,12 @@ class _DiskTier:
                 f"CREATE TABLE {table} (d BLOB PRIMARY KEY, v BLOB)"
             )
         self.conn.execute("CREATE TABLE visited (d BLOB PRIMARY KEY)")
+        self._unlinked = False
+        try:
+            os.unlink(self.path)
+            self._unlinked = True
+        except OSError:  # pragma: no cover - non-POSIX semantics only
+            pass
 
     def put_many(self, table: str, rows: List[Tuple]) -> None:
         marks = "(?, ?)" if table != "visited" else "(?)"
@@ -244,10 +267,11 @@ class _DiskTier:
         try:
             self.conn.close()
         finally:
-            try:
-                os.unlink(self.path)
-            except OSError:
-                pass
+            if not self._unlinked:  # pragma: no cover - non-POSIX only
+                try:
+                    os.unlink(self.path)
+                except OSError:
+                    pass
 
 
 class SpillSet:
@@ -390,6 +414,12 @@ class FingerprintStore:
             self._enc_memo.clear()
         encoding = stable_encode(fingerprint, self._enc_memo)
         digest = blake2b(encoding, digest_size=self.digest_size).digest()
+        # The ledger records a fixed-width *check digest* (independent
+        # 32-byte blake2b, distinct personalization) rather than the full
+        # encoding: O(1) bytes per configuration, and a silent merge now
+        # needs both hashes to collide at once.
+        check = blake2b(encoding, digest_size=32,
+                        person=_CHECK_PERSON).digest()
         known = self._ledger.get(digest)
         if known is not None:
             self._ledger.move_to_end(digest)
@@ -398,11 +428,11 @@ class FingerprintStore:
         if known is None and self._disk is not None:
             known = self._disk.get("ledger", digest)
         if known is not None:
-            if known != encoding:
+            if known != check:
                 raise FingerprintCollisionError(
                     f"digest collision at {digest.hex()}: two distinct "
-                    f"fingerprint encodings ({len(known)} vs "
-                    f"{len(encoding)} bytes) — widen digest_size"
+                    f"fingerprint encodings share a {self.digest_size}-byte "
+                    f"digest — widen digest_size"
                 )
             stats.hits += 1
             return digest
@@ -412,7 +442,7 @@ class FingerprintStore:
             # the best-effort window is visible in the stats.
             stats.unchecked_hits += 1
         stats.unique += 1
-        self._ledger[digest] = encoding
+        self._ledger[digest] = check
         if len(self._ledger) > self._memory_limit:
             evicted, enc = self._ledger.popitem(last=False)
             stats.evictions += 1

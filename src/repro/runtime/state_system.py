@@ -25,6 +25,7 @@ from ..core.history import History
 from ..core.label import Label
 from ..core.timestamp import BOTTOM, TimestampGenerator
 from ..crdts.base import StateBasedCRDT
+from .pstate import EMPTY_SET
 
 
 @dataclass(frozen=True)
@@ -38,23 +39,37 @@ class Message:
 
 
 class StateBasedSystem:
-    """A replicated system running one state-based CRDT object."""
+    """A replicated system running one state-based CRDT object.
+
+    ``persistent=True`` mirrors :class:`~repro.runtime.system.OpBasedSystem`:
+    label sets and the visibility relation become persistent hash tries,
+    the generator's clock table copy-on-write, and the append-only logs
+    (messages, generation order, events) are snapshotted by length mark
+    and rewound by truncation — sound under the explorers' DFS discipline
+    (tokens are only restored along the current execution path).
+    """
 
     def __init__(
         self,
         crdt: StateBasedCRDT,
         replicas: Sequence[str] = ("r1", "r2", "r3"),
         obj: Optional[str] = None,
+        persistent: bool = False,
     ) -> None:
         self.crdt = crdt
         self.replicas = list(replicas)
         self.obj = obj
-        self._generator = TimestampGenerator()
+        self.persistent = persistent
+        self._generator = TimestampGenerator(persistent=persistent)
         self._states: Dict[str, Any] = {
             r: crdt.initial_state() for r in self.replicas
         }
-        self._seen: Dict[str, Set[Label]] = {r: set() for r in self.replicas}
-        self._vis: Set[Tuple[Label, Label]] = set()
+        if persistent:
+            self._seen = {r: EMPTY_SET for r in self.replicas}
+            self._vis = EMPTY_SET
+        else:
+            self._seen = {r: set() for r in self.replicas}
+            self._vis = set()
         self.messages: List[Message] = []
         self.generation_order: List[Label] = []
         #: Event log: ("op", replica, label, pre, post) and
@@ -82,9 +97,16 @@ class StateBasedSystem:
         label = Label(
             method, tuple(args), ret=ret, ts=ts, obj=self.obj, origin=replica
         )
-        for prior in self._seen[replica]:
-            self._vis.add((prior, label))
-        self._seen[replica].add(label)
+        seen_here = self._seen[replica]
+        if self.persistent:
+            self._vis = self._vis.update(
+                (prior, label) for prior in seen_here
+            )
+            self._seen[replica] = seen_here.add(label)
+        else:
+            for prior in seen_here:
+                self._vis.add((prior, label))
+            seen_here.add(label)
         self._states[replica] = new_state
         self.generation_order.append(label)
         self.events.append(("op", replica, label, state, new_state))
@@ -116,7 +138,10 @@ class StateBasedSystem:
         pre = self._states[replica]
         post = self.crdt.merge(pre, message.state)
         self._states[replica] = post
-        self._seen[replica] |= set(message.labels)
+        if self.persistent:
+            self._seen[replica] = self._seen[replica].update(message.labels)
+        else:
+            self._seen[replica] |= set(message.labels)
         for ts in self.crdt.timestamps_in_state(message.state):
             self._generator.observe(replica, ts)
         self.events.append(("apply", replica, message, pre, post))
@@ -148,7 +173,19 @@ class StateBasedSystem:
 
         Shallow copies only — messages, labels, and CRDT states are
         immutable values shared between the live system and the token.
+        Under ``persistent=True`` the token is O(#replicas): trie roots by
+        reference, append-only logs by length mark.
         """
+        if self.persistent:
+            return (
+                dict(self._states),
+                dict(self._seen),
+                self._vis,
+                len(self.messages),
+                len(self.generation_order),
+                len(self.events),
+                self._generator.snapshot(),
+            )
         return (
             dict(self._states),
             {r: set(s) for r, s in self._seen.items()},
@@ -160,14 +197,23 @@ class StateBasedSystem:
         )
 
     def restore(self, token: Tuple) -> None:
-        """Rewind to a :meth:`snapshot` token (reusable any number of times)."""
+        """Rewind to a :meth:`snapshot` token (reusable any number of times
+        along the explorers' DFS discipline under ``persistent=True``)."""
         states, seen, vis, messages, order, events, clocks = token
-        self._states = dict(states)
-        self._seen = {r: set(s) for r, s in seen.items()}
-        self._vis = set(vis)
-        self.messages = list(messages)
-        self.generation_order = list(order)
-        self.events = list(events)
+        if self.persistent:
+            self._states = dict(states)
+            self._seen = dict(seen)
+            self._vis = vis
+            del self.messages[messages:]
+            del self.generation_order[order:]
+            del self.events[events:]
+        else:
+            self._states = dict(states)
+            self._seen = {r: set(s) for r, s in seen.items()}
+            self._vis = set(vis)
+            self.messages = list(messages)
+            self.generation_order = list(order)
+            self.events = list(events)
         self._generator.restore(clocks)
 
     # ------------------------------------------------------------------

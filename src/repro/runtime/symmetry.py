@@ -36,7 +36,7 @@ differential oracle (``tests/runtime/test_explore_symmetry.py``) and
 from dataclasses import dataclass, fields, is_dataclass
 from itertools import permutations
 from math import factorial
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from typing import AbstractSet, Any, Dict, List, Mapping, Sequence, Tuple
 
 from ..core.freeze import FrozenDict, freeze
 from ..core.timestamp import BOTTOM, Timestamp, VersionVector
@@ -205,6 +205,128 @@ def canon_key(value: Any, mapping: Mapping[str, str]) -> Any:
     return ("o", t.__name__, repr(value))
 
 
+def _canon_keys(value: Any, maps: Sequence[Mapping[str, str]],
+                names: AbstractSet[str],
+                memo: Dict[Any, Tuple[Any, bool]]) -> Tuple[Any, bool]:
+    """:func:`canon_key` under every group element, in one traversal.
+
+    Returns ``(key, True)`` when ``value`` mentions no renameable replica
+    (its key is the same under every element — computed once and shared),
+    or ``(keys, False)`` with one key per element of ``maps``.  Key
+    equality with per-map :func:`canon_key` calls is exact; sharing the
+    pure subkeys across fragment slots additionally lets downstream
+    comparisons short-circuit on object identity.  ``memo`` caches
+    container results by ``(type, value)`` — the same label ids, seen
+    sets, and timestamps recur across thousands of fingerprint parts.
+    """
+    t = type(value)
+    if t is str:
+        if value in names:
+            return [("s", m.get(value, value)) for m in maps], False
+        return ("s", value), True
+    if t is int:
+        return ("i", value), True
+    if t is tuple or t is frozenset:
+        mk = (t, value)
+        hit = memo.get(mk)
+        if hit is not None:
+            return hit
+        subs = []
+        pure = True
+        for item in value:
+            ks, p = _canon_keys(item, maps, names, memo)
+            subs.append((ks, p))
+            pure = pure and p
+        tag = "t" if t is tuple else "f"
+        if pure:
+            items = [ks for ks, _ in subs]
+            if t is frozenset:
+                items.sort()
+            result: Tuple[Any, bool] = ((tag, tuple(items)), True)
+        elif t is tuple:
+            result = ([
+                (tag, tuple([ks if p else ks[i] for ks, p in subs]))
+                for i in range(len(maps))
+            ], False)
+        else:
+            result = ([
+                (tag, tuple(sorted([ks if p else ks[i] for ks, p in subs])))
+                for i in range(len(maps))
+            ], False)
+        if len(memo) > _CACHE_LIMIT:
+            memo.clear()
+        memo[mk] = result
+        return result
+    if t is Timestamp:
+        if value.replica in names:
+            return [
+                ("T", value.counter, m.get(value.replica, value.replica))
+                for m in maps
+            ], False
+        return ("T", value.counter, value.replica), True
+    if value is BOTTOM:
+        return ("⊥",), True
+    if t is bool:
+        return ("b", value), True
+    if t is float:
+        return ("x", value), True
+    if value is None:
+        return ("n",), True
+    if t is FrozenDict:
+        mk = (t, value)
+        hit = memo.get(mk)
+        if hit is not None:
+            return hit
+        subs = []
+        pure = True
+        for k, v in value.items():
+            kks, kp = _canon_keys(k, maps, names, memo)
+            vks, vp = _canon_keys(v, maps, names, memo)
+            subs.append((kks, kp, vks, vp))
+            pure = pure and kp and vp
+        if pure:
+            result = (
+                ("d", tuple(sorted((kks, vks) for kks, _, vks, _ in subs))),
+                True,
+            )
+        else:
+            result = ([
+                ("d", tuple(sorted(
+                    (kks if kp else kks[i], vks if vp else vks[i])
+                    for kks, kp, vks, vp in subs
+                )))
+                for i in range(len(maps))
+            ], False)
+        if len(memo) > _CACHE_LIMIT:
+            memo.clear()
+        memo[mk] = result
+        return result
+    if t is VersionVector:
+        entries = value.entries
+        if any(r in names for r, _ in entries):
+            return [
+                ("v", tuple(sorted((m.get(r, r), c) for r, c in entries)))
+                for m in maps
+            ], False
+        return ("v", tuple(sorted(entries))), True
+    if t is bytes:
+        return ("y", value), True
+    if is_dataclass(value):
+        subs = []
+        pure = True
+        for f in fields(value):
+            ks, p = _canon_keys(getattr(value, f.name), maps, names, memo)
+            subs.append((ks, p))
+            pure = pure and p
+        if pure:
+            return ("c", t.__name__, tuple(ks for ks, _ in subs)), True
+        return [
+            ("c", t.__name__, tuple(ks if p else ks[i] for ks, p in subs))
+            for i in range(len(maps))
+        ], False
+    return ("o", t.__name__, repr(value)), True
+
+
 def rename_transition(
     transition: Tuple, mapping: Mapping[str, str]
 ) -> Tuple:
@@ -293,6 +415,13 @@ class SymmetryReducer:
             )
         self._part_frags: Dict[Any, Tuple] = {}
         self._glob_frags: Dict[Any, Tuple] = {}
+        #: Replicas moved by at least one group element — values mentioning
+        #: none of them have identical fragments under every element.
+        self._names: set = set()
+        for mapping in self.maps:
+            self._names.update(mapping)
+        #: Sub-value fragment memo shared by every part (see _canon_keys).
+        self._sub_memo: Dict[Any, Tuple[Any, bool]] = {}
         self.last_map: Dict[str, str] = {}
 
     def part_fragments(self, part: Tuple) -> Tuple:
@@ -301,9 +430,10 @@ class SymmetryReducer:
         if frags is None:
             if len(self._part_frags) > _CACHE_LIMIT:
                 self._part_frags.clear()
-            frags = tuple(
-                canon_key(part, mapping) for mapping in self.maps
+            keys, pure = _canon_keys(
+                part, self.maps, self._names, self._sub_memo
             )
+            frags = (keys,) * len(self.maps) if pure else tuple(keys)
             self._part_frags[part] = frags
         return frags
 
@@ -313,9 +443,10 @@ class SymmetryReducer:
         if frags is None:
             if len(self._glob_frags) > _CACHE_LIMIT:
                 self._glob_frags.clear()
-            frags = tuple(
-                canon_key(glob, mapping) for mapping in self.maps
+            keys, pure = _canon_keys(
+                glob, self.maps, self._names, self._sub_memo
             )
+            frags = (keys,) * len(self.maps) if pure else tuple(keys)
             self._glob_frags[glob] = frags
         return frags
 

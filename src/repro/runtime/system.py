@@ -32,18 +32,37 @@ from ..core.history import History
 from ..core.label import Label
 from ..core.timestamp import BOTTOM, TimestampGenerator
 from ..crdts.base import Effector, OpBasedCRDT
+from .pstate import EMPTY_SET
 
 DEFAULT_OBJECT = "o"
 
 
 class OpBasedSystem:
-    """A replicated system running one or more op-based CRDT objects."""
+    """A replicated system running one or more op-based CRDT objects.
+
+    ``persistent=True`` switches the label-indexed containers (seen-sets,
+    visibility, causal predecessors, effector table) to the persistent hash
+    tries of :mod:`repro.runtime.pstate` and the timestamp generators to
+    copy-on-write clocks.  Mutation becomes O(log n) path-copying, and
+    :meth:`snapshot` becomes O(#replicas) — just root pointers plus length
+    marks for the append-only logs — instead of O(|configuration|).  The
+    exploration engine's source-DPOR mode turns this on; the semantics are
+    identical either way (pinned by the differential suites).
+
+    Restore discipline under ``persistent=True``: the append-only logs
+    (``generation_order``, ``trace``) are rewound by *truncation to the
+    recorded length*.  That is sound for any snapshot/restore pattern that
+    only restores tokens taken on the current execution path (the
+    explorers' DFS discipline): entries below the mark are never mutated,
+    so a token may be restored any number of times.
+    """
 
     def __init__(
         self,
         objects: "Mapping[str, OpBasedCRDT] | OpBasedCRDT",
         replicas: Sequence[str] = ("r1", "r2", "r3"),
         shared_timestamps: bool = True,
+        persistent: bool = False,
     ) -> None:
         if isinstance(objects, OpBasedCRDT):
             objects = {DEFAULT_OBJECT: objects}
@@ -52,23 +71,38 @@ class OpBasedSystem:
         self.objects: Dict[str, OpBasedCRDT] = dict(objects)
         self.replicas: List[str] = list(replicas)
         self.shared_timestamps = shared_timestamps
+        self.persistent = persistent
         if shared_timestamps:
-            shared = TimestampGenerator()
+            shared = TimestampGenerator(persistent=persistent)
             self._generators = {name: shared for name in self.objects}
         else:
             self._generators = {
-                name: TimestampGenerator() for name in self.objects
+                name: TimestampGenerator(persistent=persistent)
+                for name in self.objects
             }
         self._states: Dict[Tuple[str, str], Any] = {
             (r, name): crdt.initial_state()
             for r in self.replicas
             for name, crdt in self.objects.items()
         }
-        self._seen: Dict[str, Set[Label]] = {r: set() for r in self.replicas}
-        self._vis: Set[Tuple[Label, Label]] = set()
-        # Same-object visible predecessors, for causal-delivery checks.
-        self._causal_preds: Dict[Label, FrozenSet[Label]] = {}
-        self._effectors: Dict[Label, Optional[Effector]] = {}
+        if persistent:
+            self._seen = {r: EMPTY_SET for r in self.replicas}
+            # Visibility is only ever *appended to* and iterated (the
+            # checker's history view) — never membership-tested — so the
+            # persistent branch keeps it as an append-only log whose
+            # snapshot is a length mark, not a hash trie.
+            self._vis: Any = []
+        else:
+            self._seen = {r: set() for r in self.replicas}
+            self._vis = set()
+        # Same-object visible predecessors (for causal-delivery checks)
+        # and effector payloads, keyed by label.  Under ``persistent=True``
+        # these are *grow-only*: label uids are freshly drawn on every
+        # invoke, so entries for labels dropped by a restore are keyed by
+        # dead uids that no later lookup can mention — snapshots carry
+        # nothing and restores delete nothing.
+        self._causal_preds: Dict[Label, Any] = {}
+        self._effectors: Dict[Label, Any] = {}
         self.generation_order: List[Label] = []
         #: Action trace: ("gen"|"eff", replica, label).
         self.trace: List[Tuple[str, str, Label]] = []
@@ -102,12 +136,26 @@ class OpBasedSystem:
             method, tuple(args), ret=result.ret, ts=ts, obj=obj,
             origin=replica,
         )
-        for prior in self._seen[replica]:
-            self._vis.add((prior, label))
-        self._causal_preds[label] = frozenset(
-            prior for prior in self._seen[replica] if prior.obj == obj
-        )
-        self._seen[replica].add(label)
+        seen_here = self._seen[replica]
+        if self.persistent:
+            # One pass over the (trie-backed) seen set builds both the
+            # visibility edges and the same-object causal predecessors.
+            vis = self._vis
+            causal_list = []
+            for prior in seen_here:
+                vis.append((prior, label))
+                if prior.obj == obj:
+                    causal_list.append(prior)
+            causal = frozenset(causal_list)
+            self._seen[replica] = seen_here.add(label)
+        else:
+            causal = frozenset(
+                prior for prior in seen_here if prior.obj == obj
+            )
+            for prior in seen_here:
+                self._vis.add((prior, label))
+            seen_here.add(label)
+        self._causal_preds[label] = causal
         self._effectors[label] = result.effector
         if result.effector is not None:
             self._states[(replica, obj)] = crdt.apply_effector(
@@ -148,18 +196,33 @@ class OpBasedSystem:
                 candidates.append(label)
         return candidates
 
-    def deliver(self, replica: str, label: Label) -> None:
-        """Apply ``label``'s effector at ``replica`` (the EFFECTOR rule)."""
-        if label in self._seen[replica]:
-            raise SchedulingError(f"{label!r} already applied at {replica}")
-        if label not in self._effectors:
-            raise SchedulingError(f"{label!r} was never generated here")
-        for src in self._causal_preds[label]:
-            if src not in self._seen[replica]:
+    def deliver(
+        self, replica: str, label: Label, prechecked: bool = False
+    ) -> None:
+        """Apply ``label``'s effector at ``replica`` (the EFFECTOR rule).
+
+        ``prechecked=True`` skips the deliverability guards (duplicate
+        application, unknown label, causal delivery): the exploration
+        engine enumerates deliverable labels from its lid mirrors
+        immediately before applying one, so the guards would re-derive
+        facts the caller just established — at a persistent-trie lookup
+        apiece on the DFS hot path.  Semantics are unchanged; the
+        naive-engine differential suite pins the mirrors against
+        mis-scheduling.
+        """
+        if not prechecked:
+            if label in self._seen[replica]:
                 raise SchedulingError(
-                    f"causal delivery violated: {src!r} not yet applied "
-                    f"at {replica} but visible to {label!r}"
+                    f"{label!r} already applied at {replica}"
                 )
+            if label not in self._effectors:
+                raise SchedulingError(f"{label!r} was never generated here")
+            for src in self._causal_preds[label]:
+                if src not in self._seen[replica]:
+                    raise SchedulingError(
+                        f"causal delivery violated: {src!r} not yet "
+                        f"applied at {replica} but visible to {label!r}"
+                    )
         effector = self._effectors[label]
         if effector is not None:
             obj = label.obj
@@ -167,7 +230,10 @@ class OpBasedSystem:
             self._states[(replica, obj)] = crdt.apply_effector(
                 self._states[(replica, obj)], effector
             )
-        self._seen[replica].add(label)
+        if self.persistent:
+            self._seen[replica] = self._seen[replica].add(label)
+        else:
+            self._seen[replica].add(label)
         # With a shared generator (⊗ts) this advances the one global clock;
         # with independent generators (⊗) only the label's own object's.
         self._generators[label.obj].observe(replica, label.ts)
@@ -210,8 +276,23 @@ class OpBasedSystem:
         callers that host custom CRDTs).  This replaces whole-system
         ``copy.deepcopy`` in the exploration engine — the deep structure of
         replica states is never traversed.
+
+        Under ``persistent=True`` the token is O(#replicas): the hash-trie
+        seen sets are captured by reference (they are immutable), the
+        append-only logs by length mark, the generator clocks by
+        reference to their copy-on-write tables — and the label tables
+        not at all (grow-only; see ``__init__``).
         """
         distinct = {id(g): g for g in self._generators.values()}
+        if self.persistent:
+            return (
+                dict(self._states),
+                dict(self._seen),
+                len(self._vis),
+                len(self.generation_order),
+                len(self.trace),
+                {key: g.snapshot() for key, g in distinct.items()},
+            )
         return (
             dict(self._states),
             {r: set(s) for r, s in self._seen.items()},
@@ -226,16 +307,29 @@ class OpBasedSystem:
     def restore(self, token: Tuple) -> None:
         """Rewind the system to a :meth:`snapshot` token.
 
-        The token stays valid: it may be restored any number of times.
+        The token stays valid: it may be restored any number of times
+        (under ``persistent=True``, any number of times along the DFS
+        discipline described in the class docstring).
         """
-        (states, seen, vis, preds, effectors, order, trace, clocks) = token
-        self._states = dict(states)
-        self._seen = {r: set(s) for r, s in seen.items()}
-        self._vis = set(vis)
-        self._causal_preds = dict(preds)
-        self._effectors = dict(effectors)
-        self.generation_order = list(order)
-        self.trace = list(trace)
+        if self.persistent:
+            (states, seen, vis, order, trace, clocks) = token
+            self._states = dict(states)
+            self._seen = dict(seen)
+            del self._vis[vis:]
+            # _causal_preds/_effectors are grow-only (see __init__): the
+            # labels the truncations drop are keyed by dead uids.
+            del self.generation_order[order:]
+            del self.trace[trace:]
+        else:
+            (states, seen, vis, preds, effectors, order, trace,
+             clocks) = token
+            self._states = dict(states)
+            self._seen = {r: set(s) for r, s in seen.items()}
+            self._vis = set(vis)
+            self._causal_preds = dict(preds)
+            self._effectors = dict(effectors)
+            self.generation_order = list(order)
+            self.trace = list(trace)
         for key, generator in {
             id(g): g for g in self._generators.values()
         }.items():

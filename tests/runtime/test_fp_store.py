@@ -175,11 +175,38 @@ class TestSpillTiers:
             assert recorded == [frozenset({("inv", "r", i)})]
         store.close()
 
-    def test_close_removes_scratch_file(self, tmp_path):
-        store = FingerprintStore(spill_dir=str(tmp_path))
-        store.intern(("x",))
-        assert list(tmp_path.iterdir())
+    def test_scratch_file_invisible_while_running(self, tmp_path):
+        # The scratch sqlite file is unlinked right after connect: the
+        # store keeps working through the open descriptor, and the spill
+        # directory never shows (or accumulates) fp-store files.
+        store = FingerprintStore(spill_dir=str(tmp_path), memory_limit=4)
+        digests = [store.intern(("x", i)) for i in range(50)]
+        assert digests == [store.intern(("x", i)) for i in range(50)]
+        assert not list(tmp_path.iterdir())
         store.close()
+        assert not list(tmp_path.iterdir())
+
+    def test_killed_worker_leaves_no_scratch_files(self, tmp_path):
+        # Abnormal worker exit (SIGKILL mid-exploration) must not orphan
+        # scratch files in --spill DIR: the unlink-after-connect pattern
+        # hands cleanup to the kernel, not to a close() that never runs.
+        script = (
+            "import os, sys\n"
+            "from repro.runtime.fp_store import FingerprintStore\n"
+            "store = FingerprintStore(spill_dir=sys.argv[1], memory_limit=4)\n"
+            "for i in range(100):\n"
+            "    store.intern(('kill', i))\n"
+            "sys.stdout.write('ready\\n')\n"
+            "sys.stdout.flush()\n"
+            "os.kill(os.getpid(), 9)\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(tmp_path)],
+            capture_output=True, text=True, timeout=60,
+            env={"PYTHONPATH": "src"},
+        )
+        assert proc.stdout.strip() == "ready"
+        assert proc.returncode != 0  # died on SIGKILL, close() never ran
         assert not list(tmp_path.iterdir())
 
 
