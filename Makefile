@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-explore bench-dpor bench-steal bench-verify figures table mutants exhaustive chaos examples all
+.PHONY: install test bench bench-explore bench-dpor bench-steal bench-verify bench-diff figures table mutants exhaustive chaos examples all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -34,6 +34,14 @@ bench-steal:
 # BENCH_verify.json.  Needs git history for the pinned baseline commit.
 bench-verify:
 	$(PYTHON) -m pytest benchmarks/test_bench_verify_parallel.py --benchmark-only -s
+
+# Regression gate: compare freshly benched sections against the committed
+# baselines.  OLD/NEW default to the self-compare smoke; override as
+# `make bench-diff OLD=BENCH_explore.json NEW=/tmp/BENCH_explore.json`.
+OLD ?= BENCH_explore.json
+NEW ?= BENCH_explore.json
+bench-diff:
+	PYTHONPATH=src $(PYTHON) -m repro bench diff $(OLD) $(NEW)
 
 figures:
 	$(PYTHON) -m repro figures

@@ -13,10 +13,21 @@ Commands:
 * ``chaos``      — fault-injection soak: every registry entry under
   deterministic adversarial delivery (drop/duplicate/delay/stale,
   partitions, crash+recovery), with replayable failing-trace dumps.
-* ``stats``      — render a ``--metrics`` artifact as a readable summary.
+* ``stats``      — render a ``--metrics`` artifact as a readable summary
+  (``--phases`` breaks the engine wall into profiled phases).
+* ``bench diff`` — compare two bench JSON artifacts with per-metric
+  tolerances; nonzero exit on regression (the CI gate).
+
+The exploration commands (``exhaustive``, ``chaos``) also take
+``--progress [SECS]`` (live per-worker heartbeat line on stderr),
+``--heartbeat-log PATH`` (heartbeat JSONL artifact) and
+``--journal PATH`` (structured lifecycle-event journal) — all
+presentation/diagnostic artifacts with no effect on verdicts or the
+deterministic metric totals.
 """
 
 import argparse
+import io
 import re
 import sys
 
@@ -27,7 +38,14 @@ from .core.ralin import (
 )
 from .core.render import render_history, render_linearization
 from .core.strong import check_strong_linearizable
-from .obs import Instrumentation, read_artifact, write_artifact
+from .obs import (
+    HeartbeatEmitter,
+    Instrumentation,
+    ProgressMonitor,
+    bench_diff_paths,
+    read_artifact,
+    write_artifact,
+)
 from .proofs import (
     ALL_ENTRIES,
     chaos_soak,
@@ -40,6 +58,7 @@ from .proofs import (
     default_jobs,
     format_exhaustive,
     format_metrics,
+    format_phases,
     format_table,
     mutant_catalogue,
     standard_programs,
@@ -79,8 +98,9 @@ SCENARIOS = {
 
 
 def _instrumentation(args: argparse.Namespace) -> Instrumentation:
-    """An enabled handle when ``--metrics`` was given, else the no-op."""
-    if getattr(args, "metrics", None):
+    """An enabled handle when ``--metrics`` or ``--journal`` was given,
+    else the no-op."""
+    if getattr(args, "metrics", None) or getattr(args, "journal", None):
         return Instrumentation.on(
             trace_checks=getattr(args, "trace_checks", False)
         )
@@ -94,6 +114,33 @@ def _emit_metrics(args: argparse.Namespace, ins: Instrumentation,
     if getattr(args, "metrics", None) and ins.enabled:
         write_artifact(args.metrics, ins, command, meta)
         print(f"metrics artifact written to {args.metrics}")
+
+
+def _emit_journal(args: argparse.Namespace, ins: Instrumentation) -> None:
+    if getattr(args, "journal", None) and ins.journal is not None:
+        ins.journal.dump(args.journal)
+        print(f"journal written to {args.journal}")
+
+
+def _progress_monitor(args: argparse.Namespace):
+    """(monitor, emitter) for a serial run, or (None, None).
+
+    The monitor renders to stderr only when ``--progress`` was given;
+    with ``--heartbeat-log`` alone the records go to the JSONL file and
+    the render stream is a discard buffer.
+    """
+    progress = getattr(args, "progress", None)
+    log = getattr(args, "heartbeat_log", None)
+    if progress is None and not log:
+        return None, None
+    monitor = ProgressMonitor(
+        interval=progress,
+        stream=(sys.stderr if progress is not None else io.StringIO()),
+        log_path=log,
+    )
+    emitter = HeartbeatEmitter(worker="w0", sink=monitor.ingest,
+                               interval=progress)
+    return monitor, emitter
 
 
 def cmd_table(args: argparse.Namespace) -> int:
@@ -110,7 +157,8 @@ def cmd_table(args: argparse.Namespace) -> int:
         with ins.span("table.serial", entries=len(ALL_ENTRIES)):
             results = [
                 verify_entry(entry, executions=args.executions,
-                             operations=args.operations)
+                             operations=args.operations,
+                             instrumentation=ins)
                 for entry in ALL_ENTRIES
             ]
     for result in results:
@@ -231,27 +279,37 @@ def cmd_exhaustive(args: argparse.Namespace) -> int:
         merged = verify_scopes_parallel(scopes, jobs=args.jobs,
                                         symmetry=symmetry,
                                         steal=args.steal, spill=args.spill,
-                                        instrumentation=ins, por=args.por)
+                                        instrumentation=ins, por=args.por,
+                                        progress=args.progress,
+                                        heartbeat_log=args.heartbeat_log)
         results = [merged[entry.name] for entry in entries]
     else:
-        results = [
-            exhaustive_verify(entry, standard_programs(entry),
-                              symmetry=symmetry, spill=args.spill,
-                              instrumentation=ins, por=args.por)
-            for entry in entries
-        ]
+        monitor, emitter = _progress_monitor(args)
+        try:
+            results = [
+                exhaustive_verify(entry, standard_programs(entry),
+                                  symmetry=symmetry, spill=args.spill,
+                                  instrumentation=ins, por=args.por,
+                                  heartbeat=emitter)
+                for entry in entries
+            ]
+        finally:
+            if monitor is not None:
+                monitor.close()
     print(format_exhaustive(
         results, title="Exhaustive small-scope verification"
     ))
     _emit_metrics(args, ins, "exhaustive", jobs=args.jobs,
                   scope=args.scope or "all")
+    _emit_journal(args, ins)
     return 0 if all(result.ok for result in results) else 1
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     if args.replay:
+        ins = _instrumentation(args)
         try:
-            replay = replay_trace(args.replay)
+            replay = replay_trace(args.replay, instrumentation=ins)
         except (OSError, ValueError, KeyError) as error:
             print(f"cannot replay trace: {error}", file=sys.stderr)
             return 2
@@ -259,6 +317,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
               f"[{replay.report.plan.name} seed {replay.report.seed}]: "
               f"trace={'identical' if replay.trace_matches else 'DIVERGED'} "
               f"verdict={'identical' if replay.verdict_matches else 'DIVERGED'}")
+        _emit_journal(args, ins)
         return 0 if replay.ok else 1
 
     entries = list(ALL_ENTRIES)
@@ -289,6 +348,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     reports = chaos_soak(
         entries, plans=plans, soak=args.soak, base_seed=args.seed,
         operations=args.operations, instrumentation=ins,
+        progress=args.progress, heartbeat_log=args.heartbeat_log,
     )
     print(format_chaos(
         reports, title="Chaos soak — deterministic fault injection"
@@ -300,6 +360,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
               f"(replay with: repro chaos --replay {args.dump_trace})")
     _emit_metrics(args, ins, "chaos", soak=args.soak, seed=args.seed,
                   scope=args.scope or "all", plan=args.plan or "all")
+    _emit_journal(args, ins)
     return 0 if not failing else 1
 
 
@@ -309,8 +370,44 @@ def cmd_stats(args: argparse.Namespace) -> int:
     except (OSError, ValueError, KeyError) as error:
         print(f"cannot read metrics artifact: {error}", file=sys.stderr)
         return 2
-    print(format_metrics(artifact))
+    if args.phases:
+        print(format_phases(artifact))
+    else:
+        print(format_metrics(artifact))
     return 0
+
+
+def cmd_bench_diff(args: argparse.Namespace) -> int:
+    try:
+        report, code = bench_diff_paths(args.old, args.new,
+                                        tolerance=args.tolerance)
+    except (OSError, ValueError) as error:
+        print(f"cannot diff bench artifacts: {error}", file=sys.stderr)
+        return 2
+    print(report)
+    return code
+
+
+def _add_observatory_flags(command: argparse.ArgumentParser) -> None:
+    """The live-observability flags shared by the exploration commands."""
+    command.add_argument(
+        "--progress", nargs="?", const=2.0, type=float, default=None,
+        metavar="SECS",
+        help="render a live per-worker heartbeat line on stderr every "
+             "SECS seconds (default 2.0); flags stalled workers",
+    )
+    command.add_argument(
+        "--heartbeat-log", metavar="PATH", default=None,
+        dest="heartbeat_log",
+        help="append every heartbeat record to a JSONL artifact "
+             "(works with or without --progress)",
+    )
+    command.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="dump the structured lifecycle-event journal (scope "
+             "start/end, steal split/claim, spill promotion, DPOR "
+             "reversals, budget exhaustion, chaos crash/replay) as JSONL",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -332,6 +429,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="PATH", default=None,
         help="write the observability artifact (JSON, or JSONL when PATH "
              "ends in .jsonl) after the run",
+    )
+    table.add_argument(
+        "--trace-checks", action="store_true", dest="trace_checks",
+        help="with --metrics, record one trace event per checked "
+             "execution (verbose)",
     )
     table.set_defaults(fn=cmd_table)
 
@@ -397,6 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --metrics, record one trace event per checked "
              "configuration (verbose)",
     )
+    _add_observatory_flags(exhaustive)
     exhaustive.set_defaults(fn=cmd_exhaustive)
 
     chaos = sub.add_parser(
@@ -436,13 +539,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the observability artifact (JSON, or JSONL when PATH "
              "ends in .jsonl) after the run",
     )
+    _add_observatory_flags(chaos)
     chaos.set_defaults(fn=cmd_chaos)
 
     stats = sub.add_parser(
         "stats", help="render a --metrics artifact as a readable summary"
     )
     stats.add_argument("path", help="artifact written by --metrics")
+    stats.add_argument(
+        "--phases", action="store_true",
+        help="render the phase-attribution profile (engine wall broken "
+             "into snapshot/restore/apply/hb/commute/fingerprint/check)",
+    )
     stats.set_defaults(fn=cmd_stats)
+
+    bench = sub.add_parser(
+        "bench", help="bench artifact utilities (regression gate)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    diff = bench_sub.add_parser(
+        "diff",
+        help="compare two bench JSON artifacts; exit 1 on regression",
+    )
+    diff.add_argument("old", help="baseline bench JSON (e.g. committed "
+                                  "BENCH_explore.json)")
+    diff.add_argument("new", help="candidate bench JSON to gate")
+    diff.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRAC",
+        help="relative tolerance for time/rate metrics (default 0.30); "
+             "exact metrics (counts, verdicts) never tolerate drift",
+    )
+    diff.set_defaults(fn=cmd_bench_diff)
 
     return parser
 

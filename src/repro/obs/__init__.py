@@ -10,11 +10,22 @@ The instrumentation substrate of the verification pipeline (see
   and a JSONL event exporter.
 * :mod:`repro.obs.instrument` — the single :class:`Instrumentation`
   handle threaded through the pipeline, no-op by default.
+* :mod:`repro.obs.journal` — bounded structured lifecycle journal with
+  a deterministic cross-worker merge (``--journal``).
+* :mod:`repro.obs.heartbeat` / :mod:`repro.obs.progress` — per-worker
+  liveness records and the parent-side live status renderer with stall
+  detection (``--progress``).
+* :mod:`repro.obs.profile` — phase-attribution timers behind the
+  engine's hot loop (``repro stats --phases``).
+* :mod:`repro.obs.benchdiff` — the bench regression gate
+  (``repro bench diff``).
 
 This package is a leaf: it imports nothing from the rest of ``repro``,
 so any layer (core, runtime, proofs, CLI) may depend on it.
 """
 
+from .benchdiff import bench_diff_paths, diff_benches, format_bench_diff
+from .heartbeat import HEARTBEAT_SCHEMA, HeartbeatEmitter
 from .instrument import (
     ARTIFACT_SCHEMA,
     Instrumentation,
@@ -22,6 +33,7 @@ from .instrument import (
     read_artifact,
     write_artifact,
 )
+from .journal import JOURNAL_SCHEMA, Journal, read_journal
 from .metrics import (
     DEFAULT_BUCKETS,
     SNAPSHOT_SCHEMA,
@@ -33,6 +45,8 @@ from .metrics import (
     instrument_key,
     merge_snapshots,
 )
+from .profile import PHASES, PhaseProfiler, phase_totals
+from .progress import ProgressMonitor
 from .tracing import TRACE_SCHEMA, Span, Tracer
 
 __all__ = [
@@ -40,17 +54,29 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
+    "HEARTBEAT_SCHEMA",
+    "HeartbeatEmitter",
     "Histogram",
     "Instrumentation",
+    "JOURNAL_SCHEMA",
+    "Journal",
     "MetricsRegistry",
     "NULL_INSTRUMENTATION",
+    "PHASES",
+    "PhaseProfiler",
+    "ProgressMonitor",
     "SNAPSHOT_SCHEMA",
     "Span",
     "TRACE_SCHEMA",
     "Tracer",
+    "bench_diff_paths",
     "deterministic_totals",
+    "diff_benches",
+    "format_bench_diff",
     "instrument_key",
     "merge_snapshots",
+    "phase_totals",
     "read_artifact",
+    "read_journal",
     "write_artifact",
 ]

@@ -23,7 +23,9 @@ import os
 import time
 from typing import Any, Dict, Mapping, Optional
 
+from .journal import Journal
 from .metrics import MetricsRegistry, deterministic_totals, instrument_key
+from .profile import PhaseProfiler
 from .tracing import Span, Tracer
 
 #: Artifact schema identifier (the ``--metrics`` file layout).
@@ -78,21 +80,35 @@ class Instrumentation:
     thousands of configurations.
     """
 
-    __slots__ = ("metrics", "tracer", "trace_checks", "enabled")
+    __slots__ = ("metrics", "tracer", "trace_checks", "enabled", "journal",
+                 "profile")
 
     def __init__(self, metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
-                 trace_checks: bool = False) -> None:
+                 trace_checks: bool = False,
+                 journal: Optional[Journal] = None,
+                 profile: Optional[PhaseProfiler] = None) -> None:
         self.metrics = metrics
         self.tracer = tracer
         self.trace_checks = trace_checks and tracer is not None
-        self.enabled = metrics is not None or tracer is not None
+        self.journal = journal
+        self.profile = profile
+        self.enabled = (
+            metrics is not None or tracer is not None or journal is not None
+        )
 
     @classmethod
     def on(cls, trace_path: Optional[str] = None,
-           trace_checks: bool = False) -> "Instrumentation":
-        """A fully enabled handle (fresh registry + tracer)."""
-        return cls(MetricsRegistry(), Tracer(trace_path), trace_checks)
+           trace_checks: bool = False,
+           journal: Optional[Journal] = None,
+           profile: Optional[PhaseProfiler] = None) -> "Instrumentation":
+        """A fully enabled handle (fresh registry + tracer + journal +
+        phase profiler — the observatory is on whenever metrics are)."""
+        return cls(
+            MetricsRegistry(), Tracer(trace_path), trace_checks,
+            journal=journal if journal is not None else Journal(),
+            profile=profile if profile is not None else PhaseProfiler(),
+        )
 
     # -- spans ----------------------------------------------------------
 
@@ -110,6 +126,29 @@ class Instrumentation:
     def event(self, type_: str, **attrs: Any) -> None:
         if self.tracer is not None:
             self.tracer.event(type_, **attrs)
+
+    def journal_event(self, kind: str, /, **fields: Any) -> None:
+        """Record one lifecycle event; no-op without a journal."""
+        if self.journal is not None:
+            self.journal.record(kind, **fields)
+
+    def _fold_profile(self) -> None:
+        """Fold accumulated phase timings into ``profile.*`` work
+        counters (then reset, so repeated folds never double-count).
+
+        Riding on the metrics layer buys the cross-worker merge and the
+        artifact round trip without a second protocol.
+        """
+        profile = self.profile
+        if profile is None or self.metrics is None or not profile:
+            return
+        m = self.metrics
+        for phase, seconds in profile.seconds.items():
+            m.counter("profile.seconds", phase=phase).inc(seconds)
+            m.counter("profile.regions", phase=phase).inc(
+                profile.counts.get(phase, 0)
+            )
+        profile.reset()
 
     # -- pipeline recording hooks --------------------------------------
 
@@ -306,12 +345,16 @@ class Instrumentation:
 
     def worker_payload(self) -> Dict[str, Any]:
         """What a worker ships back: snapshot + events + identity."""
+        self._fold_profile()
         return {
             "pid": os.getpid(),
             "metrics": (
                 self.metrics.snapshot() if self.metrics is not None else None
             ),
             "events": list(self.tracer.events) if self.tracer else [],
+            "journal": (
+                self.journal.payload() if self.journal is not None else None
+            ),
         }
 
     def absorb_worker(self, payload: Optional[Mapping[str, Any]]) -> None:
@@ -322,6 +365,8 @@ class Instrumentation:
             self.metrics.merge_snapshot(payload["metrics"])
         if self.tracer is not None:
             self.tracer.events.extend(payload.get("events", ()))
+        if self.journal is not None:
+            self.journal.absorb(payload.get("journal"))
 
     # -- artifacts ------------------------------------------------------
 
@@ -333,6 +378,7 @@ class Instrumentation:
         the section whose values are guaranteed identical between serial
         and parallel runs of the same scopes.
         """
+        self._fold_profile()
         snapshot = (
             self.metrics.snapshot() if self.metrics is not None
             else {"schema": None, "instruments": {}}

@@ -303,11 +303,16 @@ def deterministic_totals(snapshot: Mapping[str, Any]) -> Dict[str, Any]:
     This is the section of a metrics artifact that a serial run and a
     ``--jobs N`` run are guaranteed to agree on (pinned by
     ``tests/proofs/test_metrics_parallel.py``).
+
+    Tolerant of older artifacts: instruments dumped before a field
+    existed (pre-PR-6 snapshots) are read with defaults instead of
+    raising, so ``repro stats`` can always render a historical file.
     """
     return {
-        key: dumped["value"]
-        for key, dumped in snapshot["instruments"].items()
-        if dumped["deterministic"] and dumped["kind"] in ("counter", "gauge")
+        key: dumped.get("value")
+        for key, dumped in snapshot.get("instruments", {}).items()
+        if dumped.get("deterministic")
+        and dumped.get("kind") in ("counter", "gauge")
     }
 
 

@@ -50,6 +50,7 @@ from .report import (
     VerificationResult,
     format_exhaustive,
     format_metrics,
+    format_phases,
     format_table,
     verify_all,
     verify_entry,
@@ -109,6 +110,7 @@ __all__ = [
     "entry_by_name",
     "format_exhaustive",
     "format_metrics",
+    "format_phases",
     "format_table",
     "sampled_states",
     "verify_all",

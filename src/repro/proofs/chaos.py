@@ -19,15 +19,17 @@ through the PR-3 :class:`~repro.obs.Instrumentation` handle as
 ``chaos.*`` instruments.
 """
 
+import io
 import json
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from ..core.convergence import check_convergence
 from ..core.errors import PreconditionViolation
 from ..core.ralin import RACheckContext
-from ..obs import Instrumentation, NULL_INSTRUMENTATION
+from ..obs import Instrumentation, NULL_INSTRUMENTATION, ProgressMonitor
 from ..runtime.faults import (
     AdversaryTrace,
     CrashSpec,
@@ -262,6 +264,12 @@ def run_chaos(
         network_stats=driver.stats,
         offenders=list(offenders),
     )
+    for crash in plan.crashes:
+        instrumentation.journal_event(
+            "chaos.crash", entry=entry.name, plan=plan.name, seed=seed,
+            replica=crash.replica, at_step=crash.at_step,
+            recover_step=crash.recover_step,
+        )
     instrumentation.record_chaos(report)
     return report
 
@@ -274,19 +282,60 @@ def chaos_soak(
     operations: Optional[int] = None,
     replicas: Sequence[str] = DEFAULT_REPLICAS,
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+    progress: Optional[float] = None,
+    progress_stream: Optional[Any] = None,
+    heartbeat_log: Optional[str] = None,
 ) -> List[ChaosReport]:
-    """Run every (entry, plan, seed) combination: ``soak`` seeds each."""
+    """Run every (entry, plan, seed) combination: ``soak`` seeds each.
+
+    ``progress`` renders a live heartbeat line after each run (the soak
+    is serial, so the soak loop itself is the beat source);
+    ``heartbeat_log`` appends the records to a JSONL artifact.  Both are
+    presentation only.
+    """
     if plans is None:
         plans = default_plans(replicas)
+    monitor = None
+    if progress is not None or heartbeat_log is not None:
+        monitor = ProgressMonitor(
+            interval=progress,
+            stream=(progress_stream if progress is not None
+                    else io.StringIO()),
+            log_path=heartbeat_log,
+        )
+    total = len(entries) * len(plans) * soak
+    done = 0
+    total_operations = 0
     reports = []
-    for entry in entries:
-        for plan in plans:
-            for offset in range(soak):
-                reports.append(run_chaos(
-                    entry, seed=base_seed + offset, plan=plan,
-                    operations=operations, replicas=replicas,
-                    instrumentation=instrumentation,
-                ))
+    try:
+        for entry in entries:
+            for plan in plans:
+                for offset in range(soak):
+                    report = run_chaos(
+                        entry, seed=base_seed + offset, plan=plan,
+                        operations=operations, replicas=replicas,
+                        instrumentation=instrumentation,
+                    )
+                    reports.append(report)
+                    done += 1
+                    total_operations += report.operations
+                    if monitor is not None:
+                        monitor.ingest({
+                            "wall": time.time(),
+                            "worker": "soak",
+                            "task": f"{entry.name}/{plan.name}"
+                                    f"#{base_seed + offset}",
+                            "configs": total_operations,
+                            "configs_per_sec": None,
+                            "frontier": None,
+                            "queue": total - done,
+                            "dedup_ratio": None,
+                            "spill": None,
+                            "pstate_ratio": None,
+                        })
+    finally:
+        if monitor is not None:
+            monitor.close()
     return reports
 
 
@@ -400,7 +449,7 @@ def replay_trace(
         operations=document.get("operations_requested"),
         instrumentation=instrumentation,
     )
-    return ReplayResult(
+    result = ReplayResult(
         report=report,
         trace_matches=report.trace.fingerprint() == document["fingerprint"],
         verdict_matches=(
@@ -408,6 +457,12 @@ def replay_trace(
             and report.converged == document["converged"]
         ),
     )
+    instrumentation.journal_event(
+        "chaos.replay", entry=entry.name, plan=plan.name,
+        seed=document["seed"], trace_matches=result.trace_matches,
+        verdict_matches=result.verdict_matches,
+    )
+    return result
 
 
 __all__ = [

@@ -15,6 +15,7 @@ paper's per-CRDT Boogie proofs, which quantify over all executions
 symbolically.
 """
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -134,9 +135,23 @@ def _make_visit(
             if not outcome.ok:
                 report(system, outcome)
 
+    profile = ins.profile
+
     def visit(system, returns) -> None:
-        check(system)
-        converged, offenders = check_convergence(system.replica_views())
+        if profile is None:
+            check(system)
+            converged, offenders = check_convergence(system.replica_views())
+        else:
+            # Spec replay + RA check and the convergence oracle run
+            # inside the engine's wall clock, so these two phases tile
+            # the same total as the engine-side domain phases.
+            start = time.perf_counter()
+            check(system)
+            mid = time.perf_counter()
+            converged, offenders = check_convergence(system.replica_views())
+            end = time.perf_counter()
+            profile.add("check", mid - start)
+            profile.add("convergence", end - mid)
         if not converged:
             result.record(f"divergent replicas {offenders}")
 
@@ -160,6 +175,7 @@ def exhaustive_verify(
     fp_store: bool = False,
     oversubscribe: bool = False,
     por: str = "sleep",
+    heartbeat: Optional[object] = None,
 ) -> ExhaustiveResult:
     """Check every interleaving of ``programs`` against the entry's class.
 
@@ -205,6 +221,11 @@ def exhaustive_verify(
     persistent structural-sharing snapshots in the runtime systems).
     Both visit the same configuration set; source explores fewer
     interleavings to get there.
+
+    ``heartbeat`` threads a
+    :class:`~repro.obs.heartbeat.HeartbeatEmitter` into the engine for
+    serial ``--progress`` runs (the stealing pool attaches per-worker
+    emitters itself); None keeps the hot loop at one attribute check.
     """
     if entry.kind != "OB":
         raise ValueError(
@@ -236,6 +257,10 @@ def exhaustive_verify(
         if fingerprints is None:
             fingerprints = store.visited_set()
         expanded = store.expanded_map()
+    if root_branch is None:
+        ins.journal_event("scope.start", entry=entry.name, family="OB")
+    if heartbeat is not None:
+        heartbeat.begin_task(entry.name)
 
     def make_system() -> OpBasedSystem:
         # Source-DPOR branches orders of magnitude more often than it
@@ -267,17 +292,30 @@ def exhaustive_verify(
                 fp_store=store,
                 expanded=expanded,
                 por=por,
+                heartbeat=heartbeat,
             )
+    if heartbeat is not None:
+        heartbeat.emit()  # final beat: short scopes get at least one
     if store is not None:
         result.fp_store = store.stats
         if ins.enabled:
             ins.record_fp_store(store.stats, entry=entry.name)
+            if store.stats.spilled:
+                ins.journal_event(
+                    "spill.promote", entry=entry.name,
+                    spilled=store.stats.spilled,
+                    evictions=store.stats.evictions,
+                )
         store.close()
     if ins.enabled:
         if result.check_stats is not None:
             ins.record_check(result.check_stats, entry=entry.name)
         if root_branch is None:
             ins.record_result(entry.name, result)
+            ins.journal_event(
+                "scope.end", entry=entry.name, ok=result.ok,
+                configurations=result.configurations,
+            )
     return result
 
 
@@ -299,6 +337,7 @@ def exhaustive_verify_state(
     fp_store: bool = False,
     oversubscribe: bool = False,
     por: str = "sleep",
+    heartbeat: Optional[object] = None,
 ) -> ExhaustiveResult:
     """Bounded exhaustive verification of a state-based entry.
 
@@ -339,6 +378,10 @@ def exhaustive_verify_state(
         if fingerprints is None:
             fingerprints = store.visited_set()
         expanded = store.expanded_map()
+    if root_branch is None:
+        ins.journal_event("scope.start", entry=entry.name, family="SB")
+    if heartbeat is not None:
+        heartbeat.begin_task(entry.name)
 
     def make_system() -> StateBasedSystem:
         return StateBasedSystem(
@@ -369,17 +412,30 @@ def exhaustive_verify_state(
                 fp_store=store,
                 expanded=expanded,
                 por=por,
+                heartbeat=heartbeat,
             )
+    if heartbeat is not None:
+        heartbeat.emit()  # final beat: short scopes get at least one
     if store is not None:
         result.fp_store = store.stats
         if ins.enabled:
             ins.record_fp_store(store.stats, entry=entry.name)
+            if store.stats.spilled:
+                ins.journal_event(
+                    "spill.promote", entry=entry.name,
+                    spilled=store.stats.spilled,
+                    evictions=store.stats.evictions,
+                )
         store.close()
     if ins.enabled:
         if result.check_stats is not None:
             ins.record_check(result.check_stats, entry=entry.name)
         if root_branch is None:
             ins.record_result(entry.name, result)
+            ins.journal_event(
+                "scope.end", entry=entry.name, ok=result.ok,
+                configurations=result.configurations,
+            )
     return result
 
 

@@ -436,6 +436,9 @@ def verify_scopes_parallel(
     max_configurations: Optional[int] = None,
     oversubscribe: bool = False,
     por: str = "sleep",
+    progress: Optional[float] = None,
+    progress_stream: Optional[Any] = None,
+    heartbeat_log: Optional[str] = None,
 ) -> "Dict[str, ExhaustiveResult]":
     """Run many exhaustive scopes through one shared worker pool.
 
@@ -448,7 +451,10 @@ def verify_scopes_parallel(
     work-stealing pool (:func:`repro.proofs.steal.verify_scopes_steal`),
     which also carries ``max_configurations`` (shared budget) and
     ``spill`` (disk-backed fingerprint store); with ``steal=False`` the
-    static strategy below applies and rejects both.
+    static strategy below applies and rejects both.  ``progress`` /
+    ``progress_stream`` / ``heartbeat_log`` are the live-heartbeat knobs
+    of the stealing pool (and its serial fallback); the static strategy
+    ignores them.
 
     Task granularity adapts to the pool: with at least ``jobs`` scopes,
     each scope is one whole-tree task — frontier-splitting would only
@@ -470,7 +476,8 @@ def verify_scopes_parallel(
             scopes, jobs=jobs, reduction=reduction, symmetry=symmetry,
             cache=cache, max_configurations=max_configurations,
             spill=spill, instrumentation=ins, oversubscribe=oversubscribe,
-            por=por,
+            por=por, progress=progress, progress_stream=progress_stream,
+            heartbeat_log=heartbeat_log,
         )
     if max_configurations is not None:
         raise ValueError(
@@ -545,7 +552,7 @@ def _entry_worker(
     ins = _worker_instrumentation(obs)
     with ins.span("parallel.entry", entry=name):
         result = verify_entry(entry_by_name(name), executions, operations,
-                              base_seed)
+                              base_seed, instrumentation=ins)
     return result, (ins.worker_payload() if obs is not None else None)
 
 

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 from ..core.convergence import check_convergence
 from ..core.linearization import history_timestamp, ts_sort_key
 from ..core.ralin import RACheckContext
+from ..obs.instrument import Instrumentation, NULL_INSTRUMENTATION
 from ..runtime.schedule import random_op_execution, random_state_execution
 from .commutativity import check_commutativity
 from .refinement import check_refinement
@@ -64,8 +65,11 @@ def verify_op_based(
     executions: int = 10,
     operations: int = 10,
     base_seed: int = 0,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> VerificationResult:
     """Run the Sec. 4 methodology on randomized op-based executions."""
+    ins = instrumentation if instrumentation is not None \
+        else NULL_INSTRUMENTATION
     result = VerificationResult(entry.name, entry.kind, entry.lin_class)
     # Specs and rewritings are stateless (linted by lint_spec); build them
     # once per entry and share across runs, with one check context so
@@ -105,6 +109,11 @@ def verify_op_based(
         if not outcome.ok:
             result.ralin_ok = False
             result.note(f"run {run}: {outcome.reason}")
+        if ins.trace_checks:
+            ins.event(
+                "check", entry=entry.name, run=run, ok=outcome.ok,
+                reason=None if outcome.ok else outcome.reason,
+            )
     return result
 
 
@@ -113,8 +122,11 @@ def verify_state_based(
     executions: int = 10,
     operations: int = 10,
     base_seed: int = 0,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> VerificationResult:
     """Run the Appendix D methodology on randomized state-based executions."""
+    ins = instrumentation if instrumentation is not None \
+        else NULL_INSTRUMENTATION
     result = VerificationResult(entry.name, entry.kind, entry.lin_class)
     spec = entry.make_spec()
     gamma = entry.make_gamma()
@@ -157,6 +169,11 @@ def verify_state_based(
         if not outcome.ok:
             result.ralin_ok = False
             result.note(f"run {run}: {outcome.reason}")
+        if ins.trace_checks:
+            ins.event(
+                "check", entry=entry.name, run=run, ok=outcome.ok,
+                reason=None if outcome.ok else outcome.reason,
+            )
     return result
 
 
@@ -165,11 +182,14 @@ def verify_entry(
     executions: int = 10,
     operations: int = 10,
     base_seed: int = 0,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> VerificationResult:
     """Dispatch to the op-based or state-based methodology."""
     if entry.kind == "OB":
-        return verify_op_based(entry, executions, operations, base_seed)
-    return verify_state_based(entry, executions, operations, base_seed)
+        return verify_op_based(entry, executions, operations, base_seed,
+                               instrumentation=instrumentation)
+    return verify_state_based(entry, executions, operations, base_seed,
+                              instrumentation=instrumentation)
 
 
 def verify_all(
@@ -297,6 +317,9 @@ def format_metrics(artifact: Mapping[str, Any]) -> str:
         inner = "  ".join(f"{k}={meta[k]}" for k in sorted(meta))
         lines.append(f"meta: {inner}")
 
+    # ``.get()`` throughout: artifacts written before a metric family
+    # existed (older snapshots) must degrade to ``-`` / absent rows, not
+    # crash the stats command.
     instruments = artifact.get("metrics", {}).get("instruments", {})
     deterministic = []
     counters = []
@@ -304,7 +327,7 @@ def format_metrics(artifact: Mapping[str, Any]) -> str:
     histograms = []
     for key in sorted(instruments):
         dumped = instruments[key]
-        kind = dumped["kind"]
+        kind = dumped.get("kind")
         if kind == "histogram":
             histograms.append((key, dumped))
         elif dumped.get("deterministic"):
@@ -323,7 +346,7 @@ def format_metrics(artifact: Mapping[str, Any]) -> str:
         lines.append("")
         lines.append("deterministic (serial == --jobs N):")
         for key, dumped in deterministic:
-            lines.append(f"  {key:<52} {fmt_value(dumped['value']):>12}")
+            lines.append(f"  {key:<52} {fmt_value(dumped.get('value')):>12}")
 
     # Scheduler digest: the work-stealing and fingerprint-store counters
     # summed across their per-entry label variants, with the derived
@@ -337,7 +360,8 @@ def format_metrics(artifact: Mapping[str, Any]) -> str:
             value = instruments[key].get("value")
             if value is not None:
                 totals[name] = totals.get(name, 0.0) + value
-    if totals:
+    has_explore = any(key.startswith("explore.") for key in instruments)
+    if totals or has_explore:
         lines.append("")
         lines.append("scheduler (work stealing / fingerprint store):")
 
@@ -377,30 +401,99 @@ def format_metrics(artifact: Mapping[str, Any]) -> str:
             # branch point reused instead of copying.
             ratio = shared / (copied + shared) if copied + shared else 0.0
             lines.append(f"  {'pstate sharing ratio':<52} {ratio:>12.4f}")
+        # Metric families this artifact predates (or whose machinery was
+        # off) are named explicitly — "(absent)" distinguishes "not
+        # recorded" from "recorded zero" when reading old snapshots.
+        families = [
+            ("work stealing", "explore.steal."),
+            ("fingerprint store", "explore.fp_store."),
+            ("source-DPOR", "explore.dpor."),
+            ("persistent state", "explore.pstate."),
+        ]
+        for label, prefix in families:
+            if not any(name.startswith(prefix) for name in totals):
+                lines.append(f"  {label:<52} {'(absent)':>12}")
     if counters:
         lines.append("")
         lines.append("work counters:")
         for key, dumped in counters:
-            lines.append(f"  {key:<52} {fmt_value(dumped['value']):>12}")
+            lines.append(f"  {key:<52} {fmt_value(dumped.get('value')):>12}")
     if gauges:
         lines.append("")
         lines.append("gauges:")
         for key, dumped in gauges:
             lines.append(
-                f"  {key:<52} {fmt_value(dumped['value']):>12} "
-                f"({dumped['policy']})"
+                f"  {key:<52} {fmt_value(dumped.get('value')):>12} "
+                f"({dumped.get('policy', '?')})"
             )
     if histograms:
         lines.append("")
         lines.append("histograms (count / mean / max):")
         for key, dumped in histograms:
-            count = dumped["count"]
-            mean = dumped["sum"] / count if count else 0.0
-            mx = dumped["max"] if dumped["max"] is not None else 0.0
+            count = dumped.get("count", 0)
+            mean = dumped.get("sum", 0.0) / count if count else 0.0
+            mx = dumped.get("max") if dumped.get("max") is not None else 0.0
             lines.append(
                 f"  {key:<52} {count:>6} / {mean:.4f} / {mx:.4f}"
             )
     events = artifact.get("events", [])
     lines.append("")
     lines.append(f"trace events: {len(events)}")
+    return "\n".join(lines)
+
+
+def format_phases(artifact: Mapping[str, Any]) -> str:
+    """Render the phase-attribution profile of a ``--metrics`` artifact.
+
+    The engine folds its :class:`~repro.obs.profile.PhaseProfiler`
+    timings into ``profile.seconds{phase=...}`` work counters; this
+    breaks the summed exploration wall into those phases plus an
+    ``(other)`` row (scheduler overhead, visited-set bookkeeping, the
+    DFS loop itself) so the table tiles the engine wall exactly.
+    """
+    instruments = artifact.get("metrics", {}).get("instruments", {})
+    seconds: Dict[str, float] = {}
+    regions: Dict[str, float] = {}
+    wall = 0.0
+    for dumped in instruments.values():
+        name = dumped.get("name")
+        if name == "explore.wall_seconds":
+            wall += dumped.get("value") or 0.0
+            continue
+        phase = (dumped.get("labels") or {}).get("phase")
+        if phase is None:
+            continue
+        if name == "profile.seconds":
+            seconds[phase] = seconds.get(phase, 0.0) + (
+                dumped.get("value") or 0.0
+            )
+        elif name == "profile.regions":
+            regions[phase] = regions.get(phase, 0.0) + (
+                dumped.get("value") or 0.0
+            )
+    if not seconds:
+        return (
+            "no phase profile in this artifact — record one with "
+            "`repro exhaustive --metrics PATH` (any exploration command)"
+        )
+    attributed = sum(seconds.values())
+    base = wall if wall > 0 else attributed
+    header = f"{'phase':<14} {'seconds':>10} {'share':>8} {'regions':>10}"
+    lines = ["phase profile (engine wall attribution):", header,
+             "-" * len(header)]
+    for phase in sorted(seconds, key=seconds.get, reverse=True):
+        share = seconds[phase] / base if base else 0.0
+        count = regions.get(phase)
+        lines.append(
+            f"{phase:<14} {seconds[phase]:>9.4f}s {share:>7.1%} "
+            f"{int(count) if count is not None else '-':>10}"
+        )
+    other = wall - attributed
+    if wall > 0:
+        lines.append(
+            f"{'(other)':<14} {max(other, 0.0):>9.4f}s "
+            f"{max(other, 0.0) / base:>7.1%} {'-':>10}"
+        )
+    lines.append("-" * len(header))
+    lines.append(f"{'engine wall':<14} {base:>9.4f}s {1.0:>7.1%}")
     return "\n".join(lines)

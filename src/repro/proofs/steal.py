@@ -44,6 +44,7 @@ plus all spawned ids) — robust to acks arriving before their parent's
 ack registers them.
 """
 
+import io
 import multiprocessing as mp
 import os
 import queue
@@ -52,7 +53,9 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.heartbeat import HeartbeatEmitter
 from ..obs.instrument import Instrumentation, NULL_INSTRUMENTATION
+from ..obs.progress import ProgressMonitor
 from ..runtime.explore_engine import ExploreStats, build_engine
 from ..runtime.fp_store import FingerprintStore
 from ..runtime.schedule import Program
@@ -262,7 +265,8 @@ class _Session:
 
     def __init__(self, spec: _ScopeSpec, budget, scheduler,
                  spill_dir: Optional[str], use_fp_store: bool,
-                 ins: Instrumentation) -> None:
+                 ins: Instrumentation,
+                 heartbeat: Optional[HeartbeatEmitter] = None) -> None:
         name, programs, max_gossips, reduction, symmetry, cache, por = spec
         entry = entry_by_name(name)
         self.entry = entry
@@ -307,6 +311,9 @@ class _Session:
             scheduler=scheduler,
             budget=budget,
             por=por,
+            profile=ins.profile,
+            journal=ins.journal,
+            heartbeat=heartbeat,
         )
 
     def run(self, branch: Optional[int], path: Optional[Tuple],
@@ -322,6 +329,12 @@ class _Session:
             self.result.fp_store = self.store.stats
             if ins.enabled:
                 ins.record_fp_store(self.store.stats, entry=self.entry.name)
+                if self.store.stats.spilled:
+                    ins.journal_event(
+                        "spill.promote", entry=self.entry.name,
+                        spilled=self.store.stats.spilled,
+                        evictions=self.store.stats.evictions,
+                    )
             self.store.close()
         if ins.enabled:
             ins.record_explore(self.stats, kind=self.kind,
@@ -336,18 +349,27 @@ def _steal_worker_main(worker_id: int, scope_table: List[_ScopeSpec],
                        task_q, ack_q, idle, stop, budget,
                        obs: Optional[Dict[str, Any]],
                        spill_dir: Optional[str], use_fp_store: bool,
-                       pending_target: int, split_interval: int) -> None:
+                       pending_target: int, split_interval: int,
+                       hb_q=None, hb_interval: Optional[float] = None) -> None:
     """One worker process: pull, explore (splitting when hungry), ack.
 
     Exits on the coordinator's ``None`` sentinel (normal) or the
     ``stop`` event (abort); a crash ships an ``("err", ...)`` record so
-    the coordinator can fail loudly instead of hanging.
+    the coordinator can fail loudly instead of hanging.  With ``hb_q``
+    the worker owns a :class:`HeartbeatEmitter` whose records travel to
+    the coordinator's :class:`ProgressMonitor` through that queue.
     """
     from .parallel import _worker_instrumentation
 
     ins = _worker_instrumentation(obs)
     scheduler = _WorkerScheduler(worker_id, task_q, idle,
                                  pending_target, split_interval)
+    emitter: Optional[HeartbeatEmitter] = None
+    if hb_q is not None:
+        emitter = HeartbeatEmitter(
+            worker=f"w{worker_id}", sink=hb_q.put, interval=hb_interval,
+            queue_size=task_q.qsize,
+        )
     sessions: Dict[int, _Session] = {}
     idle_box = [0.0]
     timeline: List[Tuple] = []
@@ -361,9 +383,21 @@ def _steal_worker_main(worker_id: int, scope_table: List[_ScopeSpec],
             session = sessions.get(scope_index)
             if session is None:
                 session = _Session(scope_table[scope_index], budget,
-                                   scheduler, spill_dir, use_fp_store, ins)
+                                   scheduler, spill_dir, use_fp_store, ins,
+                                   heartbeat=emitter)
                 sessions[scope_index] = session
             scheduler.begin_task(task_id, scope_index)
+            scope_name = scope_table[scope_index][0]
+            if emitter is not None:
+                emitter.begin_task(
+                    f"{scope_name}:{':'.join(map(str, task_id))}",
+                    session.stats, session.store,
+                )
+            ins.journal_event(
+                "steal.claim", worker=worker_id, entry=scope_name,
+                task=":".join(map(str, task_id)),
+                stolen=task_id[0] == "w",
+            )
             started = time.perf_counter()
             if budget is None or not budget.exhausted():
                 with ins.span("steal.task", worker=worker_id,
@@ -374,6 +408,8 @@ def _steal_worker_main(worker_id: int, scope_table: List[_ScopeSpec],
                  time.perf_counter())
             )
             ack_q.put(("ack", task_id, list(scheduler.spawned)))
+        if emitter is not None:
+            emitter.emit()  # final beat: every worker reports at least once
         results = [
             sessions[index].harvest(index, ins)
             for index in sorted(sessions)
@@ -444,6 +480,7 @@ def _verify_scopes_inline(
     spill: Optional[str],
     ins: Instrumentation,
     por: str = "sleep",
+    heartbeat: Optional[HeartbeatEmitter] = None,
 ) -> Dict[str, ExhaustiveResult]:
     """Serial fallback when the effective pool is one worker.
 
@@ -459,6 +496,7 @@ def _verify_scopes_inline(
                 entry, programs, max_configurations=max_configurations,
                 reduction=reduction, symmetry=symmetry, cache=cache,
                 spill=spill, instrumentation=ins, por=por,
+                heartbeat=heartbeat,
             )
         else:
             result = exhaustive_verify_state(
@@ -466,6 +504,7 @@ def _verify_scopes_inline(
                 max_configurations=max_configurations,
                 reduction=reduction, symmetry=symmetry, cache=cache,
                 spill=spill, instrumentation=ins, por=por,
+                heartbeat=heartbeat,
             )
         merged[entry.name] = result
     return merged
@@ -487,6 +526,9 @@ def verify_scopes_steal(
     stats_sink: Optional[Dict[str, Any]] = None,
     force_pool: bool = False,
     por: str = "sleep",
+    progress: Optional[float] = None,
+    progress_stream: Optional[Any] = None,
+    heartbeat_log: Optional[str] = None,
 ) -> Dict[str, ExhaustiveResult]:
     """Run many exhaustive scopes through one work-stealing pool.
 
@@ -510,6 +552,13 @@ def verify_scopes_steal(
       which it replays through a list-scheduling simulator to model
       multi-worker makespan on machines without enough cores to measure
       it directly.
+    * ``progress`` (seconds) turns on live heartbeat rendering: workers
+      emit :mod:`repro.obs.heartbeat` records through a side queue and
+      the coordinator's :class:`ProgressMonitor` renders the fleet
+      status line to ``progress_stream`` (stderr by default).
+      ``heartbeat_log`` appends every record to a JSONL artifact, with
+      or without rendering.  Both are presentation only — no effect on
+      results or deterministic metrics.
     """
     from .parallel import _obs_envelope, default_jobs
 
@@ -522,11 +571,26 @@ def verify_scopes_steal(
     for entry, _, _ in scopes:
         if entry.name not in order:
             order.append(entry.name)
+    observe = progress is not None or heartbeat_log is not None
     if (workers <= 1 and not force_pool) or not seeds:
-        merged = _verify_scopes_inline(
-            scopes, reduction, symmetry, cache, max_configurations, spill,
-            ins, por,
-        )
+        monitor = emitter = None
+        if observe:
+            monitor = ProgressMonitor(
+                interval=progress,
+                stream=(progress_stream if progress is not None
+                        else io.StringIO()),
+                log_path=heartbeat_log,
+            )
+            emitter = HeartbeatEmitter(worker="w0", sink=monitor.ingest,
+                                       interval=progress)
+        try:
+            merged = _verify_scopes_inline(
+                scopes, reduction, symmetry, cache, max_configurations,
+                spill, ins, por, heartbeat=emitter,
+            )
+        finally:
+            if monitor is not None:
+                monitor.close()
         if stats_sink is not None:
             stats_sink["steal"] = StealStats(
                 workers=1, seed_tasks=len(seeds), tasks=len(seeds),
@@ -545,14 +609,27 @@ def verify_scopes_steal(
     stop = mp.Event()
     obs = _obs_envelope(ins)
     target = pending_target if pending_target is not None else 2 * workers
+    hb_q: Any = mp.Queue() if observe else None
+    monitor = (
+        ProgressMonitor(
+            interval=progress,
+            stream=(progress_stream if progress is not None
+                    else io.StringIO()),
+            log_path=heartbeat_log,
+        )
+        if observe else None
+    )
     started = time.perf_counter()
+    for name in order:
+        ins.journal_event("scope.start", entry=name, workers=workers)
     for seed in seeds:
         task_q.put(seed)
     procs = [
         mp.Process(
             target=_steal_worker_main,
             args=(worker_id, scope_table, task_q, ack_q, idle, stop,
-                  budget, obs, spill, use_fp_store, target, split_interval),
+                  budget, obs, spill, use_fp_store, target, split_interval,
+                  hb_q, progress),
             daemon=True,
         )
         for worker_id in range(workers)
@@ -572,6 +649,9 @@ def verify_scopes_steal(
                 for _ in procs:
                     task_q.put(None)
                 sent_sentinels = True
+            if monitor is not None:
+                monitor.drain(hb_q)
+                monitor.maybe_render()
             try:
                 message = ack_q.get(timeout=1.0)
             except queue.Empty:
@@ -599,6 +679,10 @@ def verify_scopes_steal(
             proc.join(timeout=5.0)
             if proc.is_alive():
                 proc.terminate()
+        if monitor is not None:
+            monitor.drain(hb_q)
+            monitor.close()
+            hb_q.close()
         task_q.close()
         ack_q.close()
         if manager is not None:
@@ -637,6 +721,8 @@ def verify_scopes_steal(
         ins.record_steal(steal_stats)
         for name, result in merged.items():
             ins.record_result(name, result)
+            ins.journal_event("scope.end", entry=name, ok=result.ok,
+                              configurations=result.configurations)
     if stats_sink is not None:
         stats_sink["steal"] = steal_stats
     return merged
@@ -660,6 +746,9 @@ def exhaustive_verify_steal(
     stats_sink: Optional[Dict[str, Any]] = None,
     force_pool: bool = False,
     por: str = "sleep",
+    progress: Optional[float] = None,
+    progress_stream: Optional[Any] = None,
+    heartbeat_log: Optional[str] = None,
 ) -> ExhaustiveResult:
     """Work-stealing exhaustive verification of one registry entry."""
     gossips = max_gossips if entry.kind == "SB" else None
@@ -670,6 +759,7 @@ def exhaustive_verify_steal(
         fp_store=fp_store, instrumentation=instrumentation,
         oversubscribe=oversubscribe, pending_target=pending_target,
         split_interval=split_interval, stats_sink=stats_sink,
-        force_pool=force_pool, por=por,
+        force_pool=force_pool, por=por, progress=progress,
+        progress_stream=progress_stream, heartbeat_log=heartbeat_log,
     )
     return merged[entry.name]

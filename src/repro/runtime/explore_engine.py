@@ -1110,6 +1110,93 @@ class _Frame:
         return transition in enabled_set
 
 
+class _ProfiledDomain:
+    """Phase-timing proxy around an exploration domain.
+
+    Installed only when a :class:`~repro.obs.profile.PhaseProfiler` is
+    attached, so the unprofiled hot loop is byte-identical to before:
+    the engine's DFS never branches on profiling.  The proxy times the
+    domain calls that dominate engine wall — snapshot push/pop,
+    transition application, independence (commutativity) probes,
+    happens-before maintenance, fingerprint/canonicalization — and
+    forwards everything else untouched.  Per-call ``perf_counter``
+    pairs are real overhead; that cost is the price of attribution and
+    is only ever paid on profiled runs.
+    """
+
+    __slots__ = ("_domain", "_profile")
+
+    def __init__(self, domain, profile) -> None:
+        self._domain = domain
+        self._profile = profile
+
+    def __getattr__(self, name):
+        return getattr(self._domain, name)
+
+    def push(self):
+        start = time.perf_counter()
+        token = self._domain.push()
+        self._profile.add("snapshot", time.perf_counter() - start)
+        return token
+
+    def pop(self, token) -> None:
+        start = time.perf_counter()
+        self._domain.pop(token)
+        self._profile.add("restore", time.perf_counter() - start)
+
+    def apply(self, transition) -> bool:
+        start = time.perf_counter()
+        ok = self._domain.apply(transition)
+        self._profile.add("apply", time.perf_counter() - start)
+        return ok
+
+    def independent(self, a, b) -> bool:
+        start = time.perf_counter()
+        result = self._domain.independent(a, b)
+        self._profile.add("commute", time.perf_counter() - start)
+        return result
+
+    def race_reversible(self, a, b) -> bool:
+        start = time.perf_counter()
+        result = self._domain.race_reversible(a, b)
+        self._profile.add("commute", time.perf_counter() - start)
+        return result
+
+    def fingerprint(self):
+        start = time.perf_counter()
+        fp = self._domain.fingerprint()
+        self._profile.add("fingerprint", time.perf_counter() - start)
+        return fp
+
+    def canon_sleep(self, sleep):
+        start = time.perf_counter()
+        result = self._domain.canon_sleep(sleep)
+        self._profile.add("fingerprint", time.perf_counter() - start)
+        return result
+
+    def hb_dep_mask(self, transition, index):
+        start = time.perf_counter()
+        mask = self._domain.hb_dep_mask(transition, index)
+        self._profile.add("hb", time.perf_counter() - start)
+        return mask
+
+    def hb_note(self, transition, index) -> None:
+        start = time.perf_counter()
+        self._domain.hb_note(transition, index)
+        self._profile.add("hb", time.perf_counter() - start)
+
+    def hb_unnote(self, transition, index) -> None:
+        start = time.perf_counter()
+        self._domain.hb_unnote(transition, index)
+        self._profile.add("hb", time.perf_counter() - start)
+
+    def residual_transitions(self):
+        start = time.perf_counter()
+        result = self._domain.residual_transitions()
+        self._profile.add("hb", time.perf_counter() - start)
+        return result
+
+
 class _Engine:
     """Depth-first search with sleep sets (or source-DPOR) and
     fingerprint deduplication."""
@@ -1127,7 +1214,17 @@ class _Engine:
         scheduler: Optional[Any] = None,
         budget: Optional[Any] = None,
         por: str = "sleep",
+        profile: Optional[Any] = None,
+        journal: Optional[Any] = None,
+        heartbeat: Optional[Any] = None,
     ) -> None:
+        #: Observatory hooks (``docs/observability.md``): each is None
+        #: when off, so the hot paths pay one attribute check apiece.
+        self.profile = profile
+        self.journal = journal
+        self.heartbeat = heartbeat
+        if profile is not None:
+            domain = _ProfiledDomain(domain, profile)
         self.domain = domain
         self.visit = visit
         self.max_configurations = max_configurations
@@ -1189,6 +1286,8 @@ class _Engine:
         self._deferred_seen: set = set()
         if self.por == "source":
             domain.hb_reset()
+        if heartbeat is not None:
+            heartbeat.watch(stats, fp_store)
 
     def _fingerprint(self) -> Any:
         fp = self.domain.fingerprint()
@@ -1239,6 +1338,11 @@ class _Engine:
                 )
         except _SearchCapped:
             self.stats.capped = True
+            if self.journal is not None:
+                self.journal.record(
+                    "budget.exhausted",
+                    configurations=self.stats.configurations,
+                )
         copied, shared = pstate.STATS.snapshot()
         self.stats.pstate_copied += copied - pstate_mark[0]
         self.stats.pstate_shared += shared - pstate_mark[1]
@@ -1419,6 +1523,8 @@ class _Engine:
     def _dfs(self, sleep: FrozenSet[Transition], depth: int) -> None:
         domain, stats = self.domain, self.stats
         stats.states_visited += 1
+        if self.heartbeat is not None:
+            self.heartbeat.tick(depth)
         if depth > stats.peak_frontier:
             stats.peak_frontier = depth
         if self.budget is not None and self.budget.exhausted():
@@ -1475,6 +1581,11 @@ class _Engine:
                         tuple(self._path) + (transition,), child_sleep
                     )
                     stats.steal_spawned += 1
+                    if self.journal is not None:
+                        self.journal.record(
+                            "steal.split", depth=depth,
+                            path_len=len(self._path) + 1,
+                        )
                     if not did_split:
                         did_split = True
                         stats.steal_splits += 1
@@ -1511,6 +1622,8 @@ class _Engine:
         """
         domain, stats = self.domain, self.stats
         stats.states_visited += 1
+        if self.heartbeat is not None:
+            self.heartbeat.tick(depth)
         if depth > stats.peak_frontier:
             stats.peak_frontier = depth
         if self.budget is not None and self.budget.exhausted():
@@ -1599,6 +1712,11 @@ class _Engine:
                             tuple(f.sleep for f in self._frames),
                         )
                         stats.steal_spawned += 1
+                        if self.journal is not None:
+                            self.journal.record(
+                                "steal.split", depth=depth,
+                                path_len=len(self._path) + 1,
+                            )
                         if not did_split:
                             did_split = True
                             stats.steal_splits += 1
@@ -1724,6 +1842,10 @@ class _Engine:
                 first = w
         if first is None:  # pragma: no cover - v always has an initial
             return
+        if self.journal is not None:
+            self.journal.record(
+                "dpor.reversal", frame=j, depth=k, mode=frame.mode,
+            )
         if real:
             if frame.is_enabled(first):
                 backtrack[first] = None
@@ -1836,6 +1958,9 @@ def build_engine(
     budget: Optional[Any] = None,
     symmetry: bool = False,
     por: str = "sleep",
+    profile: Optional[Any] = None,
+    journal: Optional[Any] = None,
+    heartbeat: Optional[Any] = None,
 ) -> _Engine:
     """Build a reusable exploration engine for ``kind`` (``op``/``state``).
 
@@ -1863,6 +1988,7 @@ def build_engine(
         domain, visit, max_configurations, dedup, stats,
         fingerprints=fingerprints, expanded=expanded, fp_store=fp_store,
         scheduler=scheduler, budget=budget, por=por,
+        profile=profile, journal=journal, heartbeat=heartbeat,
     )
 
 
@@ -1887,6 +2013,7 @@ def explore_op_programs(
     fp_store: Optional[Any] = None,
     expanded: Optional[Dict] = None,
     por: str = "sleep",
+    heartbeat: Optional[Any] = None,
 ) -> int:
     """Run per-replica ``programs`` under every op-based interleaving.
 
@@ -1927,6 +2054,7 @@ def explore_op_programs(
             domain, visit, max_configurations, dedup, stats,
             fingerprints=fingerprints, expanded=expanded,
             fp_store=fp_store, por=por,
+            profile=ins.profile, journal=ins.journal, heartbeat=heartbeat,
         ).run(root_branch)
         span.set(configurations=stats.configurations,
                  states_visited=stats.states_visited)
@@ -1951,6 +2079,7 @@ def explore_state_programs(
     fp_store: Optional[Any] = None,
     expanded: Optional[Dict] = None,
     por: str = "sleep",
+    heartbeat: Optional[Any] = None,
 ) -> int:
     """Run ``programs`` under every bounded state-based interleaving.
 
@@ -1973,6 +2102,7 @@ def explore_state_programs(
             domain, visit, max_configurations, dedup, stats,
             fingerprints=fingerprints, expanded=expanded,
             fp_store=fp_store, por=por,
+            profile=ins.profile, journal=ins.journal, heartbeat=heartbeat,
         ).run(root_branch)
         span.set(configurations=stats.configurations,
                  states_visited=stats.states_visited)

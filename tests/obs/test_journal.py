@@ -1,0 +1,129 @@
+"""The bounded lifecycle journal (:mod:`repro.obs.journal`)."""
+
+import json
+
+import pytest
+
+from repro.obs.journal import (
+    EVENT_KINDS,
+    JOURNAL_SCHEMA,
+    Journal,
+    merge_journals,
+    read_journal,
+)
+
+
+class TestRecord:
+    def test_field_order_is_canonical(self):
+        journal = Journal(worker="w0")
+        event = journal.record("scope.start", zebra=1, alpha=2, entry="X")
+        assert list(event) == ["wall", "worker", "seq", "kind",
+                               "alpha", "entry", "zebra"]
+        assert event["kind"] == "scope.start"
+        assert event["worker"] == "w0"
+        assert event["seq"] == 1
+
+    def test_seq_increments_per_journal(self):
+        journal = Journal(worker="w0")
+        first = journal.record("scope.start")
+        second = journal.record("scope.end")
+        assert (first["seq"], second["seq"]) == (1, 2)
+
+    @pytest.mark.parametrize("reserved", ["kind", "wall", "seq"])
+    def test_reserved_fields_rejected(self, reserved):
+        journal = Journal(worker="w0")
+        with pytest.raises(ValueError, match="reserved"):
+            journal.record("scope.start", **{reserved: 1})
+
+    def test_default_worker_names_the_pid(self):
+        assert Journal().worker.startswith("pid")
+
+    def test_known_kinds_are_dotted(self):
+        assert all("." in kind for kind in EVENT_KINDS)
+
+
+class TestBound:
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Journal(limit=0)
+
+    def test_drop_oldest_beyond_limit(self):
+        journal = Journal(worker="w0", limit=3)
+        for i in range(5):
+            journal.record("scope.start", index=i)
+        assert len(journal) == 3
+        assert journal.dropped == 2
+        assert [e["index"] for e in journal.events()] == [2, 3, 4]
+
+
+class TestMerge:
+    def test_absorb_payload_and_dropped_counter(self):
+        worker = Journal(worker="w1", limit=1)
+        worker.record("steal.claim", task="a")
+        worker.record("steal.claim", task="b")  # drops the first
+        parent = Journal(worker="pool")
+        parent.absorb(worker.payload())
+        parent.absorb(None)  # tolerated
+        assert len(parent) == 1
+        assert parent.dropped == 1
+        assert parent.events()[0]["worker"] == "w1"
+
+    def test_merged_orders_by_wall_worker_seq(self):
+        parent = Journal(worker="pool")
+        # Hand-built events with controlled wall clocks: absorb keeps
+        # insertion order, merged() must re-sort canonically.
+        parent.absorb({"worker": "w1", "dropped": 0, "events": [
+            {"wall": 2.0, "worker": "w1", "seq": 1, "kind": "scope.end"},
+            {"wall": 1.0, "worker": "w1", "seq": 2, "kind": "scope.start"},
+        ]})
+        parent.absorb({"worker": "w0", "dropped": 0, "events": [
+            {"wall": 2.0, "worker": "w0", "seq": 1, "kind": "scope.end"},
+        ]})
+        keys = [(e["wall"], e["worker"]) for e in parent.merged()]
+        assert keys == [(1.0, "w1"), (2.0, "w0"), (2.0, "w1")]
+
+    def test_merge_journals_unions_workers(self):
+        a = Journal(worker="w0")
+        b = Journal(worker="w1")
+        a.record("scope.start", entry="X")
+        b.record("steal.claim", task="t")
+        merged = merge_journals([a, b])
+        assert {e["worker"] for e in merged} == {"w0", "w1"}
+        assert len(merged) == 2
+
+
+class TestDump:
+    def test_round_trip(self, tmp_path):
+        journal = Journal(worker="w0")
+        journal.record("scope.start", entry="Counter")
+        journal.record("scope.end", entry="Counter", ok=True)
+        path = str(tmp_path / "journal.jsonl")
+        journal.dump(path)
+        loaded = read_journal(path)
+        assert loaded["header"]["schema"] == JOURNAL_SCHEMA
+        assert loaded["header"]["events"] == 2
+        assert loaded["header"]["dropped"] == 0
+        kinds = [e["kind"] for e in loaded["events"]]
+        assert kinds == ["scope.start", "scope.end"]
+
+    def test_dump_preserves_canonical_field_order(self, tmp_path):
+        journal = Journal(worker="w0")
+        journal.record("dpor.reversal", frame=3, depth=1)
+        path = str(tmp_path / "journal.jsonl")
+        journal.dump(path)
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        # Events are dumped without sort_keys: insertion order is the
+        # format (wall, worker, seq, kind, sorted extras).
+        assert list(json.loads(lines[1])) == [
+            "wall", "worker", "seq", "kind", "depth", "frame"]
+
+    def test_read_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "not-a-journal.jsonl"
+        path.write_text(json.dumps({"schema": "something/else"}) + "\n")
+        with pytest.raises(ValueError, match="not a repro journal"):
+            read_journal(str(path))
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            read_journal(str(empty))

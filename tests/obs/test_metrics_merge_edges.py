@@ -1,0 +1,160 @@
+"""Edge cases of ``MetricsRegistry.merge_snapshot`` (satellite S3).
+
+The parallel pipeline's correctness rests on snapshot merging being
+total (any well-formed snapshot folds in) and order-independent (the
+union of worker snapshots is the same whatever order they arrive).
+"""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    SNAPSHOT_SCHEMA,
+    deterministic_totals,
+    dumps,
+    merge_snapshots,
+)
+
+
+def _registry_with(counter=0, hist_values=(), bounds=(1.0, 2.0)):
+    registry = MetricsRegistry()
+    if counter:
+        registry.counter("explore.configurations").inc(counter)
+    hist = registry.histogram("span.seconds", bounds=bounds, span="scope")
+    for value in hist_values:
+        hist.observe(value)
+    return registry
+
+
+class TestEmptyHistograms:
+    def test_empty_histogram_merges_as_identity(self):
+        target = _registry_with(hist_values=(0.5, 1.5))
+        before = dumps(target.snapshot())
+        target.merge_snapshot(_registry_with(hist_values=()).snapshot())
+        assert dumps(target.snapshot()) == before
+
+    def test_empty_into_empty_stays_empty(self):
+        target = _registry_with()
+        target.merge_snapshot(_registry_with().snapshot())
+        hist = target.histogram("span.seconds", bounds=(1.0, 2.0),
+                                span="scope")
+        assert hist.count == 0 and hist.sum == 0.0
+        assert hist.min is None and hist.max is None
+
+    def test_min_max_ignore_empty_sides(self):
+        target = _registry_with(hist_values=())
+        target.merge_snapshot(
+            _registry_with(hist_values=(0.5, 3.0)).snapshot())
+        hist = target.histogram("span.seconds", bounds=(1.0, 2.0),
+                                span="scope")
+        assert (hist.min, hist.max) == (0.5, 3.0)
+
+
+class TestDisjointBounds:
+    def test_same_key_different_bounds_is_a_type_error(self):
+        target = _registry_with(hist_values=(0.5,), bounds=(1.0, 2.0))
+        foreign = _registry_with(hist_values=(0.5,), bounds=(10.0, 20.0))
+        with pytest.raises(TypeError, match="other bounds"):
+            target.merge_snapshot(foreign.snapshot())
+
+    def test_same_key_different_kind_is_a_type_error(self):
+        target = MetricsRegistry()
+        target.counter("explore.thing").inc()
+        foreign = MetricsRegistry()
+        foreign.gauge("explore.thing").set(1)
+        with pytest.raises(TypeError, match="already registered"):
+            target.merge_snapshot(foreign.snapshot())
+
+    def test_distinct_labels_keep_distinct_bounds(self):
+        target = MetricsRegistry()
+        target.histogram("span.seconds", bounds=(1.0,), span="a").observe(0.5)
+        foreign = MetricsRegistry()
+        foreign.histogram("span.seconds", bounds=(5.0,), span="b").observe(2.0)
+        target.merge_snapshot(foreign.snapshot())
+        assert len(target) == 2
+
+
+class TestOrderIndependence:
+    def _shard(self, seed):
+        rng = random.Random(seed)
+        registry = MetricsRegistry()
+        registry.counter("explore.configurations").inc(rng.randrange(1, 50))
+        registry.counter(
+            "verify.configurations", deterministic=True, entry="X"
+        ).inc(10)  # same on every shard, like a post-merge record
+        registry.gauge("explore.depth", policy="max").set(rng.randrange(20))
+        registry.gauge("queue.min", policy="min").set(rng.randrange(20))
+        hist = registry.histogram("span.seconds", span="scope")
+        for _ in range(rng.randrange(5)):
+            # Dyadic values add exactly in binary floating point, so the
+            # merged histogram sum is associative and the byte-identity
+            # assertion below is meaningful (arbitrary floats would
+            # differ in the last ulp depending on merge order).
+            hist.observe(rng.randrange(64) / 64.0)
+        return registry.snapshot()
+
+    def test_shuffled_merges_are_identical(self):
+        # Deterministic counters must agree across shards (pipeline
+        # invariant: they are recorded once, post-merge); work counters
+        # may differ arbitrarily.  The merged snapshot must not depend
+        # on arrival order.
+        shards = [self._shard(seed) for seed in range(6)]
+        baseline = None
+        for seed in range(5):
+            order = shards[:]
+            random.Random(seed).shuffle(order)
+            registry = MetricsRegistry()
+            for shard in order:
+                registry.merge_snapshot(shard)
+            merged = dumps(registry.snapshot())
+            if baseline is None:
+                baseline = merged
+            assert merged == baseline
+
+    def test_merge_snapshots_helper_matches_manual_fold(self):
+        shards = [self._shard(seed) for seed in range(3)]
+        manual = MetricsRegistry()
+        for shard in shards:
+            manual.merge_snapshot(shard)
+        assert dumps(merge_snapshots(shards)) == dumps(manual.snapshot())
+
+    def test_gauge_policies_merge_order_free(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("depth", policy="max").set(5)
+        b.gauge("depth", policy="max").set(9)
+        a.gauge("low", policy="min").set(5)
+        b.gauge("low", policy="min").set(2)
+        ab = merge_snapshots([a.snapshot(), b.snapshot()])
+        ba = merge_snapshots([b.snapshot(), a.snapshot()])
+        assert dumps(ab) == dumps(ba)
+        assert ab["instruments"]["depth"]["value"] == 9
+        assert ab["instruments"]["low"]["value"] == 2
+
+
+class TestSchemaGuards:
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="snapshot schema"):
+            MetricsRegistry().merge_snapshot(
+                {"schema": "repro.metrics/999", "instruments": {}})
+
+    def test_unknown_instrument_kind_rejected(self):
+        snapshot = {
+            "schema": SNAPSHOT_SCHEMA,
+            "instruments": {"x": {"kind": "summary", "name": "x",
+                                  "labels": {}, "deterministic": False}},
+        }
+        with pytest.raises(ValueError, match="unknown instrument kind"):
+            MetricsRegistry().merge_snapshot(snapshot)
+
+    def test_deterministic_totals_tolerates_sparse_dumps(self):
+        totals = deterministic_totals({
+            "instruments": {
+                "old-counter": {"kind": "counter", "deterministic": True,
+                                "value": 3},
+                "no-kind": {"deterministic": True, "value": 9},
+                "work": {"kind": "counter", "value": 1},
+            },
+        })
+        assert totals == {"old-counter": 3}

@@ -1,0 +1,61 @@
+"""Phase attribution must tile the engine wall (acceptance: the
+attributed phase sum plus ``(other)`` equals the summed exploration
+wall, and the attributed share alone stays within sane bounds)."""
+
+from repro.obs import Instrumentation
+from repro.obs.profile import PHASES, phase_totals
+from repro.proofs.exhaustive import exhaustive_verify, standard_programs
+from repro.proofs.registry import entry_by_name
+from repro.proofs.report import format_phases
+
+
+def _profiled_artifact(entry_name="Counter"):
+    ins = Instrumentation.on()
+    entry = entry_by_name(entry_name)
+    result = exhaustive_verify(entry, standard_programs(entry),
+                               instrumentation=ins)
+    assert result.ok
+    return ins.artifact("test")
+
+
+def test_attributed_sum_tiles_engine_wall():
+    artifact = _profiled_artifact()
+    instruments = artifact["metrics"]["instruments"]
+    totals = phase_totals(instruments)
+    assert totals, "exploration with --metrics must produce a profile"
+    assert set(totals) <= set(PHASES)
+    wall = sum(
+        dumped.get("value") or 0.0
+        for dumped in instruments.values()
+        if dumped.get("name") == "explore.wall_seconds"
+    )
+    attributed = sum(totals.values())
+    assert wall > 0.0 and attributed > 0.0
+    # Region timers live inside the wall timer, so attribution can never
+    # exceed the wall by more than clock jitter; the renderer's (other)
+    # row absorbs the un-attributed remainder exactly.
+    assert attributed <= wall * 1.10
+
+
+def test_check_and_apply_phases_are_attributed():
+    totals = phase_totals(_profiled_artifact()["metrics"]["instruments"])
+    # The two phases every exploration must pay: executing transitions
+    # and replaying the spec for the RA-linearizability check.
+    assert totals.get("apply", 0.0) > 0.0
+    assert totals.get("check", 0.0) > 0.0
+
+
+def test_format_phases_renders_the_table():
+    rendered = format_phases(_profiled_artifact())
+    lines = rendered.splitlines()
+    assert lines[0] == "phase profile (engine wall attribution):"
+    assert "(other)" in rendered
+    assert lines[-1].startswith("engine wall")
+    assert lines[-1].rstrip().endswith("100.0%")
+    assert "apply" in rendered and "check" in rendered
+
+
+def test_format_phases_degrades_without_a_profile():
+    rendered = format_phases({"metrics": {"instruments": {}}})
+    assert rendered.startswith("no phase profile in this artifact")
+    assert format_phases({}).startswith("no phase profile")
