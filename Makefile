@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-explore bench-dpor bench-steal bench-verify bench-diff figures table mutants exhaustive chaos examples all
+.PHONY: install test bench bench-explore bench-dpor bench-steal bench-compose bench-verify bench-diff figures table mutants exhaustive chaos examples all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -29,6 +29,12 @@ bench-dpor:
 # BENCH_explore.json.  Add -m slow for the 4-replica spill scope.
 bench-steal:
 	$(PYTHON) -m pytest benchmarks/test_bench_steal.py --benchmark-only -s
+
+# Compositional per-object proof rule vs whole-store product exploration
+# on a 3-object ⊗ts store; merges the compose_3r section into
+# BENCH_explore.json (see docs/composition.md).
+bench-compose:
+	$(PYTHON) -m pytest benchmarks/test_bench_compose.py --benchmark-only -s
 
 # PR-1 serial baseline vs. incremental checking vs. --jobs 4; refreshes
 # BENCH_verify.json.  Needs git history for the pinned baseline commit.

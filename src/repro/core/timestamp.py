@@ -124,12 +124,21 @@ class TimestampGenerator:
     def observe(self, replica: str, ts: object) -> None:
         """Advance ``replica``'s clock past an observed timestamp."""
         if isinstance(ts, Timestamp):
-            current = self._clocks.get(replica, 0)
-            if ts.counter > current:
-                if self._persistent:
-                    self._clocks = {**self._clocks, replica: ts.counter}
-                else:
-                    self._clocks[replica] = ts.counter
+            self.advance(replica, ts.counter)
+
+    def advance(self, replica: str, counter: int) -> None:
+        """Advance ``replica``'s clock to at least ``counter``.
+
+        The message-clock half of the Lamport discipline: a delivered
+        message carries its origin's clock value, which may exceed the
+        carried operation's own timestamp (or the operation may not have
+        one at all).
+        """
+        if counter > self._clocks.get(replica, 0):
+            if self._persistent:
+                self._clocks = {**self._clocks, replica: counter}
+            else:
+                self._clocks[replica] = counter
 
     def clock(self, replica: str) -> int:
         """Current logical clock value at ``replica`` (0 if never used)."""

@@ -306,6 +306,30 @@ class Instrumentation:
         m.gauge("verify.ok", policy="min", deterministic=True,
                 entry=entry).set(1 if result.ok else 0)
 
+    def record_compose(self, result: Any) -> None:
+        """Record one compositional store verification (deterministic).
+
+        Called once per :func:`repro.proofs.compositional.verify_store`
+        run, on the final :class:`StoreResult` — per-object scope results
+        flow through :meth:`record_result` as usual, so ``compose.*`` only
+        carries the composition layer itself (object count, side-condition
+        sweep size, witness-merge failures, verdict).
+        """
+        if self.metrics is None:
+            return
+        m = self.metrics
+        labels = {"store": result.store, "mode": result.mode}
+        m.counter("compose.stores", deterministic=True, **labels).inc()
+        m.counter("compose.objects", deterministic=True, **labels).inc(
+            len(result.objects)
+        )
+        m.counter("compose.side_condition_checks", deterministic=True,
+                  **labels).inc(result.side_condition_checks)
+        m.counter("compose.combine_failures", deterministic=True,
+                  **labels).inc(result.combine_failures)
+        m.gauge("compose.ok", policy="min", deterministic=True,
+                **labels).set(1 if result.ok else 0)
+
     def record_chaos(self, report: Any) -> None:
         """Record one fault-injection :class:`ChaosReport`.
 

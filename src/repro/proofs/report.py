@@ -297,6 +297,64 @@ def format_exhaustive(results: Sequence[Any],
     return "\n".join(lines)
 
 
+def format_store(result: Any, title: Optional[str] = None) -> str:
+    """Render a :class:`~repro.proofs.compositional.StoreResult`.
+
+    Compositional mode shows one row per object (the per-object
+    exhaustive scope) plus the ⊗ts side-condition summary; product mode
+    (the non-shared-timestamp escape hatch) shows the whole-store
+    exploration instead.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    flavour = "⊗ts shared clock" if result.mode == "compositional" \
+        else "⊗ independent clocks — whole-store product exploration"
+    lines.append(f"store: {result.store} ({flavour})")
+    if result.mode == "compositional":
+        header = (
+            f"{'object':<14} {'entry':<18} {'configs':>8} {'wall':>8}"
+            f"  verdict"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for obj in sorted(result.objects):
+            res = result.objects[obj]
+            wall = f"{res.stats.wall_time:7.2f}s" if res.stats is not None \
+                else f"{'-':>8}"
+            lines.append(
+                f"{obj:<14} {res.entry_name:<18} {res.configurations:>8} "
+                f"{wall}  {'ok' if res.ok else 'FAIL'}"
+            )
+        side = "ok" if result.side_condition_ok else "FAIL"
+        lines.append(
+            f"side condition: {result.side_condition_checks} product "
+            f"configurations swept, {result.combine_failures} combine "
+            f"failures — {side}"
+        )
+        if result.counterexample is not None:
+            lines.append(
+                f"counterexample: {result.counterexample.describe()}"
+            )
+    elif result.product is not None:
+        res = result.product
+        wall = f"{res.stats.wall_time:.2f}s" if res.stats is not None \
+            else "-"
+        lines.append(
+            f"product: {res.configurations} configurations in {wall} — "
+            f"{'ok' if res.ok else 'FAIL'}"
+        )
+    lines.append(
+        f"verdict: {'ok' if result.ok else 'FAIL'} ({result.mode}), "
+        f"{result.configurations} configurations, "
+        f"{result.wall_time:.2f}s"
+    )
+    if result.failures:
+        lines.append("failures:")
+        lines.extend(f"  {failure}" for failure in result.failures)
+    return "\n".join(lines)
+
+
 def format_metrics(artifact: Mapping[str, Any]) -> str:
     """Human-readable summary of a ``--metrics`` artifact.
 
@@ -413,6 +471,29 @@ def format_metrics(artifact: Mapping[str, Any]) -> str:
         for label, prefix in families:
             if not any(name.startswith(prefix) for name in totals):
                 lines.append(f"  {label:<52} {'(absent)':>12}")
+
+    # Composition digest: the compositional-verification counters summed
+    # across their per-store label variants (``repro exhaustive --store``).
+    compose: Dict[str, float] = {}
+    for key in instruments:
+        name = key.split("{", 1)[0]
+        if name.startswith("compose."):
+            value = instruments[key].get("value")
+            if value is not None:
+                compose[name] = compose.get(name, 0.0) + value
+    if compose:
+        lines.append("")
+        lines.append("composition (per-object proof rule):")
+        rows = [
+            ("stores verified", compose.get("compose.stores", 0.0)),
+            ("objects", compose.get("compose.objects", 0.0)),
+            ("side-condition checks",
+             compose.get("compose.side_condition_checks", 0.0)),
+            ("combine failures",
+             compose.get("compose.combine_failures", 0.0)),
+        ]
+        for label, value in rows:
+            lines.append(f"  {label:<52} {fmt_value(value):>12}")
     if counters:
         lines.append("")
         lines.append("work counters:")

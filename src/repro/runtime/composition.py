@@ -16,6 +16,7 @@ shared-timestamp-generator composition ``o1 ⊗ts o2`` (Fig. 11) through its
   Fig. 9/Fig. 10 and motivates Theorems 5.3/5.5).
 """
 
+import heapq
 from typing import Dict, List, Optional, Sequence
 
 from ..core.history import History
@@ -28,16 +29,23 @@ from .system import OpBasedSystem
 
 
 def composed(
-    objects: Dict[str, OpBasedCRDT], replicas: Sequence[str] = ("r1", "r2")
+    objects: Dict[str, OpBasedCRDT],
+    replicas: Sequence[str] = ("r1", "r2", "r3"),
 ) -> OpBasedSystem:
     """The unrestricted composition ⊗: independent timestamp generators."""
     return OpBasedSystem(objects, replicas, shared_timestamps=False)
 
 
 def composed_ts(
-    objects: Dict[str, OpBasedCRDT], replicas: Sequence[str] = ("r1", "r2")
+    objects: Dict[str, OpBasedCRDT],
+    replicas: Sequence[str] = ("r1", "r2", "r3"),
 ) -> OpBasedSystem:
-    """The shared-timestamp-generator composition ⊗ts (Fig. 11)."""
+    """The shared-timestamp-generator composition ⊗ts (Fig. 11).
+
+    The default replica tuple matches :class:`OpBasedSystem`,
+    :class:`~repro.runtime.state_system.StateBasedSystem`, and
+    :class:`~repro.runtime.state_composition.ComposedStateSystem`.
+    """
     return OpBasedSystem(objects, replicas, shared_timestamps=True)
 
 
@@ -89,31 +97,45 @@ def combine_per_object(
     given per-object order and which is consistent with the (closed)
     visibility of ``history`` — or None when the constraints are cyclic,
     which is exactly the failure exhibited in Fig. 9/Fig. 10.
+
+    Kahn's algorithm over a uid-keyed heap: the heap holds exactly the
+    labels whose predecessors are all placed, so each step pops the
+    minimum-uid ready label — the same label the quadratic rescan used to
+    select — in O((V+E) log V) total.
     """
-    labels: List[Label] = [
+    nodes: List[Label] = list(dict.fromkeys(
         label for order in per_object_orders.values() for label in order
-    ]
-    preds: Dict[Label, set] = {label: set() for label in labels}
-    label_set = set(labels)
+    ))
+    indegree: Dict[Label, int] = {label: 0 for label in nodes}
+    succs: Dict[Label, List[Label]] = {label: [] for label in nodes}
+    edges: set = set()
+
+    def add_edge(src: Label, dst: Label) -> None:
+        if src is not dst and (src.uid, dst.uid) not in edges:
+            edges.add((src.uid, dst.uid))
+            succs[src].append(dst)
+            indegree[dst] += 1
+
+    node_set = set(nodes)
     for src, dst in history.closure():
-        if src in label_set and dst in label_set:
-            preds[dst].add(src)
+        if src in node_set and dst in node_set:
+            add_edge(src, dst)
     for order in per_object_orders.values():
         for earlier, later in zip(order, list(order)[1:]):
-            preds[later].add(earlier)
+            add_edge(earlier, later)
 
+    heap: List[tuple] = [
+        (label.uid, label) for label in nodes if not indegree[label]
+    ]
+    heapq.heapify(heap)
     result: List[Label] = []
-    placed: set = set()
-    pending = set(labels)
-    while pending:
-        ready = sorted(
-            (l for l in pending if not (preds[l] - placed)),
-            key=lambda l: l.uid,
-        )
-        if not ready:
-            return None  # cyclic: the per-object choices cannot be combined
-        nxt = ready[0]
+    while heap:
+        _, nxt = heapq.heappop(heap)
         result.append(nxt)
-        placed.add(nxt)
-        pending.discard(nxt)
+        for succ in succs[nxt]:
+            indegree[succ] -= 1
+            if not indegree[succ]:
+                heapq.heappush(heap, (succ.uid, succ))
+    if len(result) != len(nodes):
+        return None  # cyclic: the per-object choices cannot be combined
     return result

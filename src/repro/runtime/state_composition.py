@@ -59,8 +59,15 @@ class ComposedStateSystem:
             for r in self.replicas
             for name, crdt in self.objects.items()
         }
-        self._seen: Dict[str, Set[Label]] = {r: set() for r in self.replicas}
-        self._vis: Set[Tuple[Label, Label]] = set()
+        self._seen: Dict[str, FrozenSet[Label]] = {
+            r: frozenset() for r in self.replicas
+        }
+        # Per-label seen-snapshots: the (immutable) label set visible at the
+        # origin replica when the label was generated.  Visibility edges are
+        # materialized lazily in :meth:`history` — storing one shared
+        # frozenset per label instead of |seen| edge tuples keeps invoke
+        # O(1) and the recorded structure linear in history length.
+        self._snapshots: Dict[Label, FrozenSet[Label]] = {}
         self.messages: List[ObjectMessage] = []
         self.generation_order: List[Label] = []
 
@@ -86,9 +93,8 @@ class ComposedStateSystem:
         label = Label(
             method, tuple(args), ret=ret, ts=ts, obj=obj, origin=replica
         )
-        for prior in self._seen[replica]:
-            self._vis.add((prior, label))
-        self._seen[replica].add(label)
+        self._snapshots[label] = self._seen[replica]
+        self._seen[replica] = self._seen[replica] | {label}
         self._states[(replica, obj)] = new_state
         self.generation_order.append(label)
         return label
@@ -98,7 +104,7 @@ class ComposedStateSystem:
             msg_id=len(self.messages),
             sender=replica,
             obj=obj,
-            labels=frozenset(self._seen[replica]),
+            labels=self._seen[replica],
             state=self._states[(replica, obj)],
         )
         self.messages.append(message)
@@ -116,6 +122,17 @@ class ComposedStateSystem:
         }
         for ts in crdt.timestamps_in_state(message.state):
             self._generators[message.obj].observe(replica, ts)
+        # ⊗ts dominance (Fig. 11): a fresh timestamp must dominate every
+        # operation visible at the replica *regardless of object*, so the
+        # shared clock also advances past the tagged cross-object label
+        # timestamps riding on the payload — the merged state alone only
+        # carries the arriving object's timestamps (and may even have
+        # dropped some of those, e.g. overwritten LWW writes).  Under
+        # independent clocks (⊗) only same-object tags advance their own
+        # object's clock; cross-object anomalies are the point of ⊗.
+        for tagged in message.labels:
+            if self.shared_timestamps or tagged.obj == message.obj:
+                self._generators[message.obj].observe(replica, tagged.ts)
 
     def gossip(self, source: str, target: str) -> None:
         for obj in self.objects:
@@ -136,6 +153,52 @@ class ComposedStateSystem:
     def state(self, replica: str, obj: str) -> Any:
         return self._states[(replica, obj)]
 
+    def seen(self, replica: str) -> FrozenSet[Label]:
+        return self._seen[replica]
+
+    def _distinct_generators(self) -> List[TimestampGenerator]:
+        """The generators deduplicated by identity, in object order.
+
+        Under ``shared_timestamps`` every object name maps to the *same*
+        generator; snapshotting it once keeps the token honest (restoring
+        twice through aliased names would otherwise race).
+        """
+        return list({id(g): g for g in self._generators.values()}.values())
+
+    def snapshot(self) -> Tuple:
+        """An O(|configuration|) snapshot token for :meth:`restore`.
+
+        Shallow copies only — messages, labels, CRDT states, and the
+        per-label seen-snapshots are immutable values shared between the
+        live system and the token, which is what lets composed stores run
+        under the exploration engine's snapshot protocol
+        (``runtime/explore_engine.py``).
+        """
+        return (
+            dict(self._states),
+            dict(self._seen),
+            dict(self._snapshots),
+            list(self.messages),
+            list(self.generation_order),
+            tuple(g.snapshot() for g in self._distinct_generators()),
+        )
+
+    def restore(self, token: Tuple) -> None:
+        """Rewind to a :meth:`snapshot` token (reusable)."""
+        states, seen, snapshots, messages, order, clocks = token
+        self._states = dict(states)
+        self._seen = dict(seen)
+        self._snapshots = dict(snapshots)
+        self.messages = list(messages)
+        self.generation_order = list(order)
+        for generator, clock in zip(self._distinct_generators(), clocks):
+            generator.restore(clock)
+
     def history(self) -> History:
-        return History(self.generation_order, self._vis, check=False,
+        vis: Set[Tuple[Label, Label]] = {
+            (prior, label)
+            for label in self.generation_order
+            for prior in self._snapshots[label]
+        }
+        return History(self.generation_order, vis, check=False,
                        transitive=False)

@@ -103,6 +103,16 @@ class OpBasedSystem:
         # nothing and restores delete nothing.
         self._causal_preds: Dict[Label, Any] = {}
         self._effectors: Dict[Label, Any] = {}
+        # Origin clock value at generation time, keyed by label: the
+        # message clock of the Lamport discipline.  Delivery advances the
+        # receiver's clock past it, which is what makes a fresh ⊗ts
+        # timestamp dominate *transitively* visible operations even when
+        # the visibility path runs through timestamp-less operations of
+        # another object (Fig. 11); for single objects and ⊗ the value is
+        # already implied by per-object causal delivery.  Grow-only in
+        # both snapshot modes — restores drop labels with fresh uids, so
+        # stale entries are keyed by dead uids no lookup can mention.
+        self._origin_clock: Dict[Label, int] = {}
         self.generation_order: List[Label] = []
         #: Action trace: ("gen"|"eff", replica, label).
         self.trace: List[Tuple[str, str, Label]] = []
@@ -157,6 +167,7 @@ class OpBasedSystem:
             seen_here.add(label)
         self._causal_preds[label] = causal
         self._effectors[label] = result.effector
+        self._origin_clock[label] = self._generators[obj].clock(replica)
         if result.effector is not None:
             self._states[(replica, obj)] = crdt.apply_effector(
                 state, result.effector
@@ -236,7 +247,12 @@ class OpBasedSystem:
             self._seen[replica].add(label)
         # With a shared generator (⊗ts) this advances the one global clock;
         # with independent generators (⊗) only the label's own object's.
-        self._generators[label.obj].observe(replica, label.ts)
+        # The origin-clock advance carries the sender's cross-object
+        # knowledge for ⊗ts (a no-op for single objects and ⊗, where
+        # causal delivery already implies it).
+        generator = self._generators[label.obj]
+        generator.observe(replica, label.ts)
+        generator.advance(replica, self._origin_clock[label])
         self.trace.append(("eff", replica, label))
 
     def deliver_all(self) -> None:

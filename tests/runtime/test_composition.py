@@ -132,3 +132,54 @@ class TestCombinePerObject:
         h = History([a, b], [(a, b)])
         merged = combine_per_object(h, {"o1": [a], "o2": [b]})
         assert merged == [a, b]
+
+    def test_deterministic_min_uid_order_pinned(self):
+        # Regression for the Kahn's-algorithm rewrite: among the ready
+        # labels the merge must always emit the lowest-uid one, exactly
+        # as the old rescanning loop did.  This instance has several
+        # valid topological orders; pin the one the old code produced.
+        from repro.core.history import History
+
+        x1 = Label("m", obj="o1")
+        y1 = Label("m", obj="o2")
+        x2 = Label("m", obj="o1")
+        y2 = Label("m", obj="o2")
+        h = History([x1, y1, x2, y2], [(x1, y2)])
+        merged = combine_per_object(
+            h, {"o1": [x1, x2], "o2": [y2, y1]}
+        )
+        # x1 unblocks y2 and x2; x2 has the smaller uid so goes first.
+        assert merged == [x1, x2, y2, y1]
+
+    def test_duplicate_edges_counted_once(self):
+        # The same constraint arriving from both the visibility closure
+        # and a per-object order must not double-count the indegree.
+        from repro.core.history import History
+
+        a = Label("m", obj="o1")
+        b = Label("m", obj="o1")
+        h = History([a, b], [(a, b)])
+        assert combine_per_object(h, {"o1": [a, b]}) == [a, b]
+
+    def test_vis_direction_decides_ties(self):
+        from repro.core.history import History
+
+        a = Label("m", obj="o1")
+        b = Label("m", obj="o2")
+        assert combine_per_object(
+            History([a, b], [(b, a)]), {"o1": [a], "o2": [b]},
+        ) == [b, a]
+
+    def test_fig9_shape_cycle_is_none(self):
+        # The canonical uncombinable shape: vis crosses the objects in
+        # both directions against the chosen per-object orders.
+        from repro.core.history import History
+
+        a1 = Label("m", obj="o1")
+        a2 = Label("m", obj="o2")
+        b1 = Label("m", obj="o1")
+        b2 = Label("m", obj="o2")
+        h = History([a1, a2, b1, b2], [(a1, a2), (b2, b1)])
+        assert combine_per_object(
+            h, {"o1": [b1, a1], "o2": [a2, b2]}
+        ) is None
