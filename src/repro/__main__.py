@@ -417,9 +417,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_bench_diff(args: argparse.Namespace) -> int:
+    sections = None
+    if args.sections:
+        sections = [s.strip() for s in args.sections.split(",") if s.strip()]
     try:
         report, code = bench_diff_paths(args.old, args.new,
-                                        tolerance=args.tolerance)
+                                        tolerance=args.tolerance,
+                                        sections=sections)
     except (OSError, ValueError) as error:
         print(f"cannot diff bench artifacts: {error}", file=sys.stderr)
         return 2
@@ -511,11 +515,13 @@ def build_parser() -> argparse.ArgumentParser:
              "instead of work stealing",
     )
     exhaustive.add_argument(
-        "--por", choices=("sleep", "source"), default="source",
-        help="partial-order-reduction flavor: 'source' (source-DPOR with "
-             "persistent structural-sharing snapshots, the default) or "
-             "'sleep' (classic sleep sets, the differential oracle); both "
-             "give identical verdicts and distinct-configuration counts",
+        "--por", choices=("sleep", "source", "optimal"), default="optimal",
+        help="partial-order-reduction flavor: 'optimal' (source-DPOR with "
+             "wakeup-tree continuations and patch cuts, the default), "
+             "'source' (plain source-DPOR) or 'sleep' (classic sleep "
+             "sets); all three give identical verdicts and "
+             "distinct-configuration counts and the slower flavors stay "
+             "as differential oracles",
     )
     exhaustive.add_argument(
         "--spill", metavar="DIR", default=None,
@@ -621,6 +627,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--tolerance", type=float, default=None, metavar="FRAC",
         help="relative tolerance for time/rate metrics (default 0.30); "
              "exact metrics (counts, verdicts) never tolerate drift",
+    )
+    diff.add_argument(
+        "--sections", default=None, metavar="NAMES",
+        help="comma-separated top-level sections to gate on (e.g. "
+             "dpor_3r,optimal_3r); other sections are ignored entirely",
     )
     diff.set_defaults(fn=cmd_bench_diff)
 

@@ -133,9 +133,40 @@ def _walk(old: Any, new: Any, prefix: str, tolerance: float,
 
 
 def diff_benches(old: Mapping[str, Any], new: Mapping[str, Any],
-                 tolerance: Optional[float] = None) -> List[DiffRow]:
-    """Compare two bench documents; rows for every leaf, sorted by path."""
-    rows: List[DiffRow] = []
+                 tolerance: Optional[float] = None,
+                 sections: Optional[List[str]] = None) -> List[DiffRow]:
+    """Compare two bench documents; rows for every leaf, sorted by path.
+
+    ``sections`` restricts the comparison to the named top-level
+    sections — the gating-CI mode, where only the sections a job just
+    regenerated should decide its exit code.  A requested section
+    absent from NEW gates (the refresh silently dropped it); one absent
+    from both documents is an error in the request itself.
+    """
+    if sections is not None:
+        missing = [s for s in sections if s not in old and s not in new]
+        if missing:
+            raise ValueError(
+                f"unknown bench section(s): {', '.join(missing)}"
+            )
+        rows: List[DiffRow] = []
+        for section in sections:
+            if section not in new:
+                rows.append(DiffRow(
+                    section, "exact", "regression", old=old.get(section),
+                    detail="requested section absent from NEW",
+                ))
+            elif section not in old:
+                rows.append(DiffRow(
+                    section, "exact", "added", new=new.get(section),
+                    detail="absent from OLD",
+                ))
+            else:
+                _walk(old[section], new[section], section,
+                      DEFAULT_TOLERANCE if tolerance is None else tolerance,
+                      rows)
+        return rows
+    rows = []
     _walk(old, new, "", DEFAULT_TOLERANCE if tolerance is None else tolerance,
           rows)
     return rows
@@ -188,17 +219,20 @@ def format_bench_diff(rows: List[DiffRow], old_path: str,
 
 
 def bench_diff_paths(old_path: str, new_path: str,
-                     tolerance: Optional[float] = None
+                     tolerance: Optional[float] = None,
+                     sections: Optional[List[str]] = None
                      ) -> Tuple[str, int]:
     """Load, diff, and render two bench files.
 
     Returns ``(report, exit_code)`` with exit 1 iff a regression gates.
+    ``sections`` restricts both gating and report to the named
+    top-level sections.
     """
     with open(old_path, "r", encoding="utf-8") as handle:
         old = json.load(handle)
     with open(new_path, "r", encoding="utf-8") as handle:
         new = json.load(handle)
-    rows = diff_benches(old, new, tolerance)
+    rows = diff_benches(old, new, tolerance, sections=sections)
     report = format_bench_diff(rows, old_path, new_path)
     return report, (1 if any(row.gating for row in rows) else 0)
 

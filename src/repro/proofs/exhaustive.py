@@ -268,7 +268,7 @@ def exhaustive_verify(
         # point O(delta) instead of O(configuration).
         return OpBasedSystem(
             entry.make_crdt(), replicas=sorted(programs),
-            persistent=(por == "source"),
+            persistent=(por in ("source", "optimal")),
         )
 
     with ins.span("exhaustive.scope", entry=entry.name, kind="OB",
@@ -386,7 +386,7 @@ def exhaustive_verify_state(
     def make_system() -> StateBasedSystem:
         return StateBasedSystem(
             entry.make_crdt(), replicas=sorted(programs),
-            persistent=(por == "source"),
+            persistent=(por in ("source", "optimal")),
         )
 
     with ins.span("exhaustive.scope", entry=entry.name, kind="SB",

@@ -261,6 +261,15 @@ def _merge_branches(
             )
             merged.stats.dpor_deferred += stats.dpor_deferred
             merged.stats.dpor_full_expansions += stats.dpor_full_expansions
+            merged.stats.dpor_wakeup_branches += stats.dpor_wakeup_branches
+            merged.stats.dpor_wakeup_fallbacks += (
+                stats.dpor_wakeup_fallbacks
+            )
+            merged.stats.dpor_patch_cuts += stats.dpor_patch_cuts
+            merged.stats.dpor_vacuity_drops += stats.dpor_vacuity_drops
+            merged.stats.dpor_deferred_seen = max(
+                merged.stats.dpor_deferred_seen, stats.dpor_deferred_seen
+            )
             merged.stats.pstate_copied += stats.pstate_copied
             merged.stats.pstate_shared += stats.pstate_shared
         if result.fp_store is not None:

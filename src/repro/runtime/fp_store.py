@@ -40,9 +40,12 @@ each fingerprint as a fixed-width digest:
 * **Disk spill.**  With ``spill_dir`` set, :meth:`visited_set` and
   :meth:`expanded_map` return :class:`SpillSet`/:class:`SpillMap`
   drop-ins for the engine's visited-fingerprint set and expanded
-  (fingerprint → sleep sets) table: an LRU in-memory tier in front of a
+  (fingerprint → sleep sets) table: an in-memory hot tier in front of a
   private sqlite file, so the working set stays bounded while the full
-  record remains exact.
+  record remains exact.  The visited hot tier is a structurally-shared
+  persistent trie (:class:`~.pstate.PSet`) promoted to the spill in
+  FIFO batches; the expanded hot tier stays an LRU dict because its
+  values are mutable record lists.
 
 The store is *optional* everywhere: the serial engine defaults to raw
 fingerprints, and the differential equality suites run both ways, which
@@ -55,13 +58,14 @@ import pickle
 import sqlite3
 import struct
 import tempfile
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, fields, is_dataclass
 from hashlib import blake2b
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..core.freeze import FrozenDict
 from ..core.timestamp import BOTTOM
+from .pstate import PSet
 from .symmetry import CanonFP
 
 #: Default entry cap for each in-memory LRU tier (ledger, spill-set hot
@@ -275,12 +279,21 @@ class _DiskTier:
 
 
 class SpillSet:
-    """A set of digests with an LRU in-memory tier over the disk tier.
+    """A set of digests with an in-memory hot tier over the disk tier.
 
     Drop-in for the engine's visited-fingerprint set: supports ``in``,
     ``add``, ``len`` and iteration (the parallel merge iterates to union
     per-worker sets).  Exact — eviction moves entries to sqlite, never
     drops them.
+
+    The hot tier is a persistent hash trie (:class:`~.pstate.PSet`):
+    inserts path-copy O(log n) nodes and share the rest, so the tier's
+    history is a chain of structurally-shared roots rather than a
+    mutated dict, and promotion to the spill tier is a batch of
+    ``discard`` operations over the oldest digests (insertion-order
+    FIFO — digest working sets have no useful recency signal once they
+    outgrow memory, and FIFO needs no per-hit bookkeeping on the lookup
+    fast path the way the previous LRU's ``move_to_end`` did).
     """
 
     def __init__(self, disk: _DiskTier, stats: FPStoreStats,
@@ -288,13 +301,13 @@ class SpillSet:
         self._disk = disk
         self._stats = stats
         self._limit = memory_limit
-        self._hot: "OrderedDict[bytes, None]" = OrderedDict()
+        self._hot = PSet()
+        self._order: "deque[bytes]" = deque()
         self._pending: Dict[bytes, None] = {}
         self._len = 0
 
     def __contains__(self, digest: bytes) -> bool:
         if digest in self._hot:
-            self._hot.move_to_end(digest)
             return True
         if digest in self._pending:
             return True
@@ -303,14 +316,22 @@ class SpillSet:
     def add(self, digest: bytes) -> None:
         if digest in self:
             return
-        self._hot[digest] = None
+        self._hot = self._hot.add(digest)
+        self._order.append(digest)
         self._len += 1
-        if len(self._hot) > self._limit:
-            evicted, _ = self._hot.popitem(last=False)
-            self._pending[evicted] = None
-            self._stats.evictions += 1
-            if len(self._pending) >= _FLUSH_BATCH:
-                self._flush()
+        if len(self._order) > self._limit:
+            self._promote()
+
+    def _promote(self) -> None:
+        """Move the oldest batch of hot digests to the spill tier."""
+        hot, order, pending = self._hot, self._order, self._pending
+        for _ in range(min(_FLUSH_BATCH, len(order))):
+            digest = order.popleft()
+            hot = hot.discard(digest)
+            pending[digest] = None
+        self._stats.evictions += len(pending)
+        self._hot = hot
+        self._flush()
 
     def _flush(self) -> None:
         if self._pending:

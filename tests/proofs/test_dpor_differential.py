@@ -1,14 +1,15 @@
-"""Source-DPOR vs sleep-set differential equality.
+"""Sleep / source / optimal DPOR differential equality.
 
 Source-DPOR prunes interleavings whose race reversals are already
-covered; the contract is that the pruning is invisible in the results —
-distinct-configuration counts, verdicts, and failure lists stay
-bit-for-bit identical with the classic sleep-set explorer on every
-registry entry, serially and through both parallel front doors, with
-replica symmetry on and off.  A registry-level pin of the
-``snapshot_safe=False`` deepcopy fallback rides along: a CRDT that
+covered, and optimal DPOR layers wakeup-tree continuations, patch cuts
+and vacuity drops on top; the contract is that every layer of pruning is
+invisible in the results — distinct-configuration counts, verdicts, and
+failure lists stay bit-for-bit identical with the classic sleep-set
+explorer on every registry entry, serially and through both parallel
+front doors, with replica symmetry on and off.  A registry-level pin of
+the ``snapshot_safe=False`` deepcopy fallback rides along: a CRDT that
 mutates its state in place must bypass persistent snapshots and still
-verify identically under both POR flavors.
+verify identically under every POR flavor.
 """
 
 import dataclasses
@@ -28,6 +29,9 @@ from repro.proofs.steal import verify_scopes_steal
 
 MAX_GOSSIPS = 2
 
+#: The flavors under test, each compared against the sleep-set oracle.
+DPOR_FLAVORS = ("source", "optimal")
+
 
 def _serial(entry, por, symmetry=None):
     programs = standard_programs(entry)
@@ -46,21 +50,22 @@ def _assert_equal(source, sleep, label):
 
 
 class TestSerialDifferential:
-    """Every registry entry, sleep vs source, symmetry on and off."""
+    """Every registry entry, three-way, symmetry on and off."""
 
+    @pytest.mark.parametrize("por", DPOR_FLAVORS)
     @pytest.mark.parametrize(
         "symmetry", [None, False], ids=["sym-default", "sym-off"]
     )
     @pytest.mark.parametrize("entry", ALL_ENTRIES, ids=lambda e: e.name)
-    def test_source_matches_sleep(self, entry, symmetry):
+    def test_dpor_matches_sleep(self, entry, symmetry, por):
         sleep = _serial(entry, "sleep", symmetry)
-        source = _serial(entry, "source", symmetry)
-        _assert_equal(source, sleep, entry.name)
+        dpor = _serial(entry, por, symmetry)
+        _assert_equal(dpor, sleep, f"{entry.name}/{por}")
         # Race-driven source sets may only shrink the walk, never grow
-        # it: every node source-DPOR expands, sleep sets expand too.
+        # it: every node the DPOR flavors expand, sleep sets expand too.
         assert (
-            source.stats.states_visited <= sleep.stats.states_visited
-        ), entry.name
+            dpor.stats.states_visited <= sleep.stats.states_visited
+        ), f"{entry.name}/{por}"
 
     def test_source_prunes_on_three_replicas(self):
         # On a 3-replica scope the reduction must be real, not vacuous:
@@ -78,6 +83,40 @@ class TestSerialDifferential:
         assert source.stats.dpor_redundant_avoided > 0
 
 
+class TestOptimalityPin:
+    """The optimal flavor's headline guarantees on the 3-replica scope."""
+
+    @pytest.fixture(scope="class")
+    def three_replica(self):
+        entry = next(e for e in ALL_ENTRIES if e.name == "Counter")
+        programs = {
+            r: [("inc", ()), ("read", ())] for r in ("r1", "r2", "r3")
+        }
+        return {
+            por: exhaustive_verify(entry, programs, por=por)
+            for por in ("sleep", "source", "optimal")
+        }
+
+    def test_optimal_matches_sleep(self, three_replica):
+        _assert_equal(
+            three_replica["optimal"], three_replica["sleep"], "Counter-3r"
+        )
+
+    def test_no_full_expansions(self, three_replica):
+        # Wakeup continuations and vacuity drops must absorb every
+        # conservative widening: non-vacuous disabled demands degrade to
+        # *counted* fallbacks, never to blanket full expansions.
+        stats = three_replica["optimal"].stats
+        assert stats.dpor_full_expansions == 0
+        assert stats.dpor_wakeup_branches > 0
+
+    def test_optimal_walks_no_more_than_source(self, three_replica):
+        assert (
+            three_replica["optimal"].stats.states_visited
+            <= three_replica["source"].stats.states_visited
+        )
+
+
 class TestParallelDifferential:
     """Both parallel front doors agree with the serial sleep oracle."""
 
@@ -88,29 +127,32 @@ class TestParallelDifferential:
             for entry, _, _ in standard_scopes(max_gossips=MAX_GOSSIPS)
         }
 
+    @pytest.mark.parametrize("por", DPOR_FLAVORS)
     @pytest.mark.parametrize("symmetry", [None, False],
                              ids=["sym-default", "sym-off"])
-    def test_steal_pool_matches_serial_sleep(self, oracle, symmetry):
+    def test_steal_pool_matches_serial_sleep(self, oracle, symmetry, por):
         scopes = standard_scopes(max_gossips=MAX_GOSSIPS)
         merged = verify_scopes_steal(
             scopes, jobs=2, symmetry=symmetry, oversubscribe=True,
-            por="source",
+            por=por,
         )
         for entry, _, _ in scopes:
             expected = (
                 oracle[entry.name] if symmetry is None
                 else _serial(entry, "sleep", symmetry)
             )
-            _assert_equal(merged[entry.name], expected, entry.name)
+            _assert_equal(merged[entry.name], expected,
+                          f"{entry.name}/{por}")
 
-    def test_static_pool_matches_serial_sleep(self, oracle):
+    @pytest.mark.parametrize("por", DPOR_FLAVORS)
+    def test_static_pool_matches_serial_sleep(self, oracle, por):
         scopes = standard_scopes(max_gossips=MAX_GOSSIPS)
         merged = verify_scopes_parallel(
-            scopes, jobs=2, steal=False, oversubscribe=True, por="source"
+            scopes, jobs=2, steal=False, oversubscribe=True, por=por
         )
         for entry, _, _ in scopes:
             _assert_equal(merged[entry.name], oracle[entry.name],
-                          entry.name)
+                          f"{entry.name}/{por}")
 
 
 class _MutableCounter(OpBasedCRDT):
@@ -149,7 +191,7 @@ class _MutableCounter(OpBasedCRDT):
 class TestDeepcopyFallbackRegistry:
     """Registry-level pin of the ``snapshot_safe=False`` escape hatch."""
 
-    @pytest.mark.parametrize("por", ["sleep", "source"])
+    @pytest.mark.parametrize("por", ["sleep", "source", "optimal"])
     def test_mutable_state_counts_match_snapshot_path(self, por):
         base = next(e for e in ALL_ENTRIES if e.name == "Counter")
         mutable = dataclasses.replace(base, make_crdt=_MutableCounter)
